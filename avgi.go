@@ -1,0 +1,206 @@
+// Package avgi is a from-scratch Go reproduction of "AVGI:
+// Microarchitecture-Driven, Fast and Accurate Vulnerability Assessment"
+// (Papadimitriou & Gizopoulos, HPCA 2023).
+//
+// The package is the public facade over the full stack built for the
+// reproduction:
+//
+//   - a detailed out-of-order CPU model with two configurations standing in
+//     for the paper's Arm Cortex-A72 (64-bit) and Cortex-A15 (32-bit)
+//     machines,
+//   - the thirteen MiBench/NAS-style workloads of the study,
+//   - a GeFIN-style statistical fault-injection framework over the twelve
+//     hardware structures of Table II,
+//   - the IMM classifier of Table I / Fig. 2, and
+//   - the AVGI methodology itself: IMM weights, the ESC equation,
+//     effective-residency-time windows, and the five-phase estimator.
+//
+// # Quick start
+//
+//	cfg := avgi.ConfigA72()
+//	r, _ := avgi.NewRunner(cfg, "sha")
+//	faults := r.FaultList("RF", 400, 1)
+//	truth := campaign.Summarize(r.Run(faults, avgi.ModeExhaustive, 0, 0))
+//
+// For the full methodology, build a Study over several workloads, train an
+// Estimator on exhaustive campaigns, and Assess new workloads with fast
+// AVGI runs only. See examples/ and cmd/avgi.
+package avgi
+
+import (
+	"fmt"
+	"io"
+
+	"avgi/internal/ace"
+	"avgi/internal/archinj"
+	"avgi/internal/asm"
+	"avgi/internal/campaign"
+	"avgi/internal/core"
+	"avgi/internal/cpu"
+	"avgi/internal/fault"
+	"avgi/internal/imm"
+	"avgi/internal/isa"
+	"avgi/internal/prog"
+	"avgi/internal/report"
+	"avgi/internal/stats"
+)
+
+// Re-exported types: the facade exposes the internal packages' types under
+// one import path.
+type (
+	// MachineConfig describes one microarchitecture model.
+	MachineConfig = cpu.Config
+	// Machine is a simulated CPU with a loaded program.
+	Machine = cpu.Machine
+	// Workload is one of the thirteen benchmarks.
+	Workload = prog.Workload
+	// Program is an assembled workload image.
+	Program = asm.Program
+	// Runner executes fault-injection campaigns for one
+	// (machine, workload) pair.
+	Runner = campaign.Runner
+	// CampaignResult is the outcome of one injected fault.
+	CampaignResult = campaign.Result
+	// CampaignSummary aggregates campaign results.
+	CampaignSummary = campaign.Summary
+	// Mode selects how far faulty runs simulate.
+	Mode = campaign.Mode
+	// Fault is one single-bit transient fault.
+	Fault = fault.Fault
+	// IMM is an ISA Manifestation Model class (Table I).
+	IMM = imm.IMM
+	// Effect is a final fault-effect class (Masked/SDC/Crash).
+	Effect = imm.Effect
+	// AVF is a cross-layer vulnerability breakdown.
+	AVF = core.AVF
+	// FIT is a Failures-in-Time breakdown.
+	FIT = core.FIT
+	// Estimator is the trained AVGI methodology.
+	Estimator = core.Estimator
+	// Assessment is the output of the five-phase AVGI flow.
+	Assessment = core.Assessment
+	// ERT is an effective-residency-time stop rule.
+	ERT = core.ERT
+	// RunOptions controls a direct Machine.Run invocation.
+	RunOptions = cpu.RunOptions
+	// RunResult summarises a direct machine run.
+	RunResult = cpu.Result
+	// Table is a renderable result table.
+	Table = report.Table
+	// Variant selects the ISA width.
+	Variant = isa.Variant
+)
+
+// Re-exported constants.
+const (
+	ModeExhaustive = campaign.ModeExhaustive
+	ModeHVF        = campaign.ModeHVF
+	ModeAVGI       = campaign.ModeAVGI
+
+	// RawFITPerBit is the raw failure rate used for FIT derating.
+	RawFITPerBit = core.RawFITPerBit
+)
+
+// ConfigA72 returns the 64-bit machine model (Armv8 / Cortex-A72-like).
+func ConfigA72() MachineConfig { return cpu.ConfigA72() }
+
+// ConfigA15 returns the 32-bit machine model (Armv7 / Cortex-A15-like).
+func ConfigA15() MachineConfig { return cpu.ConfigA15() }
+
+// Structures lists the twelve fault-target hardware structures in the
+// paper's Table II order.
+func Structures() []string {
+	return append([]string(nil), cpu.StructureNames...)
+}
+
+// Workloads returns all thirteen workloads sorted by name.
+func Workloads() []Workload { return prog.All() }
+
+// MiBenchWorkloads returns the ten MiBench-like workloads.
+func MiBenchWorkloads() []Workload { return prog.MiBench() }
+
+// NASWorkloads returns the three NAS-like workloads.
+func NASWorkloads() []Workload { return prog.NAS() }
+
+// WorkloadByName looks up one workload.
+func WorkloadByName(name string) (Workload, error) { return prog.ByName(name) }
+
+// NewRunner builds a campaign runner: it assembles the named workload for
+// the config's ISA variant and performs the golden run.
+func NewRunner(cfg MachineConfig, workload string) (*Runner, error) {
+	w, err := prog.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.NewRunner(cfg, w.Build(cfg.Variant))
+}
+
+// NewMachine builds a bare machine with the named workload loaded, for
+// direct simulation (see cmd/avgisim).
+func NewMachine(cfg MachineConfig, workload string) (*Machine, error) {
+	w, err := prog.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	return cpu.New(cfg, w.Build(cfg.Variant)), nil
+}
+
+// SampleSize returns the Leveugle sample size for an error margin and
+// confidence z-score (see internal/stats).
+func SampleSize(population uint64, margin, z float64) uint64 {
+	return stats.SampleSize(population, margin, z, 0.5)
+}
+
+// ErrorMargin returns the achieved margin of a campaign of n faults over a
+// population at z confidence.
+func ErrorMargin(n, population uint64, z float64) float64 {
+	return stats.ErrorMargin(n, population, z, 0.5)
+}
+
+// Z-scores for confidence levels.
+const (
+	Z95 = stats.Z95
+	Z99 = stats.Z99
+)
+
+// ACEAnalyzeRF runs the ACE-analysis baseline (Fig. 1 comparator) on a
+// runner's golden trace and returns the estimated register-file AVF.
+func ACEAnalyzeRF(r *Runner) float64 {
+	return ace.AnalyzeRF(r.Golden.Trace, r.Cfg.Variant, r.Cfg.PhysRegs).AVF
+}
+
+// ArchInjSummary is the outcome of an architecture-level (ISA-level)
+// injection campaign — the fast-but-misleading baseline of the paper's
+// introduction.
+type ArchInjSummary = archinj.Summary
+
+// ArchLevelCampaign injects n single-bit flips into architectural
+// registers of a functional execution of the named workload (no
+// microarchitecture involved) and reports the effect summary. Compare its
+// PVF against the microarchitecture-level register-file AVF to reproduce
+// the paper's motivation: high-level injection misleads.
+func ArchLevelCampaign(cfg MachineConfig, workload string, n int, seed int64) (ArchInjSummary, error) {
+	w, err := prog.ByName(workload)
+	if err != nil {
+		return ArchInjSummary{}, err
+	}
+	sum, _, err := archinj.Campaign(w.Build(cfg.Variant), n, seed)
+	return sum, err
+}
+
+// SaveEstimator persists a trained estimator as JSON — the methodology's
+// reusable artefact: train once per microarchitecture, assess anywhere.
+func SaveEstimator(w io.Writer, est *Estimator) error { return est.Save(w) }
+
+// LoadEstimator reads an estimator written by SaveEstimator.
+func LoadEstimator(r io.Reader) (*Estimator, error) { return core.LoadEstimator(r) }
+
+// validateStructure returns an error for unknown structure names.
+func validateStructure(name string) error {
+	for _, s := range cpu.StructureNames {
+		if s == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("avgi: unknown structure %q", name)
+}

@@ -1,0 +1,312 @@
+// Command avgi is the experiment harness of the AVGI reproduction: one
+// subcommand per table/figure of the paper's evaluation, each of which
+// builds (or reuses) a study — golden runs plus fault-injection campaigns —
+// and prints the corresponding table.
+//
+// Usage:
+//
+//	avgi [flags] <experiment>
+//
+// Experiments: fig1 fig3 fig4 fig5 fig7 fig8 fig9 table2 fig10 fig11 fig12
+// all list
+//
+// Examples:
+//
+//	avgi -faults 200 fig3
+//	avgi -workloads sha,crc32,qsort -faults 100 table2
+//	avgi -csv fig10 > fig10.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"avgi"
+	"avgi/internal/core"
+	"avgi/internal/report"
+)
+
+var (
+	flagFaults     = flag.Int("faults", 400, "faults per (structure, workload) pair")
+	flagWorkloads  = flag.String("workloads", "", "comma-separated workload subset (default: all 13)")
+	flagStructures = flag.String("structures", "", "comma-separated structure subset (default: all 12)")
+	flagSeed       = flag.Int64("seed", 1, "seed base for fault sampling")
+	flagWorkers    = flag.Int("workers", 0, "campaign parallelism (0 = all CPUs)")
+	flagCSV        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flagBars       = flag.Bool("bars", false, "also render distribution figures as terminal bar charts")
+	flagCores      = flag.Int("cores", 192, "cluster cores for the Table II days model")
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	if cmd == "list" {
+		listWorkloads()
+		return
+	}
+	if err := run(cmd, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "avgi:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: avgi [flags] <experiment>
+
+experiments:
+  fig1    RF AVF: exhaustive SFI vs ACE analysis
+  fig3    IMM breakdown per structure per workload
+  fig4    P(effect | IMM) for the L1I data array
+  fig5    trained IMM weights per structure
+  fig7    ESC faults: real vs predicted
+  fig8    IMM distribution inclusive vs exclusive (ERT stop)
+  fig9    manifestation-latency percentiles and ERT windows
+  table2  assessment cost and speedups (AVGI vs accelerated SFI)
+  fig10   AVF accuracy per structure (leave-one-out)
+  fig11   FIT rates per structure and whole chip
+  fig12   Armv7-like (A15) case study
+  motivation  ISA-level PVF vs microarch AVF (the intro's pitfall)
+  multibit    Section VII.A multi-bit-upset ablation
+  ertablation ERT safety-margin sweep (cost vs accuracy)
+  all     everything above, in order
+  list    list workloads and structures
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func listWorkloads() {
+	fmt.Println("workloads:")
+	for _, w := range avgi.Workloads() {
+		p := w.Build(avgi.ConfigA72().Variant)
+		fmt.Printf("  %-14s %-8s text %4d insts, output %5d bytes\n",
+			w.Name, w.Suite, len(p.Text), len(w.Ref(avgi.ConfigA72().Variant)))
+	}
+	fmt.Println("structures:")
+	for _, s := range avgi.Structures() {
+		fmt.Printf("  %s\n", s)
+	}
+}
+
+func selectedWorkloads() ([]avgi.Workload, error) {
+	if *flagWorkloads == "" {
+		return avgi.Workloads(), nil
+	}
+	var out []avgi.Workload
+	for _, name := range strings.Split(*flagWorkloads, ",") {
+		w, err := avgi.WorkloadByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func selectedStructures() []string {
+	if *flagStructures == "" {
+		return avgi.Structures()
+	}
+	var out []string
+	for _, s := range strings.Split(*flagStructures, ",") {
+		out = append(out, strings.TrimSpace(s))
+	}
+	return out
+}
+
+func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload) (*avgi.Study, error) {
+	fmt.Fprintf(os.Stderr, "building study: %s, %d workloads, %d structures, %d faults each...\n",
+		machine.Name, len(workloads), len(selectedStructures()), *flagFaults)
+	start := time.Now()
+	s, err := avgi.NewStudy(avgi.StudyConfig{
+		Machine:            machine,
+		Workloads:          workloads,
+		Structures:         selectedStructures(),
+		FaultsPerStructure: *flagFaults,
+		Workers:            *flagWorkers,
+		SeedBase:           *flagSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "golden runs done in %v\n", time.Since(start))
+	return s, nil
+}
+
+func emit(w io.Writer, tables ...*avgi.Table) {
+	for _, t := range tables {
+		if *flagCSV {
+			t.CSV(w)
+		} else {
+			t.Render(w)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func run(cmd string, w io.Writer) error {
+	workloads, err := selectedWorkloads()
+	if err != nil {
+		return err
+	}
+
+	var s *avgi.Study
+	study := func() (*avgi.Study, error) {
+		if s == nil {
+			s, err = buildStudy(avgi.ConfigA72(), workloads)
+		}
+		return s, err
+	}
+
+	switch cmd {
+	case "fig1":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		emit(w, st.Fig1())
+	case "fig3":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		emit(w, st.Fig3()...)
+		if *flagBars {
+			for _, structure := range avgi.Fig3Structures {
+				labels, values := st.IMMDistributionMeans(structure)
+				report.Bars(w, "IMM mean distribution, "+structure, labels, values, 40)
+				fmt.Fprintln(w)
+			}
+		}
+	case "fig4":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		emit(w, st.Fig4()...)
+	case "fig5":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		emit(w, st.Fig5()...)
+	case "fig7":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		emit(w, st.Fig7()...)
+	case "fig8":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		emit(w, st.Fig8(st.TrainEstimator()))
+	case "fig9":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		emit(w, st.Fig9(st.TrainEstimator()))
+	case "table2":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		emit(w, st.Table2(st.TrainEstimator(), measureThroughput(st, *flagCores)))
+	case "fig10":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		emit(w, st.Fig10()...)
+	case "fig11":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		emit(w, st.Fig11())
+	case "fig12":
+		st, err := caseStudy15()
+		if err != nil {
+			return err
+		}
+		emit(w, avgi.Fig12(st)...)
+	case "motivation":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		emit(w, st.Motivation())
+	case "multibit":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		emit(w, st.MultiBitAblation())
+	case "ertablation":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		emit(w, st.ERTMarginAblation())
+	case "all":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		est := st.TrainEstimator()
+		emit(w, st.Fig1())
+		emit(w, st.Fig3()...)
+		emit(w, st.Fig4()...)
+		emit(w, st.Fig5()...)
+		emit(w, st.Fig7()...)
+		emit(w, st.Fig8(est))
+		emit(w, st.Fig9(est))
+		emit(w, st.Table2(est, measureThroughput(st, *flagCores)))
+		emit(w, st.Fig10()...)
+		emit(w, st.Fig11())
+		emit(w, st.Motivation())
+		emit(w, st.MultiBitAblation())
+		st15, err := caseStudy15()
+		if err != nil {
+			return err
+		}
+		emit(w, avgi.Fig12(st15)...)
+	default:
+		return fmt.Errorf("unknown experiment %q (see -h)", cmd)
+	}
+	return nil
+}
+
+func caseStudy15() (*avgi.Study, error) {
+	return buildStudy(avgi.ConfigA15(), avgi.MiBenchWorkloads())
+}
+
+// measureThroughput times one golden re-run to convert simulated cycles
+// into the wall-clock "days" units of Table II.
+func measureThroughput(s *avgi.Study, cores int) core.ThroughputModel {
+	name := s.WorkloadNames()[0]
+	r := s.Runner(name)
+	m, err := avgi.NewMachine(s.Cfg.Machine, name)
+	if err != nil || r == nil {
+		return core.ThroughputModel{CyclesPerSecond: 1e6, Cores: cores}
+	}
+	start := time.Now()
+	m.Run(avgi.RunOptions{MaxCycles: r.Golden.Cycles + 10})
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		el = 1e-9
+	}
+	return core.ThroughputModel{CyclesPerSecond: float64(r.Golden.Cycles) / el, Cores: cores}
+}

@@ -1,0 +1,172 @@
+// Command avgisim runs a single workload on one of the machine models for
+// inspection: golden execution with pipeline statistics, program
+// disassembly, or a single targeted fault injection with its IMM and final
+// effect classification.
+//
+// Usage:
+//
+//	avgisim [flags] <workload>
+//
+// Examples:
+//
+//	avgisim sha                         # golden run + stats
+//	avgisim -machine a15 -disasm crc32  # disassemble the 32-bit image
+//	avgisim -inject "RF:100:5000" sha   # flip RF bit 100 at cycle 5000
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"avgi"
+	"avgi/internal/asm"
+	"avgi/internal/campaign"
+	"avgi/internal/cpu"
+	"avgi/internal/fault"
+	"avgi/internal/isa"
+)
+
+var (
+	flagMachine = flag.String("machine", "a72", "machine model: a72 (64-bit) or a15 (32-bit)")
+	flagDisasm  = flag.Bool("disasm", false, "print the program disassembly and exit")
+	flagInject  = flag.String("inject", "", "inject one fault: STRUCTURE:BIT:CYCLE")
+	flagTrace   = flag.Int("trace", 0, "print the first N commit-trace records")
+	flagStats   = flag.Bool("stats", false, "print pipeline and memory-system counters")
+	flagRunAsm  = flag.Bool("s", false, "treat the argument as an assembly source file (.s) instead of a workload name")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: avgisim [flags] <workload>   (see -h)")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "avgisim:", err)
+		os.Exit(1)
+	}
+}
+
+func machineConfig() (avgi.MachineConfig, error) {
+	switch *flagMachine {
+	case "a72":
+		return avgi.ConfigA72(), nil
+	case "a15":
+		return avgi.ConfigA15(), nil
+	}
+	return avgi.MachineConfig{}, fmt.Errorf("unknown machine %q", *flagMachine)
+}
+
+func run(name string) error {
+	cfg, err := machineConfig()
+	if err != nil {
+		return err
+	}
+	var p *avgi.Program
+	var ref []byte
+	if *flagRunAsm {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		p, err = asm.Parse(name, string(src), cfg.Variant)
+		if err != nil {
+			return err
+		}
+	} else {
+		w, err := avgi.WorkloadByName(name)
+		if err != nil {
+			return err
+		}
+		p = w.Build(cfg.Variant)
+		ref = w.Ref(cfg.Variant)
+	}
+
+	if *flagDisasm {
+		for i, word := range p.Text {
+			fmt.Printf("%06x:  %08x  %s\n", p.TextBase+uint64(i*4), word, isa.DisasmWord(word, cfg.Variant))
+		}
+		return nil
+	}
+
+	r, err := campaign.NewRunner(cfg, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload  %s (%s)\n", name, cfg.Name)
+	fmt.Printf("golden    %d cycles, %d commits, IPC %.2f\n",
+		r.Golden.Cycles, r.Golden.Commits,
+		float64(r.Golden.Commits)/float64(r.Golden.Cycles))
+	fmt.Printf("output    %d bytes\n", len(r.Golden.Output))
+
+	if *flagStats {
+		m := cpu.New(cfg, p)
+		m.Run(avgi.RunOptions{MaxCycles: r.Golden.Cycles + 10})
+		fmt.Print(m.StatsReport())
+	}
+
+	if *flagTrace > 0 {
+		n := *flagTrace
+		if n > len(r.Golden.Trace) {
+			n = len(r.Golden.Trace)
+		}
+		for _, rec := range r.Golden.Trace[:n] {
+			fmt.Printf("  cyc %6d  pc %06x  %-28s", rec.Cycle, rec.PC, isa.DisasmWord(rec.Word, cfg.Variant))
+			if rec.HasDest {
+				fmt.Printf("  r%d=%#x", rec.Dest, rec.Value)
+			}
+			if rec.IsStore {
+				fmt.Printf("  [%#x]=%#x", rec.Addr, rec.Value)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *flagInject != "" {
+		parts := strings.Split(*flagInject, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("bad -inject %q, want STRUCTURE:BIT:CYCLE", *flagInject)
+		}
+		bit, err1 := strconv.ParseUint(parts[1], 10, 64)
+		cyc, err2 := strconv.ParseUint(parts[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad -inject numbers in %q", *flagInject)
+		}
+		f := fault.Fault{Structure: parts[0], Bit: bit, Cycle: cyc}
+		if _, ok := r.BitCounts[f.Structure]; !ok {
+			return fmt.Errorf("unknown structure %q", f.Structure)
+		}
+		res := r.Run([]fault.Fault{f}, campaign.ModeExhaustive, 0, 1)[0]
+		fmt.Printf("fault     %s\n", f)
+		fmt.Printf("IMM       %s\n", res.IMM)
+		fmt.Printf("effect    %s", res.Effect)
+		if res.Crash != 0 {
+			fmt.Printf(" (%s)", res.Crash)
+		}
+		fmt.Println()
+		if res.Manifested {
+			fmt.Printf("manifest  %d cycles after injection\n", res.ManifestLatency)
+		} else {
+			fmt.Println("manifest  never (no commit-trace deviation)")
+		}
+		return nil
+	}
+
+	// Plain golden run: show a digest of the output.
+	out := r.Golden.Output
+	if len(out) > 32 {
+		out = out[:32]
+	}
+	fmt.Printf("head      % x%s\n", out, map[bool]string{true: " ...", false: ""}[len(r.Golden.Output) > 32])
+	if ref != nil {
+		if !bytes.Equal(r.Golden.Output, ref) {
+			return fmt.Errorf("golden output does not match the reference model")
+		}
+		fmt.Println("verified  output matches the reference model")
+	}
+	return nil
+}

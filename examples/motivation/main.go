@@ -1,0 +1,49 @@
+// Motivation: why microarchitecture-driven assessment at all? This example
+// reproduces the pitfall the paper opens with (demonstrated in the
+// authors' ISCA 2021 study): architecture-level fault injection — flipping
+// bits in architectural registers of a functional execution — is fast, but
+// every fault it injects is architecturally visible by construction. It
+// never sees the hardware masking that absorbs most real upsets (free
+// physical registers, overwrites, squashed wrong-path state), so the
+// vulnerability it reports diverges from the true AVF, and protection
+// decisions based on it aim at the wrong structures.
+//
+//	go run ./examples/motivation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"avgi"
+	"avgi/internal/campaign"
+	"avgi/internal/core"
+)
+
+func main() {
+	cfg := avgi.ConfigA72()
+	const n = 150
+
+	fmt.Printf("%-14s %14s %14s %14s\n", "workload", "ISA-level PVF", "microarch AVF", "overestimate")
+	for _, name := range []string{"sha", "crc32", "bitcount", "qsort", "dijkstra"} {
+		arch, err := avgi.ArchLevelCampaign(cfg, name, n, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := avgi.NewRunner(cfg, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := r.Run(r.FaultList("RF", n, 1), avgi.ModeExhaustive, 0, 0)
+		avf := core.AVFFromEffects(campaign.Summarize(res))
+		ratio := 0.0
+		if avf.Total() > 0 {
+			ratio = arch.PVF() / avf.Total()
+		}
+		fmt.Printf("%-14s %13.1f%% %13.1f%% %13.1fx\n",
+			name, arch.PVF()*100, avf.Total()*100, ratio)
+	}
+	fmt.Println("\nISA-level injection misses hardware masking entirely; using its numbers")
+	fmt.Println("to prioritise protection would over-protect the register file and")
+	fmt.Println("under-protect structures whose faults it cannot even represent.")
+}

@@ -1,0 +1,93 @@
+// Protection planning: the design-space use-case from the paper's
+// introduction. A reliability engineer has a FIT budget for the whole CPU
+// and must decide which hardware structures need ECC/parity protection.
+// Wrong AVF numbers steer protection to the wrong arrays — which is exactly
+// why the paper insists on microarchitecture-driven assessment.
+//
+// This example measures per-structure FIT rates on a workload mix, ranks
+// the structures, and greedily protects the highest contributors until the
+// residual chip FIT meets the budget.
+//
+//	go run ./examples/protection
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"avgi"
+	"avgi/internal/campaign"
+	"avgi/internal/core"
+)
+
+// Budget: residual chip FIT after protection must fall below this.
+const fitBudget = 0.02
+
+func main() {
+	// A small mix: one compute-bound, one memory-bound, one large-output
+	// workload. Increase the list and fault count for production use.
+	workloads := []string{"sha", "dijkstra", "qsort"}
+	structures := avgi.Structures()
+	const faults = 150
+
+	type entry struct {
+		structure string
+		bits      uint64
+		fit       core.FIT
+	}
+	var entries []entry
+
+	cfg := avgi.ConfigA72()
+	for _, structure := range structures {
+		var sum core.FIT
+		var bits uint64
+		for _, wl := range workloads {
+			r, err := avgi.NewRunner(cfg, wl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bits = r.BitCounts[structure]
+			res := r.Run(r.FaultList(structure, faults, 1), avgi.ModeExhaustive, 0, 0)
+			avf := core.AVFFromEffects(campaign.Summarize(res))
+			sum = sum.Add(core.FITOf(avf, bits))
+		}
+		n := float64(len(workloads))
+		entries = append(entries, entry{
+			structure: structure,
+			bits:      bits,
+			fit:       core.FIT{SDC: sum.SDC / n, Crash: sum.Crash / n},
+		})
+	}
+
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].fit.Total() > entries[j].fit.Total()
+	})
+
+	var chip core.FIT
+	for _, e := range entries {
+		chip = chip.Add(e.fit)
+	}
+	fmt.Printf("unprotected chip FIT: %.4f (budget %.2f)\n\n", chip.Total(), fitBudget)
+	fmt.Printf("%-12s %8s %12s %12s %10s\n", "structure", "bits", "FIT(SDC)", "FIT(Crash)", "share")
+	for _, e := range entries {
+		fmt.Printf("%-12s %8d %12.4f %12.4f %9.1f%%\n",
+			e.structure, e.bits, e.fit.SDC, e.fit.Crash,
+			100*e.fit.Total()/chip.Total())
+	}
+
+	fmt.Println("\nprotection plan (greedy, highest FIT first):")
+	residual := chip.Total()
+	for _, e := range entries {
+		if residual <= fitBudget {
+			break
+		}
+		residual -= e.fit.Total()
+		fmt.Printf("  protect %-12s -> residual chip FIT %.4f\n", e.structure, residual)
+	}
+	if residual <= fitBudget {
+		fmt.Printf("budget met: residual %.4f <= %.2f\n", residual, fitBudget)
+	} else {
+		fmt.Printf("budget NOT met even with full protection (%.4f)\n", residual)
+	}
+}

@@ -1,0 +1,96 @@
+package avgi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestArchLevelCampaignFacade(t *testing.T) {
+	sum, err := ArchLevelCampaign(ConfigA72(), "bitcount", 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total != 60 || sum.Masked+sum.SDC+sum.Crash != 60 {
+		t.Errorf("summary %+v", sum)
+	}
+	if _, err := ArchLevelCampaign(ConfigA72(), "nope", 10, 1); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestMotivationTable(t *testing.T) {
+	s := getStudy(t)
+	tab := s.Motivation()
+	if len(tab.Rows) != len(s.WorkloadNames()) {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Title, "PVF") {
+		t.Errorf("title %q", tab.Title)
+	}
+}
+
+func TestERTMarginAblationTable(t *testing.T) {
+	s := getStudy(t)
+	tab := s.ERTMarginAblation(0.5, 1.25)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	// Windows scale with the margin: row 0 (0.5) must be shorter than
+	// row 1 (1.25).
+	if tab.Rows[0][1] == tab.Rows[1][1] {
+		t.Errorf("windows identical across margins: %v", tab.Rows)
+	}
+}
+
+func TestEstimatorSaveLoadFacade(t *testing.T) {
+	s := getStudy(t)
+	est := s.TrainEstimator()
+	var buf bytes.Buffer
+	if err := SaveEstimator(&buf, est); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded estimator must produce identical assessments.
+	results, window := s.AVGIRun(est, "RF", "sha")
+	a := est.AssessResults(s.Runner("sha"), "RF", results, window)
+	b := loaded.AssessResults(s.Runner("sha"), "RF", results, window)
+	if a.AVF != b.AVF {
+		t.Errorf("assessments differ after reload: %+v vs %+v", a.AVF, b.AVF)
+	}
+	if loaded.WindowFor("RF", 100000) != est.WindowFor("RF", 100000) {
+		t.Error("windows differ after reload")
+	}
+}
+
+func TestIMMDistributionMeansNormalised(t *testing.T) {
+	s := getStudy(t)
+	labels, values := s.IMMDistributionMeans("RF")
+	if len(labels) != 7 || len(values) != 7 {
+		t.Fatalf("%d labels %d values", len(labels), len(values))
+	}
+	var sum float64
+	for _, v := range values {
+		if v < 0 || v > 1 {
+			t.Errorf("fraction out of range: %f", v)
+		}
+		sum += v
+	}
+	if sum > 1.0001 {
+		t.Errorf("distribution sums to %f", sum)
+	}
+}
+
+func TestMultiBitAblationTable(t *testing.T) {
+	s := getStudy(t)
+	tab := s.MultiBitAblation(1, 4)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "1" || tab.Rows[1][0] != "4" {
+		t.Errorf("width column: %v %v", tab.Rows[0][0], tab.Rows[1][0])
+	}
+}

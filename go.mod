@@ -1,0 +1,3 @@
+module avgi
+
+go 1.22

@@ -1,0 +1,111 @@
+package ace
+
+import (
+	"testing"
+
+	"avgi/internal/campaign"
+	"avgi/internal/core"
+	"avgi/internal/cpu"
+	"avgi/internal/isa"
+	"avgi/internal/prog"
+	"avgi/internal/trace"
+)
+
+func rec(cycle uint64, in isa.Inst) trace.Record {
+	return trace.Record{Cycle: cycle, Word: isa.Encode(in)}
+}
+
+func TestAnalyzeRFSimpleLiveness(t *testing.T) {
+	// r1 defined at cycle 10, read at cycle 20, redefined at cycle 30:
+	// the interval [10,30) is ACE (20 cycles). The second definition is
+	// never read: not ACE.
+	g := []trace.Record{
+		rec(10, isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 5}),
+		rec(20, isa.Inst{Op: isa.OpADD, Rd: 2, Rs1: 1, Rs2: 1}),
+		rec(30, isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 9}),
+		rec(40, isa.Inst{Op: isa.OpNOP}),
+	}
+	res := AnalyzeRF(g, isa.V64, 10)
+	// r1: 30-10 = 20 ACE cycles. r2 defined at 20, never read: 0.
+	if res.ACECycles != 20 {
+		t.Errorf("ACE cycles = %d, want 20", res.ACECycles)
+	}
+	want := 20.0 / (10 * 40)
+	if res.AVF != want {
+		t.Errorf("AVF = %f, want %f", res.AVF, want)
+	}
+}
+
+func TestAnalyzeRFDeadValueNotACE(t *testing.T) {
+	g := []trace.Record{
+		rec(10, isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 5}),
+		rec(50, isa.Inst{Op: isa.OpNOP}),
+	}
+	if res := AnalyzeRF(g, isa.V64, 10); res.ACECycles != 0 {
+		t.Errorf("dead def counted as ACE: %d", res.ACECycles)
+	}
+}
+
+func TestAnalyzeRFLiveToEnd(t *testing.T) {
+	g := []trace.Record{
+		rec(10, isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 5}),
+		rec(20, isa.Inst{Op: isa.OpADD, Rd: 2, Rs1: 1, Rs2: 1}),
+		rec(60, isa.Inst{Op: isa.OpNOP}),
+	}
+	// r1 used and never redefined: ACE to end (60-10=50).
+	if res := AnalyzeRF(g, isa.V64, 10); res.ACECycles != 50 {
+		t.Errorf("ACE cycles = %d, want 50", res.ACECycles)
+	}
+}
+
+func TestAnalyzeRFStoreAndBranchSources(t *testing.T) {
+	g := []trace.Record{
+		rec(10, isa.Inst{Op: isa.OpADDI, Rd: 3, Rs1: 0, Imm: 5}),
+		rec(20, isa.Inst{Op: isa.OpSW, Rd: 3, Rs1: 0, Imm: 0}), // store reads r3
+		rec(30, isa.Inst{Op: isa.OpADDI, Rd: 3, Rs1: 0, Imm: 0}),
+	}
+	if res := AnalyzeRF(g, isa.V64, 10); res.ACECycles != 20 {
+		t.Errorf("store source not seen: %d", res.ACECycles)
+	}
+	g2 := []trace.Record{
+		rec(10, isa.Inst{Op: isa.OpADDI, Rd: 4, Rs1: 0, Imm: 5}),
+		rec(25, isa.Inst{Op: isa.OpBEQ, Rd: 4, Rs1: 0, Imm: 2}), // branch reads r4
+		rec(40, isa.Inst{Op: isa.OpADDI, Rd: 4, Rs1: 0, Imm: 0}),
+	}
+	if res := AnalyzeRF(g2, isa.V64, 10); res.ACECycles != 30 {
+		t.Errorf("branch source not seen: %d", res.ACECycles)
+	}
+}
+
+func TestAnalyzeRFEmpty(t *testing.T) {
+	if res := AnalyzeRF(nil, isa.V64, 10); res.AVF != 0 {
+		t.Error("empty trace AVF")
+	}
+}
+
+// TestACEOverestimatesSFI reproduces the Fig. 1 relationship on a real
+// workload: ACE-estimated register-file AVF must be at least the SFI
+// ground truth.
+func TestACEOverestimatesSFI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	cfg := cpu.ConfigA72()
+	w, err := prog.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := campaign.NewRunner(cfg, w.Build(cfg.Variant))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aceRes := AnalyzeRF(r.Golden.Trace, cfg.Variant, cfg.PhysRegs)
+	results := r.Run(r.FaultList("RF", 150, 11), campaign.ModeExhaustive, 0, 0)
+	sfi := core.AVFFromEffects(campaign.Summarize(results))
+	if aceRes.AVF < sfi.Total() {
+		t.Errorf("ACE %.4f below SFI %.4f — ACE must overestimate", aceRes.AVF, sfi.Total())
+	}
+	if aceRes.AVF > 20*sfi.Total()+0.5 {
+		t.Errorf("ACE %.4f implausibly far above SFI %.4f", aceRes.AVF, sfi.Total())
+	}
+}

@@ -1,0 +1,103 @@
+// Package archinj implements an architecture-level (ISA-level) fault
+// injector of the kind the paper's introduction warns about: bit flips are
+// injected into architectural registers between instructions of a
+// functional execution, with no microarchitecture underneath. Such
+// injectors are fast — no pipeline, no caches — but they start from the
+// wrong fault population: every injected fault is architecturally visible
+// by construction, so hardware masking (benign faults, the majority of all
+// real upsets) is invisible to them.
+//
+// The package exists as the comparison point for that claim (demonstrated
+// in ISCA 2021 [14] and reproduced here): the register-file vulnerability
+// it reports diverges systematically from the microarchitecture-level AVF
+// of the same workload, which is why the AVGI methodology insists on
+// microarchitecture-driven assessment.
+package archinj
+
+import (
+	"bytes"
+	"math/rand"
+
+	"avgi/internal/asm"
+	"avgi/internal/imm"
+	"avgi/internal/iss"
+)
+
+// Result is the outcome of one architecture-level injection.
+type Result struct {
+	Reg    uint8
+	Bit    uint
+	AtInst uint64
+	Effect imm.Effect
+}
+
+// Summary aggregates a campaign.
+type Summary struct {
+	Total  int
+	Masked int
+	SDC    int
+	Crash  int
+}
+
+// PVF returns the program-vulnerability-factor style estimate: the
+// fraction of injections that affected the output (SDC + Crash over
+// total). Note this is conditioned on the fault being architecturally
+// visible, which is exactly the methodological gap versus AVF.
+func (s Summary) PVF() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.SDC+s.Crash) / float64(s.Total)
+}
+
+// Campaign injects n single-bit flips into uniformly random architectural
+// registers at uniformly random dynamic instruction positions of the
+// program, running each injection functionally to completion. goldenInsts
+// and goldenOut come from a fault-free functional run.
+func Campaign(p *asm.Program, n int, seed int64) (Summary, []Result, error) {
+	golden := iss.New(p)
+	gres, err := golden.Run(100_000_000)
+	if err != nil {
+		return Summary{}, nil, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	numRegs := p.Variant.NumArchRegs()
+	width := p.Variant.Width()
+
+	var sum Summary
+	results := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		r := Result{
+			Reg:    uint8(rng.Intn(numRegs-1) + 1),
+			Bit:    uint(rng.Intn(width)),
+			AtInst: uint64(rng.Int63n(int64(gres.Insts))),
+		}
+		m := iss.New(p)
+		if err := m.RunN(r.AtInst); err != nil {
+			return Summary{}, nil, err
+		}
+		m.FlipReg(r.Reg, r.Bit)
+		budget := gres.Insts*4 + 10_000
+		err := m.RunN(budget - m.Insts())
+		switch {
+		case err != nil || !m.Halted():
+			r.Effect = imm.Crash
+		case bytes.Equal(m.Output(), gres.Output):
+			r.Effect = imm.Masked
+		default:
+			r.Effect = imm.SDC
+		}
+		sum.Total++
+		switch r.Effect {
+		case imm.Masked:
+			sum.Masked++
+		case imm.SDC:
+			sum.SDC++
+		case imm.Crash:
+			sum.Crash++
+		}
+		results = append(results, r)
+	}
+	return sum, results, nil
+}

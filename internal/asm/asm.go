@@ -1,0 +1,423 @@
+// Package asm provides a programmatic assembler for the AVG ISA. Workloads
+// are written as Go code against the Builder API; Assemble resolves labels
+// and produces a Program image that the machine model loads directly.
+//
+// The memory layout convention shared with the machine model is:
+//
+//	TextBase   0x1000   instruction words
+//	DataBase   0x10000  initialised data
+//	OutLenAddr 0x3FFF8  the program stores its output byte count here
+//	OutBase    0x40000  output region, drained by DMA at halt
+//	stack      grows down from the top of RAM
+//
+// Register conventions used by the bundled workloads: r0 is hard-wired zero,
+// r13 is the link register, r14 the stack pointer. Portable workloads use
+// only r0–r15 so they assemble for both ISA variants.
+package asm
+
+import (
+	"fmt"
+
+	"avgi/internal/isa"
+)
+
+// Register aliases used by the bundled workloads.
+const (
+	Zero uint8 = 0
+	LR   uint8 = 13
+	SP   uint8 = 14
+)
+
+// Default memory layout constants.
+const (
+	DefaultTextBase   uint64 = 0x1000
+	DefaultDataBase   uint64 = 0x10000
+	DefaultOutLenAddr uint64 = 0x3FFF8
+	DefaultOutBase    uint64 = 0x40000
+	DefaultRAMSize    uint64 = 1 << 20 // 1 MiB
+)
+
+// Program is an assembled workload image.
+type Program struct {
+	Name    string
+	Variant isa.Variant
+
+	TextBase uint64
+	Text     []uint32
+
+	DataBase uint64
+	Data     []byte
+
+	OutBase    uint64
+	OutLenAddr uint64
+	RAMSize    uint64
+}
+
+// TextBytes returns the size of the text segment in bytes.
+func (p *Program) TextBytes() uint64 { return uint64(len(p.Text)) * 4 }
+
+// Builder accumulates instructions and data for a workload.
+type Builder struct {
+	name    string
+	variant isa.Variant
+
+	text   []isa.Inst
+	fixups []fixup // label references to resolve
+
+	labels map[string]int // label -> instruction index
+
+	data       []byte
+	dataLabels map[string]uint64 // data label -> absolute address
+
+	err error
+}
+
+type fixupKind uint8
+
+const (
+	fixBranch fixupKind = iota // imm12 word offset from the instruction
+	fixJump                    // imm18 word offset from the instruction
+)
+
+type fixup struct {
+	index int // instruction index in text
+	label string
+	kind  fixupKind
+}
+
+// NewBuilder returns a Builder for a workload named name targeting variant v.
+func NewBuilder(name string, v isa.Variant) *Builder {
+	return &Builder{
+		name:       name,
+		variant:    v,
+		labels:     make(map[string]int),
+		dataLabels: make(map[string]uint64),
+	}
+}
+
+// Variant returns the ISA variant the builder targets.
+func (b *Builder) Variant() isa.Variant { return b.variant }
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("asm(%s): %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (b *Builder) emit(inst isa.Inst) {
+	b.text = append(b.text, inst)
+}
+
+// Label defines a code label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.text)
+}
+
+// --- data section ---
+
+// DataBytes appends raw bytes to the data section under a label and returns
+// the absolute address the bytes will load at.
+func (b *Builder) DataBytes(label string, bytes []byte) uint64 {
+	addr := DefaultDataBase + uint64(len(b.data))
+	if label != "" {
+		if _, dup := b.dataLabels[label]; dup {
+			b.fail("duplicate data label %q", label)
+		}
+		b.dataLabels[label] = addr
+	}
+	b.data = append(b.data, bytes...)
+	return addr
+}
+
+// DataWords appends values as natural-width words (4 or 8 bytes each,
+// little-endian) and returns the start address.
+func (b *Builder) DataWords(label string, values []uint64) uint64 {
+	wb := int(b.variant.WordBytes())
+	buf := make([]byte, len(values)*wb)
+	for i, v := range values {
+		putUint(buf[i*wb:], v, wb)
+	}
+	return b.DataBytes(label, buf)
+}
+
+// DataWords32 appends values as 32-bit words regardless of variant.
+func (b *Builder) DataWords32(label string, values []uint32) uint64 {
+	buf := make([]byte, len(values)*4)
+	for i, v := range values {
+		putUint(buf[i*4:], uint64(v), 4)
+	}
+	return b.DataBytes(label, buf)
+}
+
+// Reserve appends n zero bytes to the data section under a label and
+// returns the start address. Used for scratch arrays.
+func (b *Builder) Reserve(label string, n int) uint64 {
+	return b.DataBytes(label, make([]byte, n))
+}
+
+// Align pads the data section to a multiple of n bytes.
+func (b *Builder) Align(n int) {
+	for len(b.data)%n != 0 {
+		b.data = append(b.data, 0)
+	}
+}
+
+// DataAddr returns the address of a previously defined data label.
+func (b *Builder) DataAddr(label string) uint64 {
+	addr, ok := b.dataLabels[label]
+	if !ok {
+		b.fail("unknown data label %q", label)
+	}
+	return addr
+}
+
+func putUint(dst []byte, v uint64, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+// --- instruction helpers ---
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(isa.Inst{Op: isa.OpNOP}) }
+
+// Halt emits the halt instruction that terminates execution and triggers
+// the DMA output drain.
+func (b *Builder) Halt() { b.emit(isa.Inst{Op: isa.OpHALT}) }
+
+// R emits a register-register ALU instruction.
+func (b *Builder) R(op isa.Op, rd, rs1, rs2 uint8) {
+	b.checkRegs(rd, rs1, rs2)
+	b.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// I emits a register-immediate instruction (ADDI/ANDI/.../JALR).
+func (b *Builder) I(op isa.Op, rd, rs1 uint8, imm int32) {
+	b.checkRegs(rd, rs1)
+	b.checkImm12(op, imm)
+	b.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// checkImm12 validates a 12-bit immediate under the opcode's extension
+// rule, turning out-of-range values into assembly errors instead of
+// Encode panics (the text parser feeds arbitrary user input here).
+func (b *Builder) checkImm12(op isa.Op, imm int32) {
+	switch op {
+	case isa.OpANDI, isa.OpORI, isa.OpXORI, isa.OpSLLI, isa.OpSRLI, isa.OpSRAI:
+		if imm < 0 || imm > 4095 {
+			b.fail("unsigned immediate %d out of range for %s", imm, isa.OpName(op))
+		}
+	default:
+		if imm < -2048 || imm > 2047 {
+			b.fail("immediate %d out of range for %s", imm, isa.OpName(op))
+		}
+	}
+}
+
+// Add etc. — thin mnemonic wrappers for readability in workload sources.
+func (b *Builder) Add(rd, rs1, rs2 uint8)  { b.R(isa.OpADD, rd, rs1, rs2) }
+func (b *Builder) Sub(rd, rs1, rs2 uint8)  { b.R(isa.OpSUB, rd, rs1, rs2) }
+func (b *Builder) And(rd, rs1, rs2 uint8)  { b.R(isa.OpAND, rd, rs1, rs2) }
+func (b *Builder) Or(rd, rs1, rs2 uint8)   { b.R(isa.OpOR, rd, rs1, rs2) }
+func (b *Builder) Xor(rd, rs1, rs2 uint8)  { b.R(isa.OpXOR, rd, rs1, rs2) }
+func (b *Builder) Sll(rd, rs1, rs2 uint8)  { b.R(isa.OpSLL, rd, rs1, rs2) }
+func (b *Builder) Srl(rd, rs1, rs2 uint8)  { b.R(isa.OpSRL, rd, rs1, rs2) }
+func (b *Builder) Sra(rd, rs1, rs2 uint8)  { b.R(isa.OpSRA, rd, rs1, rs2) }
+func (b *Builder) Mul(rd, rs1, rs2 uint8)  { b.R(isa.OpMUL, rd, rs1, rs2) }
+func (b *Builder) Mulh(rd, rs1, rs2 uint8) { b.R(isa.OpMULH, rd, rs1, rs2) }
+func (b *Builder) Div(rd, rs1, rs2 uint8)  { b.R(isa.OpDIV, rd, rs1, rs2) }
+func (b *Builder) Rem(rd, rs1, rs2 uint8)  { b.R(isa.OpREM, rd, rs1, rs2) }
+func (b *Builder) Slt(rd, rs1, rs2 uint8)  { b.R(isa.OpSLT, rd, rs1, rs2) }
+func (b *Builder) Sltu(rd, rs1, rs2 uint8) { b.R(isa.OpSLTU, rd, rs1, rs2) }
+
+func (b *Builder) Addi(rd, rs1 uint8, imm int32) { b.I(isa.OpADDI, rd, rs1, imm) }
+func (b *Builder) Andi(rd, rs1 uint8, imm int32) { b.I(isa.OpANDI, rd, rs1, imm) }
+func (b *Builder) Ori(rd, rs1 uint8, imm int32)  { b.I(isa.OpORI, rd, rs1, imm) }
+func (b *Builder) Xori(rd, rs1 uint8, imm int32) { b.I(isa.OpXORI, rd, rs1, imm) }
+func (b *Builder) Slli(rd, rs1 uint8, imm int32) { b.I(isa.OpSLLI, rd, rs1, imm) }
+func (b *Builder) Srli(rd, rs1 uint8, imm int32) { b.I(isa.OpSRLI, rd, rs1, imm) }
+func (b *Builder) Srai(rd, rs1 uint8, imm int32) { b.I(isa.OpSRAI, rd, rs1, imm) }
+func (b *Builder) Slti(rd, rs1 uint8, imm int32) { b.I(isa.OpSLTI, rd, rs1, imm) }
+
+// Mov copies rs1 into rd.
+func (b *Builder) Mov(rd, rs1 uint8) { b.Addi(rd, rs1, 0) }
+
+// Li loads an arbitrary constant into rd, emitting the shortest sequence of
+// ADDI/SLLI/ORI instructions (at most 7 on V64). The value is interpreted in
+// the variant's width.
+func (b *Builder) Li(rd uint8, value uint64) {
+	v := value & b.variant.Mask()
+	if sv := b.variant.SignExtend(v); sv >= -2048 && sv <= 2047 {
+		b.Addi(rd, Zero, int32(sv))
+		return
+	}
+	// Decompose into 11-bit chunks from the most significant end.
+	nbits := 64 - leadingZeros(v)
+	chunkBits := 11
+	n := (nbits + chunkBits - 1) / chunkBits
+	top := (n - 1) * chunkBits
+	b.Addi(rd, Zero, int32(v>>top))
+	for i := n - 2; i >= 0; i-- {
+		b.Slli(rd, rd, int32(chunkBits))
+		chunk := int32((v >> (i * chunkBits)) & ((1 << chunkBits) - 1))
+		if chunk != 0 {
+			b.Ori(rd, rd, chunk)
+		}
+	}
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for i := 63; i >= 0 && v&(1<<uint(i)) == 0; i-- {
+		n++
+	}
+	return n
+}
+
+// Load/store helpers. The natural-width forms map to LD/SD on V64 and
+// LW/SW on V32, so portable workloads manipulate word arrays with them.
+
+func (b *Builder) Lb(rd, base uint8, off int32)  { b.mem(isa.OpLB, rd, base, off) }
+func (b *Builder) Lbu(rd, base uint8, off int32) { b.mem(isa.OpLBU, rd, base, off) }
+func (b *Builder) Lh(rd, base uint8, off int32)  { b.mem(isa.OpLH, rd, base, off) }
+func (b *Builder) Lhu(rd, base uint8, off int32) { b.mem(isa.OpLHU, rd, base, off) }
+func (b *Builder) Lw(rd, base uint8, off int32)  { b.mem(isa.OpLW, rd, base, off) }
+func (b *Builder) Sb(rv, base uint8, off int32)  { b.mem(isa.OpSB, rv, base, off) }
+func (b *Builder) Sh(rv, base uint8, off int32)  { b.mem(isa.OpSH, rv, base, off) }
+func (b *Builder) Sw(rv, base uint8, off int32)  { b.mem(isa.OpSW, rv, base, off) }
+
+// LoadW loads a natural-width word.
+func (b *Builder) LoadW(rd, base uint8, off int32) {
+	if b.variant == isa.V32 {
+		b.mem(isa.OpLW, rd, base, off)
+	} else {
+		b.mem(isa.OpLD, rd, base, off)
+	}
+}
+
+// StoreW stores a natural-width word.
+func (b *Builder) StoreW(rv, base uint8, off int32) {
+	if b.variant == isa.V32 {
+		b.mem(isa.OpSW, rv, base, off)
+	} else {
+		b.mem(isa.OpSD, rv, base, off)
+	}
+}
+
+func (b *Builder) mem(op isa.Op, r, base uint8, off int32) {
+	b.checkRegs(r, base)
+	b.checkImm12(op, off)
+	b.emit(isa.Inst{Op: op, Rd: r, Rs1: base, Imm: off})
+}
+
+// WordShift returns log2 of the natural word size (3 on V64, 2 on V32),
+// for index scaling in portable workloads.
+func (b *Builder) WordShift() int32 {
+	if b.variant == isa.V32 {
+		return 2
+	}
+	return 3
+}
+
+// Branch helpers take label names resolved at Assemble time.
+
+func (b *Builder) Beq(ra, rb uint8, label string)  { b.branch(isa.OpBEQ, ra, rb, label) }
+func (b *Builder) Bne(ra, rb uint8, label string)  { b.branch(isa.OpBNE, ra, rb, label) }
+func (b *Builder) Blt(ra, rb uint8, label string)  { b.branch(isa.OpBLT, ra, rb, label) }
+func (b *Builder) Bge(ra, rb uint8, label string)  { b.branch(isa.OpBGE, ra, rb, label) }
+func (b *Builder) Bltu(ra, rb uint8, label string) { b.branch(isa.OpBLTU, ra, rb, label) }
+func (b *Builder) Bgeu(ra, rb uint8, label string) { b.branch(isa.OpBGEU, ra, rb, label) }
+
+func (b *Builder) branch(op isa.Op, ra, rb uint8, label string) {
+	b.checkRegs(ra, rb)
+	b.fixups = append(b.fixups, fixup{index: len(b.text), label: label, kind: fixBranch})
+	b.emit(isa.Inst{Op: op, Rd: ra, Rs1: rb})
+}
+
+// Jump emits an unconditional jump (JAL with the zero register as link).
+func (b *Builder) Jump(label string) {
+	b.fixups = append(b.fixups, fixup{index: len(b.text), label: label, kind: fixJump})
+	b.emit(isa.Inst{Op: isa.OpJAL, Rd: Zero})
+}
+
+// Call emits a call: JAL with r13 (LR) as the link register.
+func (b *Builder) Call(label string) {
+	b.fixups = append(b.fixups, fixup{index: len(b.text), label: label, kind: fixJump})
+	b.emit(isa.Inst{Op: isa.OpJAL, Rd: LR})
+}
+
+// Ret returns to the address in LR.
+func (b *Builder) Ret() { b.I(isa.OpJALR, Zero, LR, 0) }
+
+// Jalr emits an indirect jump-and-link.
+func (b *Builder) Jalr(rd, rs1 uint8, imm int32) { b.I(isa.OpJALR, rd, rs1, imm) }
+
+func (b *Builder) checkRegs(regs ...uint8) {
+	n := uint8(b.variant.NumArchRegs())
+	for _, r := range regs {
+		if r >= n {
+			b.fail("register r%d out of range for %s", r, b.variant)
+		}
+	}
+}
+
+// Assemble resolves labels and produces the final Program.
+func (b *Builder) Assemble() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, fx := range b.fixups {
+		target, ok := b.labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("asm(%s): undefined label %q", b.name, fx.label)
+		}
+		off := int32(target - fx.index)
+		switch fx.kind {
+		case fixBranch:
+			if off < -2048 || off > 2047 {
+				return nil, fmt.Errorf("asm(%s): branch to %q out of range (%d words)", b.name, fx.label, off)
+			}
+		case fixJump:
+			if off < -(1<<17) || off >= 1<<17 {
+				return nil, fmt.Errorf("asm(%s): jump to %q out of range (%d words)", b.name, fx.label, off)
+			}
+		}
+		b.text[fx.index].Imm = off
+	}
+	if uint64(len(b.data)) > DefaultOutLenAddr-DefaultDataBase {
+		return nil, fmt.Errorf("asm(%s): data section too large (%d bytes)", b.name, len(b.data))
+	}
+	if DefaultTextBase+uint64(len(b.text))*4 > DefaultDataBase {
+		return nil, fmt.Errorf("asm(%s): text section too large (%d instructions)", b.name, len(b.text))
+	}
+	words := make([]uint32, len(b.text))
+	for i, inst := range b.text {
+		words[i] = isa.Encode(inst)
+	}
+	return &Program{
+		Name:       b.name,
+		Variant:    b.variant,
+		TextBase:   DefaultTextBase,
+		Text:       words,
+		DataBase:   DefaultDataBase,
+		Data:       append([]byte(nil), b.data...),
+		OutBase:    DefaultOutBase,
+		OutLenAddr: DefaultOutLenAddr,
+		RAMSize:    DefaultRAMSize,
+	}, nil
+}
+
+// MustAssemble is Assemble that panics on error; workload definitions are
+// static so an error is a programming bug caught by the test suite.
+func (b *Builder) MustAssemble() *Program {
+	p, err := b.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,249 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"avgi/internal/isa"
+)
+
+func TestLabelsAndBranches(t *testing.T) {
+	b := NewBuilder("t", isa.V64)
+	b.Label("top")
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "top")
+	b.Jump("end")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bne := isa.Decode(p.Text[1], isa.V64)
+	if bne.Op != isa.OpBNE || bne.Imm != -1 {
+		t.Errorf("bne = %+v, want offset -1", bne)
+	}
+	jmp := isa.Decode(p.Text[2], isa.V64)
+	if jmp.Op != isa.OpJAL || jmp.Imm != 2 || jmp.Rd != Zero {
+		t.Errorf("jump = %+v, want jal r0, +2", jmp)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t", isa.V64)
+	b.Jump("nowhere")
+	if _, err := b.Assemble(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("expected undefined label error, got %v", err)
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t", isa.V64)
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Assemble(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Fatalf("expected duplicate label error, got %v", err)
+	}
+}
+
+func TestRegisterRangeCheck(t *testing.T) {
+	b := NewBuilder("t", isa.V32)
+	b.Addi(20, 0, 1) // r20 invalid on V32
+	if _, err := b.Assemble(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("expected register range error, got %v", err)
+	}
+	b64 := NewBuilder("t", isa.V64)
+	b64.Addi(20, 0, 1)
+	b64.Halt()
+	if _, err := b64.Assemble(); err != nil {
+		t.Fatalf("r20 should be valid on V64: %v", err)
+	}
+}
+
+func TestDataSection(t *testing.T) {
+	b := NewBuilder("t", isa.V64)
+	a1 := b.DataBytes("buf", []byte{1, 2, 3})
+	b.Align(8)
+	a2 := b.DataWords("words", []uint64{0x1122334455667788, 42})
+	a3 := b.DataWords32("w32", []uint32{0xDEADBEEF})
+	a4 := b.Reserve("scratch", 16)
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != DefaultDataBase {
+		t.Errorf("first data at %#x", a1)
+	}
+	if a2%8 != 0 {
+		t.Errorf("aligned words at %#x", a2)
+	}
+	if b.DataAddr("w32") != a3 || b.DataAddr("scratch") != a4 {
+		t.Error("DataAddr mismatch")
+	}
+	off := a2 - DefaultDataBase
+	if p.Data[off] != 0x88 || p.Data[off+7] != 0x11 {
+		t.Errorf("little-endian word layout wrong: % x", p.Data[off:off+8])
+	}
+	off32 := a3 - DefaultDataBase
+	if p.Data[off32] != 0xEF || p.Data[off32+3] != 0xDE {
+		t.Errorf("32-bit word layout wrong: % x", p.Data[off32:off32+4])
+	}
+	for i := uint64(0); i < 16; i++ {
+		if p.Data[a4-DefaultDataBase+i] != 0 {
+			t.Error("Reserve should zero-fill")
+		}
+	}
+}
+
+func TestDataWordsVariantWidth(t *testing.T) {
+	b := NewBuilder("t", isa.V32)
+	b.DataWords("w", []uint64{0xAABBCCDD, 1})
+	b.Halt()
+	p := b.MustAssemble()
+	if len(p.Data) != 8 { // two 4-byte words on V32
+		t.Fatalf("V32 DataWords size = %d, want 8", len(p.Data))
+	}
+	if p.Data[0] != 0xDD || p.Data[3] != 0xAA {
+		t.Errorf("layout: % x", p.Data[:4])
+	}
+}
+
+// runLi simulates the Li sequence with a simple interpreter to verify the
+// constant materialisation logic without the full machine model.
+func runLi(t *testing.T, v isa.Variant, value uint64) uint64 {
+	t.Helper()
+	b := NewBuilder("li", v)
+	b.Li(1, value)
+	b.Halt()
+	p := b.MustAssemble()
+	var regs [64]uint64
+	for _, w := range p.Text {
+		in := isa.Decode(w, v)
+		switch in.Op {
+		case isa.OpHALT:
+			return regs[1]
+		case isa.OpADDI:
+			regs[in.Rd] = isa.EvalALU(in.Op, regs[in.Rs1], uint64(int64(in.Imm)), v)
+		case isa.OpSLLI, isa.OpORI:
+			regs[in.Rd] = isa.EvalALU(in.Op, regs[in.Rs1], uint64(uint32(in.Imm)), v)
+		default:
+			t.Fatalf("unexpected op in Li expansion: %s", isa.OpName(in.Op))
+		}
+	}
+	t.Fatal("no halt")
+	return 0
+}
+
+func TestLiMaterialisesConstants(t *testing.T) {
+	cases := []uint64{
+		0, 1, 2047, 2048, 4095, 0xFFFF, 0x10000, 0x3FFF8, 0x40000,
+		0xDEADBEEF, 0xFFFFFFFF, ^uint64(0), 1 << 63, 0x123456789ABCDEF0,
+	}
+	for _, c := range cases {
+		if got := runLi(t, isa.V64, c); got != c {
+			t.Errorf("V64 Li(%#x) = %#x", c, got)
+		}
+		want := c & isa.V32.Mask()
+		if got := runLi(t, isa.V32, c); got != want {
+			t.Errorf("V32 Li(%#x) = %#x, want %#x", c, got, want)
+		}
+	}
+}
+
+func TestLiProperty(t *testing.T) {
+	f := func(c uint64, which bool) bool {
+		v := isa.V64
+		if which {
+			v = isa.V32
+		}
+		return runLi(t, v, c) == c&v.Mask()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLiShortFormForSmallConstants(t *testing.T) {
+	b := NewBuilder("t", isa.V64)
+	b.Li(1, 100)
+	b.Li(2, ^uint64(0)) // -1 fits in a single signed ADDI
+	b.Halt()
+	p := b.MustAssemble()
+	if len(p.Text) != 3 {
+		t.Fatalf("expected 2 single-instruction Li + halt, got %d words", len(p.Text))
+	}
+}
+
+func TestLoadStoreWidthSelection(t *testing.T) {
+	for _, tc := range []struct {
+		v    isa.Variant
+		l, s isa.Op
+	}{{isa.V64, isa.OpLD, isa.OpSD}, {isa.V32, isa.OpLW, isa.OpSW}} {
+		b := NewBuilder("t", tc.v)
+		b.LoadW(1, 2, 8)
+		b.StoreW(1, 2, 8)
+		b.Halt()
+		p := b.MustAssemble()
+		if op := isa.Decode(p.Text[0], tc.v).Op; op != tc.l {
+			t.Errorf("%s LoadW -> %s, want %s", tc.v, isa.OpName(op), isa.OpName(tc.l))
+		}
+		if op := isa.Decode(p.Text[1], tc.v).Op; op != tc.s {
+			t.Errorf("%s StoreW -> %s, want %s", tc.v, isa.OpName(op), isa.OpName(tc.s))
+		}
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := NewBuilder("t", isa.V64)
+	b.Call("fn")
+	b.Halt()
+	b.Label("fn")
+	b.Ret()
+	p := b.MustAssemble()
+	call := isa.Decode(p.Text[0], isa.V64)
+	if call.Op != isa.OpJAL || call.Rd != LR || call.Imm != 2 {
+		t.Errorf("call = %+v", call)
+	}
+	ret := isa.Decode(p.Text[2], isa.V64)
+	if ret.Op != isa.OpJALR || ret.Rs1 != LR || ret.Rd != Zero {
+		t.Errorf("ret = %+v", ret)
+	}
+}
+
+func TestWordShift(t *testing.T) {
+	if NewBuilder("t", isa.V64).WordShift() != 3 || NewBuilder("t", isa.V32).WordShift() != 2 {
+		t.Error("WordShift wrong")
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b := NewBuilder("t", isa.V64)
+	b.Jump("missing")
+	b.MustAssemble()
+}
+
+func TestProgramLayout(t *testing.T) {
+	b := NewBuilder("layout", isa.V64)
+	b.Halt()
+	p := b.MustAssemble()
+	if p.TextBase != DefaultTextBase || p.DataBase != DefaultDataBase ||
+		p.OutBase != DefaultOutBase || p.OutLenAddr != DefaultOutLenAddr ||
+		p.RAMSize != DefaultRAMSize {
+		t.Errorf("unexpected layout: %+v", p)
+	}
+	if p.TextBytes() != 4 {
+		t.Errorf("TextBytes = %d", p.TextBytes())
+	}
+	if p.Name != "layout" {
+		t.Errorf("Name = %q", p.Name)
+	}
+}

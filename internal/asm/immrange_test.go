@@ -1,0 +1,30 @@
+package asm
+
+import (
+	"testing"
+
+	"avgi/internal/isa"
+)
+
+// TestParseRejectsOutOfRangeImmediates: the text parser must turn
+// out-of-range immediates into errors, not Encode panics.
+func TestParseRejectsOutOfRangeImmediates(t *testing.T) {
+	for _, src := range []string{
+		"sw r1, 4096(r2)\nhalt",
+		"lw r1, -3000(r2)\nhalt",
+		"addi r1, r2, 99999\nhalt",
+		"ori r1, r2, -1\nhalt",
+		"slli r1, r2, 5000\nhalt",
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic for %q: %v", src, r)
+				}
+			}()
+			if _, err := Parse("t", src, isa.V64); err == nil {
+				t.Errorf("no error for %q", src)
+			}
+		}()
+	}
+}

@@ -1,0 +1,94 @@
+package asm
+
+import (
+	"testing"
+
+	"avgi/internal/isa"
+)
+
+// TestMnemonicWrappers exercises every mnemonic helper and checks the
+// opcode each one encodes.
+func TestMnemonicWrappers(t *testing.T) {
+	b := NewBuilder("mn", isa.V64)
+	if b.Variant() != isa.V64 {
+		t.Fatal("Variant accessor")
+	}
+	type step struct {
+		emit func()
+		op   isa.Op
+	}
+	steps := []step{
+		{func() { b.Nop() }, isa.OpNOP},
+		{func() { b.Add(1, 2, 3) }, isa.OpADD},
+		{func() { b.Sub(1, 2, 3) }, isa.OpSUB},
+		{func() { b.And(1, 2, 3) }, isa.OpAND},
+		{func() { b.Or(1, 2, 3) }, isa.OpOR},
+		{func() { b.Xor(1, 2, 3) }, isa.OpXOR},
+		{func() { b.Sll(1, 2, 3) }, isa.OpSLL},
+		{func() { b.Srl(1, 2, 3) }, isa.OpSRL},
+		{func() { b.Sra(1, 2, 3) }, isa.OpSRA},
+		{func() { b.Mul(1, 2, 3) }, isa.OpMUL},
+		{func() { b.Mulh(1, 2, 3) }, isa.OpMULH},
+		{func() { b.Div(1, 2, 3) }, isa.OpDIV},
+		{func() { b.Rem(1, 2, 3) }, isa.OpREM},
+		{func() { b.Slt(1, 2, 3) }, isa.OpSLT},
+		{func() { b.Sltu(1, 2, 3) }, isa.OpSLTU},
+		{func() { b.Addi(1, 2, 5) }, isa.OpADDI},
+		{func() { b.Andi(1, 2, 5) }, isa.OpANDI},
+		{func() { b.Ori(1, 2, 5) }, isa.OpORI},
+		{func() { b.Xori(1, 2, 5) }, isa.OpXORI},
+		{func() { b.Slli(1, 2, 5) }, isa.OpSLLI},
+		{func() { b.Srli(1, 2, 5) }, isa.OpSRLI},
+		{func() { b.Srai(1, 2, 5) }, isa.OpSRAI},
+		{func() { b.Slti(1, 2, 5) }, isa.OpSLTI},
+		{func() { b.Mov(1, 2) }, isa.OpADDI},
+		{func() { b.Lb(1, 2, 0) }, isa.OpLB},
+		{func() { b.Lbu(1, 2, 0) }, isa.OpLBU},
+		{func() { b.Lh(1, 2, 0) }, isa.OpLH},
+		{func() { b.Lhu(1, 2, 0) }, isa.OpLHU},
+		{func() { b.Lw(1, 2, 0) }, isa.OpLW},
+		{func() { b.Sb(1, 2, 0) }, isa.OpSB},
+		{func() { b.Sh(1, 2, 0) }, isa.OpSH},
+		{func() { b.Sw(1, 2, 0) }, isa.OpSW},
+		{func() { b.Jalr(1, 2, 0) }, isa.OpJALR},
+		{func() { b.Halt() }, isa.OpHALT},
+	}
+	for _, s := range steps {
+		s.emit()
+	}
+	// Branch family via labels.
+	b.Label("x")
+	branchOps := []isa.Op{isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU}
+	b.Beq(1, 2, "x")
+	b.Bne(1, 2, "x")
+	b.Blt(1, 2, "x")
+	b.Bge(1, 2, "x")
+	b.Bltu(1, 2, "x")
+	b.Bgeu(1, 2, "x")
+
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range steps {
+		got := isa.Decode(p.Text[i], isa.V64).Op
+		if got != s.op {
+			t.Errorf("step %d: opcode %s, want %s", i, isa.OpName(got), isa.OpName(s.op))
+		}
+	}
+	for i, op := range branchOps {
+		got := isa.Decode(p.Text[len(steps)+i], isa.V64).Op
+		if got != op {
+			t.Errorf("branch %d: opcode %s, want %s", i, isa.OpName(got), isa.OpName(op))
+		}
+	}
+}
+
+func TestDataAddrUnknownLabel(t *testing.T) {
+	b := NewBuilder("t", isa.V64)
+	b.DataAddr("missing")
+	b.Halt()
+	if _, err := b.Assemble(); err == nil {
+		t.Fatal("expected unknown data label error")
+	}
+}

@@ -1,0 +1,362 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"avgi/internal/isa"
+)
+
+// Parse assembles textual AVG assembly into a Program, so workloads and
+// experiments can be written as .s files as well as through the Builder
+// API (cmd/avgisim -run consumes this).
+//
+// Syntax, one statement per line (';' or '#' start a comment):
+//
+//	label:                     code label
+//	add r1, r2, r3             register-register ops
+//	addi r1, r2, -5            register-immediate ops
+//	li r1, 0x12345             pseudo: load arbitrary constant
+//	mov r1, r2                 pseudo: register copy
+//	lw r1, 8(r2)               loads (lb lbu lh lhu lw lwu ld)
+//	sw r1, 8(r2)               stores (sb sh sw sd)
+//	loadw/storew r1, 8(r2)     natural-width pseudo (ld/sd or lw/sw)
+//	beq r1, r2, label          branches (beq bne blt bge bltu bgeu)
+//	jump label                 pseudo: unconditional jump
+//	call label / ret           pseudo: JAL r13 / JALR r0, r13
+//	jal r1, label              jump and link
+//	jalr r1, r2, 0             indirect jump
+//	nop / halt
+//
+// Data directives:
+//
+//	.bytes name 1, 2, 0xFF     labelled bytes
+//	.words name 1, 2, 3        labelled natural-width words
+//	.reserve name 64           labelled zeroed region
+//	.align 8                   alignment padding
+//
+// Data labels are referenced as immediate operands of li: "li r1, name".
+//
+// Parse assembles src for variant v. The program is named name.
+func Parse(name, src string, v isa.Variant) (*Program, error) {
+	b := NewBuilder(name, v)
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: data directives, so "li rX, label" can resolve addresses
+	// during the code pass regardless of order.
+	for ln, raw := range lines {
+		f, err := fields(raw)
+		if err != nil {
+			return nil, lineErr(name, ln, err)
+		}
+		if len(f) == 0 || !strings.HasPrefix(f[0], ".") {
+			continue
+		}
+		if err := dataDirective(b, f); err != nil {
+			return nil, lineErr(name, ln, err)
+		}
+	}
+
+	// Pass 2: instructions and labels.
+	for ln, raw := range lines {
+		f, err := fields(raw)
+		if err != nil {
+			return nil, lineErr(name, ln, err)
+		}
+		if len(f) == 0 || strings.HasPrefix(f[0], ".") {
+			continue
+		}
+		if err := statement(b, f); err != nil {
+			return nil, lineErr(name, ln, err)
+		}
+	}
+	return b.Assemble()
+}
+
+func lineErr(name string, ln int, err error) error {
+	return fmt.Errorf("%s:%d: %w", name, ln+1, err)
+}
+
+// fields tokenises one line: strips comments, splits on whitespace and
+// commas, and lowercases mnemonics.
+func fields(line string) ([]string, error) {
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.ReplaceAll(line, ",", " ")
+	raw := strings.Fields(line)
+	return raw, nil
+}
+
+func dataDirective(b *Builder, f []string) error {
+	switch strings.ToLower(f[0]) {
+	case ".align":
+		if len(f) != 2 {
+			return fmt.Errorf(".align wants one operand")
+		}
+		n, err := parseInt(f[1])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad alignment %q", f[1])
+		}
+		b.Align(int(n))
+	case ".bytes":
+		if len(f) < 3 {
+			return fmt.Errorf(".bytes wants a name and values")
+		}
+		var data []byte
+		for _, s := range f[2:] {
+			v, err := parseInt(s)
+			if err != nil || v < 0 || v > 255 {
+				return fmt.Errorf("bad byte %q", s)
+			}
+			data = append(data, byte(v))
+		}
+		b.DataBytes(f[1], data)
+	case ".words":
+		if len(f) < 3 {
+			return fmt.Errorf(".words wants a name and values")
+		}
+		var vals []uint64
+		for _, s := range f[2:] {
+			v, err := parseInt(s)
+			if err != nil {
+				return fmt.Errorf("bad word %q", s)
+			}
+			vals = append(vals, uint64(v))
+		}
+		b.DataWords(f[1], vals)
+	case ".reserve":
+		if len(f) != 3 {
+			return fmt.Errorf(".reserve wants a name and a size")
+		}
+		n, err := parseInt(f[2])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad size %q", f[2])
+		}
+		b.Reserve(f[1], int(n))
+	default:
+		return fmt.Errorf("unknown directive %s", f[0])
+	}
+	return nil
+}
+
+// rrr maps three-register mnemonics to opcodes.
+var rrr = map[string]isa.Op{
+	"add": isa.OpADD, "sub": isa.OpSUB, "and": isa.OpAND, "or": isa.OpOR,
+	"xor": isa.OpXOR, "sll": isa.OpSLL, "srl": isa.OpSRL, "sra": isa.OpSRA,
+	"mul": isa.OpMUL, "mulh": isa.OpMULH, "div": isa.OpDIV, "rem": isa.OpREM,
+	"slt": isa.OpSLT, "sltu": isa.OpSLTU,
+}
+
+// rri maps register-immediate mnemonics to opcodes.
+var rri = map[string]isa.Op{
+	"addi": isa.OpADDI, "andi": isa.OpANDI, "ori": isa.OpORI, "xori": isa.OpXORI,
+	"slli": isa.OpSLLI, "srli": isa.OpSRLI, "srai": isa.OpSRAI, "slti": isa.OpSLTI,
+}
+
+// memOps maps load/store mnemonics to opcodes.
+var memOps = map[string]isa.Op{
+	"lb": isa.OpLB, "lbu": isa.OpLBU, "lh": isa.OpLH, "lhu": isa.OpLHU,
+	"lw": isa.OpLW, "lwu": isa.OpLWU, "ld": isa.OpLD,
+	"sb": isa.OpSB, "sh": isa.OpSH, "sw": isa.OpSW, "sd": isa.OpSD,
+}
+
+// branches maps branch mnemonics to builder methods.
+var branches = map[string]func(b *Builder, ra, rb uint8, label string){
+	"beq":  (*Builder).Beq,
+	"bne":  (*Builder).Bne,
+	"blt":  (*Builder).Blt,
+	"bge":  (*Builder).Bge,
+	"bltu": (*Builder).Bltu,
+	"bgeu": (*Builder).Bgeu,
+}
+
+func statement(b *Builder, f []string) error {
+	head := f[0]
+	if strings.HasSuffix(head, ":") {
+		b.Label(strings.TrimSuffix(head, ":"))
+		if len(f) > 1 {
+			return statement(b, f[1:])
+		}
+		return nil
+	}
+	m := strings.ToLower(head)
+	switch {
+	case m == "nop":
+		b.Nop()
+	case m == "halt":
+		b.Halt()
+	case m == "ret":
+		b.Ret()
+	case m == "jump" || m == "j":
+		if len(f) != 2 {
+			return fmt.Errorf("jump wants a label")
+		}
+		b.Jump(f[1])
+	case m == "call":
+		if len(f) != 2 {
+			return fmt.Errorf("call wants a label")
+		}
+		b.Call(f[1])
+	case m == "jal":
+		if len(f) != 3 {
+			return fmt.Errorf("jal wants rd, label")
+		}
+		rd, err := reg(f[1])
+		if err != nil {
+			return err
+		}
+		if rd == LR {
+			b.Call(f[2])
+		} else if rd == Zero {
+			b.Jump(f[2])
+		} else {
+			return fmt.Errorf("jal link register must be r13 or r0")
+		}
+	case m == "jalr":
+		if len(f) != 4 {
+			return fmt.Errorf("jalr wants rd, rs1, imm")
+		}
+		rd, err1 := reg(f[1])
+		rs, err2 := reg(f[2])
+		imm, err3 := parseInt(f[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("bad jalr operands")
+		}
+		b.Jalr(rd, rs, int32(imm))
+	case m == "mov":
+		if len(f) != 3 {
+			return fmt.Errorf("mov wants rd, rs")
+		}
+		rd, err1 := reg(f[1])
+		rs, err2 := reg(f[2])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad mov operands")
+		}
+		b.Mov(rd, rs)
+	case m == "li":
+		if len(f) != 3 {
+			return fmt.Errorf("li wants rd, value")
+		}
+		rd, err := reg(f[1])
+		if err != nil {
+			return err
+		}
+		if v, err := parseInt(f[2]); err == nil {
+			b.Li(rd, uint64(v))
+		} else {
+			// Data-label reference (pass 1 defined them all).
+			b.Li(rd, b.DataAddr(f[2]))
+		}
+	case rrr[m] != isa.OpInvalid:
+		if len(f) != 4 {
+			return fmt.Errorf("%s wants rd, rs1, rs2", m)
+		}
+		rd, err1 := reg(f[1])
+		r1, err2 := reg(f[2])
+		r2, err3 := reg(f[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("bad %s operands", m)
+		}
+		b.R(rrr[m], rd, r1, r2)
+	case rri[m] != isa.OpInvalid:
+		if len(f) != 4 {
+			return fmt.Errorf("%s wants rd, rs1, imm", m)
+		}
+		rd, err1 := reg(f[1])
+		r1, err2 := reg(f[2])
+		imm, err3 := parseInt(f[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("bad %s operands", m)
+		}
+		b.I(rri[m], rd, r1, int32(imm))
+	case m == "loadw" || m == "storew":
+		r, base, off, err := memOperands(f)
+		if err != nil {
+			return err
+		}
+		if m == "loadw" {
+			b.LoadW(r, base, off)
+		} else {
+			b.StoreW(r, base, off)
+		}
+	case memOps[m] != isa.OpInvalid:
+		r, base, off, err := memOperands(f)
+		if err != nil {
+			return err
+		}
+		op := memOps[m]
+		if !isa.ValidOp(op, b.Variant()) {
+			return fmt.Errorf("%s is not valid on %s", m, b.Variant())
+		}
+		b.mem(op, r, base, off)
+	case branches[m] != nil:
+		if len(f) != 4 {
+			return fmt.Errorf("%s wants ra, rb, label", m)
+		}
+		ra, err1 := reg(f[1])
+		rb, err2 := reg(f[2])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad %s operands", m)
+		}
+		branches[m](b, ra, rb, f[3])
+	default:
+		return fmt.Errorf("unknown mnemonic %q", head)
+	}
+	return nil
+}
+
+// memOperands parses "op rX, off(rY)".
+func memOperands(f []string) (r, base uint8, off int32, err error) {
+	if len(f) != 3 {
+		return 0, 0, 0, fmt.Errorf("%s wants r, off(base)", f[0])
+	}
+	r, err = reg(f[1])
+	if err != nil {
+		return
+	}
+	s := f[2]
+	lp := strings.IndexByte(s, '(')
+	rp := strings.IndexByte(s, ')')
+	if lp < 0 || rp < lp {
+		return 0, 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	o := int64(0)
+	if lp > 0 {
+		o, err = parseInt(s[:lp])
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("bad offset in %q", s)
+		}
+	}
+	base, err = reg(s[lp+1 : rp])
+	if err != nil {
+		return
+	}
+	return r, base, int32(o), nil
+}
+
+// reg parses "rN" (also accepting the sp/lr/zero aliases).
+func reg(s string) (uint8, error) {
+	switch strings.ToLower(s) {
+	case "zero":
+		return Zero, nil
+	case "sp":
+		return SP, nil
+	case "lr":
+		return LR, nil
+	}
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 63 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseInt accepts decimal and 0x-hex with optional sign.
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}

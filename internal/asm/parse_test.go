@@ -1,0 +1,175 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"avgi/internal/isa"
+)
+
+const sampleSrc = `
+; sum the data words and emit the total
+.words input 10, 20, 30, 12
+.reserve scratch 16
+.align 8
+
+	li r1, input
+	li r2, 0        # sum
+	li r3, 0        # i
+	li r4, 4
+loop:
+	slli r5, r3, 3
+	add r5, r5, r1
+	loadw r6, 0(r5)
+	add r2, r2, r6
+	addi r3, r3, 1
+	blt r3, r4, loop
+	li r7, 0x40000
+	storew r2, 0(r7)
+	li r8, 0x3FFF8
+	li r9, 8
+	storew r9, 0(r8)
+	halt
+`
+
+func TestParseAndAssemble(t *testing.T) {
+	p, err := Parse("sum", sampleSrc, isa.V64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) == 0 || len(p.Data) < 4*8 {
+		t.Fatalf("text %d data %d", len(p.Text), len(p.Data))
+	}
+	// First data word is 10 little-endian.
+	if p.Data[0] != 10 {
+		t.Errorf("data[0] = %d", p.Data[0])
+	}
+	// Branch resolves backwards.
+	found := false
+	for _, w := range p.Text {
+		in := isa.Decode(w, isa.V64)
+		if in.Op == isa.OpBLT && in.Imm < 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no backward blt found")
+	}
+}
+
+func TestParseCallRetJumpAliases(t *testing.T) {
+	src := `
+	call fn
+	jump end
+fn:	ret
+end: halt
+`
+	p, err := Parse("t", src, isa.V32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := isa.Decode(p.Text[0], isa.V32); got.Op != isa.OpJAL || got.Rd != LR {
+		t.Errorf("call: %+v", got)
+	}
+	if got := isa.Decode(p.Text[1], isa.V32); got.Op != isa.OpJAL || got.Rd != Zero {
+		t.Errorf("jump: %+v", got)
+	}
+	if got := isa.Decode(p.Text[2], isa.V32); got.Op != isa.OpJALR {
+		t.Errorf("ret: %+v", got)
+	}
+}
+
+func TestParseRegisterAliases(t *testing.T) {
+	src := `
+	mov sp, zero
+	addi lr, sp, 4
+	halt
+`
+	p, err := Parse("t", src, isa.V64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := isa.Decode(p.Text[0], isa.V64); got.Rd != SP || got.Rs1 != Zero {
+		t.Errorf("aliases: %+v", got)
+	}
+	if got := isa.Decode(p.Text[1], isa.V64); got.Rd != LR {
+		t.Errorf("lr alias: %+v", got)
+	}
+}
+
+func TestParseWidthSpecificOps(t *testing.T) {
+	if _, err := Parse("t", "ld r1, 0(r2)\nhalt", isa.V64); err != nil {
+		t.Errorf("ld on V64: %v", err)
+	}
+	if _, err := Parse("t", "ld r1, 0(r2)\nhalt", isa.V32); err == nil {
+		t.Error("ld on V32 should fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":  "frobnicate r1, r2",
+		"bad register":      "add r1, r2, rX",
+		"bad mem operand":   "lw r1, r2",
+		"unknown directive": ".bogus x 1",
+		"bad byte":          ".bytes x 999",
+		"bad alignment":     ".align zero",
+		"jal link":          "jal r5, somewhere",
+		"missing label":     "jump nowhere",
+		"bad jalr":          "jalr r1, r2",
+		"bad li":            "li r1",
+	}
+	for name, src := range cases {
+		if _, err := Parse("t", src+"\nhalt", isa.V64); err == nil {
+			t.Errorf("%s: no error for %q", name, src)
+		}
+	}
+	// Errors carry line numbers.
+	_, err := Parse("t", "nop\nfrobnicate\nhalt", isa.V64)
+	if err == nil || !strings.Contains(err.Error(), "t:2:") {
+		t.Errorf("line number missing: %v", err)
+	}
+}
+
+func TestParseRoundTripThroughDisasm(t *testing.T) {
+	// Parsing, assembling and disassembling the sample program must not
+	// produce any illegal encodings.
+	p, err := Parse("sum", sampleSrc, isa.V64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range p.Text {
+		if in := isa.Decode(w, isa.V64); in.Illegal != isa.IllegalNone {
+			t.Errorf("word %d illegal: %s", i, isa.DisasmWord(w, isa.V64))
+		}
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	// Arbitrary junk must return errors, not panic.
+	junk := []string{
+		"add", "add r1", ".words", ".reserve x", "li r1, 99999999999999999999",
+		"lw r1, (r2", "beq r1, r2", ":", "r1: r2: r3:", "\x00\x01\x02",
+		"jalr r1 r2 r3 r4 r5", ".align -8", "call", "sw r1, 4096(r99)",
+	}
+	for _, src := range junk {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse("junk", src, isa.V64)
+		}()
+	}
+}
+
+func TestParseLabelWithInstruction(t *testing.T) {
+	p, err := Parse("t", "start: addi r1, r0, 7\nhalt", isa.V64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := isa.Decode(p.Text[0], isa.V64); got.Op != isa.OpADDI || got.Imm != 7 {
+		t.Errorf("%+v", got)
+	}
+}

@@ -1,0 +1,380 @@
+// Package campaign executes statistical fault-injection campaigns over the
+// machine model: the golden (fault-free) reference run, and per-fault runs
+// in the three observation modes the paper compares —
+//
+//   - ModeExhaustive: the traditional accelerated SFI flow; every run
+//     continues to the end of the program so Masked/SDC/Crash can be
+//     decided from the output (Section IV.B baseline).
+//   - ModeHVF: stop at the first commit-trace deviation (the HVF
+//     measurement of Section III used to extract IMM distributions —
+//     the paper's Insights 1&2).
+//   - ModeAVGI: stop at the first deviation or at the structure's
+//     effective-residency-time window, whichever is first (Insight 3).
+//
+// All modes share the same checkpointing acceleration: a per-worker golden
+// machine advances monotonically through the (cycle-sorted) fault list and
+// each fault runs on a forked clone, so pre-injection simulation is paid
+// once per worker rather than once per fault.
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"avgi/internal/asm"
+	"avgi/internal/cpu"
+	"avgi/internal/fault"
+	"avgi/internal/imm"
+	"avgi/internal/trace"
+)
+
+// Mode selects how far a faulty run is simulated.
+type Mode uint8
+
+const (
+	// ModeExhaustive runs to the end of the program (traditional SFI).
+	ModeExhaustive Mode = iota
+	// ModeHVF stops at the first commit-trace deviation.
+	ModeHVF
+	// ModeAVGI stops at the first deviation or the ERT window.
+	ModeAVGI
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeExhaustive:
+		return "exhaustive"
+	case ModeHVF:
+		return "hvf"
+	case ModeAVGI:
+		return "avgi"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Golden holds the fault-free reference run.
+type Golden struct {
+	Trace   []trace.Record
+	Cycles  uint64
+	Commits uint64
+	Output  []byte
+}
+
+// Result is the outcome of one injected fault.
+type Result struct {
+	Fault fault.Fault
+
+	// IMM is the manifestation class (Benign if the fault never became
+	// architecturally visible within the observed window).
+	IMM imm.IMM
+
+	// Effect is the end-to-end fault effect; valid only when HasEffect
+	// (ModeExhaustive runs).
+	Effect    imm.Effect
+	HasEffect bool
+
+	// Manifested reports a commit-trace deviation; ManifestLatency is
+	// the distance in cycles from injection to that deviation.
+	Manifested      bool
+	ManifestLatency uint64
+
+	// SimCycles is the number of post-injection cycles simulated — the
+	// cost this fault contributes to the campaign under the run's mode.
+	SimCycles uint64
+
+	// Crash records how a crashed run died.
+	Crash cpu.CrashKind
+}
+
+// Runner executes campaigns for one (machine config, workload) pair.
+type Runner struct {
+	Cfg  cpu.Config
+	Prog *asm.Program
+
+	Golden Golden
+
+	// BitCounts maps structure name to its injectable bit count.
+	BitCounts map[string]uint64
+
+	// OutputExposure is the golden run's dirty-output occupancy fraction
+	// per ESC-capable cache array — the runtime profile the ESC
+	// predictor consumes (Section IV.D's "fast runtime profiling").
+	OutputExposure map[string]float64
+}
+
+// NewRunner performs the golden run and prepares the campaign state.
+func NewRunner(cfg cpu.Config, p *asm.Program) (*Runner, error) {
+	m := cpu.New(cfg, p)
+	var cap trace.Capture
+	m.SetSink(&cap)
+	m.EnableOutputProfiling(p.OutLenAddr, p.RAMSize, 64)
+	res := m.Run(cpu.RunOptions{MaxCycles: 50_000_000})
+	if res.Status != cpu.StatusHalted {
+		return nil, fmt.Errorf("campaign: golden run of %s ended %v (crash %v) after %d cycles",
+			p.Name, res.Status, res.Crash, res.Cycles)
+	}
+	bits := make(map[string]uint64)
+	for name, tg := range m.Targets() {
+		bits[name] = tg.BitCount()
+	}
+	r := &Runner{
+		Cfg:  cfg,
+		Prog: p,
+		Golden: Golden{
+			Trace:   cap.Records,
+			Cycles:  res.Cycles,
+			Commits: res.Commits,
+			Output:  res.Output,
+		},
+		BitCounts: bits,
+	}
+	r.OutputExposure = r.computeExposure(m)
+	return r, nil
+}
+
+// computeExposure folds the golden run's dirty-output time series into one
+// exposure fraction per ESC-capable cache array. Each sample's dirty-line
+// occupancy is weighted by the fraction of output locations already in
+// their final state at that cycle — corruption of output data that will
+// still be overwritten cannot escape, which matters for workloads (like
+// qsort) that compute in place inside the output region.
+func (r *Runner) computeExposure(m *cpu.Machine) map[string]float64 {
+	exposure := map[string]float64{
+		"L1D (Tag)": 0, "L1D (Data)": 0, "L2 (Tag)": 0, "L2 (Data)": 0,
+	}
+	cycles, l1d, l2 := m.OutputProfile()
+	if len(cycles) == 0 {
+		return exposure
+	}
+	// Final-store cycle per output location, from the golden trace.
+	finals := make(map[uint64]uint64)
+	for _, rec := range r.Golden.Trace {
+		if rec.IsStore && rec.Addr >= r.Prog.OutLenAddr {
+			finals[rec.Addr] = rec.Cycle
+		}
+	}
+	finalCycles := make([]uint64, 0, len(finals))
+	for _, c := range finals {
+		finalCycles = append(finalCycles, c)
+	}
+	sort.Slice(finalCycles, func(i, j int) bool { return finalCycles[i] < finalCycles[j] })
+
+	// w(t) = fraction of output locations final by cycle t.
+	w := func(t uint64) float64 {
+		if len(finalCycles) == 0 {
+			return 0
+		}
+		idx := sort.Search(len(finalCycles), func(i int) bool { return finalCycles[i] > t })
+		return float64(idx) / float64(len(finalCycles))
+	}
+
+	var sumL1D, sumL2 float64
+	for i, t := range cycles {
+		wt := w(t)
+		sumL1D += float64(l1d[i]) * wt
+		sumL2 += float64(l2[i]) * wt
+	}
+	n := float64(len(cycles))
+	fracL1D := sumL1D / n / float64(m.Mem.L1D.Lines())
+	fracL2 := sumL2 / n / float64(m.Mem.L2.Lines())
+	exposure["L1D (Tag)"] = fracL1D
+	exposure["L1D (Data)"] = fracL1D
+	exposure["L2 (Tag)"] = fracL2
+	exposure["L2 (Data)"] = fracL2
+	return exposure
+}
+
+// FaultList generates the statistical fault list for one structure using
+// the runner's golden cycle count as the temporal population.
+func (r *Runner) FaultList(structure string, n int, seedBase int64) []fault.Fault {
+	return fault.List(structure, n, r.BitCounts[structure], r.Golden.Cycles,
+		fault.Seed(structure, r.Prog.Name, seedBase))
+}
+
+// MultiBitFaultList generates a statistical list of spatial multi-bit
+// faults (width adjacent bits) for one structure.
+func (r *Runner) MultiBitFaultList(structure string, n, width int, seedBase int64) []fault.Fault {
+	return fault.ListMultiBit(structure, n, width, r.BitCounts[structure], r.Golden.Cycles,
+		fault.Seed(structure, r.Prog.Name, seedBase))
+}
+
+// Run executes a fault list in the given mode. ert is the
+// effective-residency-time stop window in cycles (ModeAVGI only; ignored
+// otherwise). workers <= 0 uses all CPUs. Results are returned in fault
+// list order and are deterministic regardless of worker count.
+func (r *Runner) Run(faults []fault.Fault, mode Mode, ert uint64, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	results := make([]Result, len(faults))
+	if len(faults) == 0 {
+		return results
+	}
+	// Contiguous chunks keep each worker's mother machine advancing
+	// monotonically through its cycle-sorted slice.
+	chunk := (len(faults) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(faults) {
+			hi = len(faults)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mother := cpu.New(r.Cfg, r.Prog)
+			for i := lo; i < hi; i++ {
+				results[i] = r.runOne(mother, faults[i], mode, ert)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return results
+}
+
+// runOne advances the mother machine to the injection cycle, forks a
+// clone, injects the bit flip and observes the outcome under mode.
+func (r *Runner) runOne(mother *cpu.Machine, f fault.Fault, mode Mode, ert uint64) Result {
+	if mother.Cycle() < f.Cycle && mother.Status() == cpu.StatusRunning {
+		mother.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
+	}
+	m := mother.Clone()
+	tg := m.Target(f.Structure)
+	if tg == nil {
+		panic("campaign: unknown structure " + f.Structure)
+	}
+	// Width > 1 models a spatial multi-bit upset: adjacent bits of the
+	// same array flip together (Section VII.A).
+	for i := uint64(0); i < uint64(f.Bits()); i++ {
+		tg.FlipBit((f.Bit + i) % tg.BitCount())
+	}
+
+	cmp := &trace.Comparator{Golden: r.Golden.Trace}
+	cmp.StartAt(int(m.Stats.Commits))
+	switch mode {
+	case ModeHVF:
+		cmp.StopAtFirst = true
+	case ModeAVGI:
+		cmp.StopAtFirst = true
+		cmp.StopCycle = f.Cycle + ert
+	}
+	m.SetSink(cmp)
+	res := m.Run(cpu.RunOptions{MaxCycles: r.Golden.Cycles*2 + 100_000})
+
+	crashed := res.Status == cpu.StatusCrashed || res.Status == cpu.StatusCycleLimit
+	produced := res.Status == cpu.StatusHalted
+	matches := produced && bytes.Equal(res.Output, r.Golden.Output)
+
+	out := Result{
+		Fault:     f,
+		SimCycles: res.Cycles - f.Cycle,
+		Crash:     res.Crash,
+	}
+	switch {
+	case cmp.Dev.Kind != trace.DevNone:
+		out.Manifested = true
+		if cmp.Dev.Cycle > f.Cycle {
+			out.ManifestLatency = cmp.Dev.Cycle - f.Cycle
+		}
+		out.IMM = imm.Classify(imm.Inputs{Dev: cmp.Dev, Variant: r.Cfg.Variant})
+	case res.Status == cpu.StatusStopped:
+		// The ERT window expired with a clean commit trace.
+		out.IMM = imm.Benign
+	default:
+		out.IMM = imm.Classify(imm.Inputs{
+			Crashed:        crashed,
+			OutputProduced: produced,
+			OutputMatches:  matches,
+		})
+		if out.IMM == imm.PRE {
+			// A pre-software crash is a manifestation too: the
+			// residency analysis needs the injection-to-crash
+			// latency (this is what makes the ROB/LQ/SQ windows
+			// of Table II derivable rather than assumed).
+			out.Manifested = true
+			out.ManifestLatency = res.Cycles - f.Cycle
+		}
+	}
+	if mode == ModeExhaustive {
+		out.Effect = imm.FinalEffect(crashed, produced, matches)
+		out.HasEffect = true
+	}
+	return out
+}
+
+// Summary aggregates a campaign's results.
+type Summary struct {
+	Total     int
+	ByIMM     map[imm.IMM]int
+	ByEffect  map[imm.Effect]int
+	SimCycles uint64
+	// Corruptions counts faults that became architecturally visible in
+	// the commit trace. ESC faults count as Benign here: by definition
+	// they never pass through the program trace (Section IV.D), which is
+	// why phase 3 of the methodology cannot identify them.
+	Corruptions int
+	// Benign counts faults with no commit-trace deviation within the
+	// observed window (including ESC).
+	Benign int
+}
+
+// Summarize folds results into a Summary.
+func Summarize(results []Result) Summary {
+	s := Summary{
+		ByIMM:    make(map[imm.IMM]int),
+		ByEffect: make(map[imm.Effect]int),
+	}
+	for _, r := range results {
+		s.Total++
+		s.ByIMM[r.IMM]++
+		if r.IMM == imm.Benign || r.IMM == imm.ESC {
+			s.Benign++
+		} else {
+			s.Corruptions++
+		}
+		if r.HasEffect {
+			s.ByEffect[r.Effect]++
+		}
+		s.SimCycles += r.SimCycles
+	}
+	return s
+}
+
+// IMMFractions returns the IMM distribution over corruptions only (the
+// paper's Fig. 3 normalisation); zero corruptions yields an empty map.
+func (s Summary) IMMFractions() map[imm.IMM]float64 {
+	out := make(map[imm.IMM]float64)
+	if s.Corruptions == 0 {
+		return out
+	}
+	for _, c := range imm.Classes {
+		if c == imm.ESC {
+			continue // not identifiable in the commit trace
+		}
+		out[c] = float64(s.ByIMM[c]) / float64(s.Corruptions)
+	}
+	return out
+}
+
+// EffectFractions returns the final-effect distribution over all faults
+// (the AVF view: Masked includes benign faults).
+func (s Summary) EffectFractions() map[imm.Effect]float64 {
+	out := make(map[imm.Effect]float64)
+	if s.Total == 0 {
+		return out
+	}
+	for _, e := range imm.Effects {
+		out[e] = float64(s.ByEffect[e]) / float64(s.Total)
+	}
+	return out
+}

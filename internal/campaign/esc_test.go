@@ -1,0 +1,94 @@
+package campaign
+
+import (
+	"testing"
+
+	"avgi/internal/asm"
+	"avgi/internal/cpu"
+	"avgi/internal/imm"
+)
+
+// escProgram writes a 2 KiB output early, then spins long enough that the
+// dirty output lines sit exposed in the data caches, and halts without
+// ever re-reading them. Faults striking those lines during the spin can
+// only be observed at the output — the ESC scenario of Section IV.D.
+func escProgram(cfg cpu.Config) *asm.Program {
+	b := asm.NewBuilder("escdemo", cfg.Variant)
+	const outBytes = 2048
+	b.Li(1, asm.DefaultOutBase)
+	b.Li(2, 0)
+	b.Li(3, outBytes/8)
+	b.Label("fill")
+	// Pattern derived from the index so corruption is detectable.
+	b.Slli(4, 2, 3)
+	b.Addi(5, 2, 77)
+	b.Mul(5, 5, 5)
+	b.Add(6, 4, 1)
+	b.StoreW(5, 6, 0)
+	b.Addi(2, 2, 1)
+	b.Blt(2, 3, "fill")
+	b.Li(4, asm.DefaultOutLenAddr)
+	b.Li(5, outBytes)
+	b.StoreW(5, 4, 0)
+	// Spin without touching the output again.
+	b.Li(2, 0)
+	b.Li(3, 6000)
+	b.Label("spin")
+	b.Addi(2, 2, 1)
+	b.Blt(2, 3, "spin")
+	b.Halt()
+	return b.MustAssemble()
+}
+
+func TestESCFaultsObservedEndToEnd(t *testing.T) {
+	cfg := cpu.ConfigA72()
+	r, err := NewRunner(cfg, escProgram(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The golden profile must see substantial dirty-output exposure.
+	if exp := r.OutputExposure["L1D (Data)"]; exp < 0.05 {
+		t.Fatalf("L1D exposure %.3f too low for the scenario", exp)
+	}
+	results := r.Run(r.FaultList("L1D (Data)", 200, 77), ModeExhaustive, 0, 0)
+	s := Summarize(results)
+	if s.ByIMM[imm.ESC] == 0 {
+		t.Fatalf("no ESC faults observed: %v", s.ByIMM)
+	}
+	// Every ESC fault is an SDC with no commit-trace deviation.
+	for _, res := range results {
+		if res.IMM == imm.ESC {
+			if res.Effect != imm.SDC {
+				t.Errorf("ESC fault with effect %v", res.Effect)
+			}
+			if res.Manifested {
+				t.Error("ESC fault must never deviate in the commit trace")
+			}
+		}
+	}
+	// And the zero-output control: a program with tiny output cannot
+	// escape through it (the sha case of the paper).
+	t.Logf("ESC faults: %d of %d (exposure %.3f)",
+		s.ByIMM[imm.ESC], s.Total, r.OutputExposure["L1D (Data)"])
+}
+
+func TestExposureZeroForTinyOutput(t *testing.T) {
+	cfg := cpu.ConfigA72()
+	b := asm.NewBuilder("tiny", cfg.Variant)
+	b.Li(1, asm.DefaultOutBase)
+	b.Li(2, 42)
+	b.Sb(2, 1, 0)
+	b.Li(3, asm.DefaultOutLenAddr)
+	b.Li(4, 1)
+	b.StoreW(4, 3, 0)
+	b.Halt()
+	r, err := NewRunner(cfg, b.MustAssemble())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One output byte written immediately before halt: exposure is
+	// essentially zero (at most a sample or two see the dirty line).
+	if exp := r.OutputExposure["L1D (Data)"]; exp > 0.05 {
+		t.Errorf("tiny output exposure %.3f", exp)
+	}
+}

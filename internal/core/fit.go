@@ -1,0 +1,31 @@
+package core
+
+// RawFITPerBit is the raw transient-fault rate per storage bit used by the
+// paper's Fig. 11 (from Papadimitriou & Gizopoulos, IISWC 2021): failures
+// per 10^9 device-hours per bit for the Cortex-A72-class technology node.
+const RawFITPerBit = 9.39e-6
+
+// FIT is a Failures-in-Time breakdown for one structure or a whole chip:
+// expected failures per 10^9 hours of operation, split by effect class.
+type FIT struct {
+	SDC   float64
+	Crash float64
+}
+
+// Total returns the combined FIT rate.
+func (f FIT) Total() float64 { return f.SDC + f.Crash }
+
+// Add accumulates another contribution (chip FIT is the sum of its
+// structures' FITs).
+func (f FIT) Add(o FIT) FIT {
+	return FIT{SDC: f.SDC + o.SDC, Crash: f.Crash + o.Crash}
+}
+
+// FITOf derates the raw per-bit rate by a structure's bit count and AVF.
+func FITOf(avf AVF, bits uint64) FIT {
+	base := RawFITPerBit * float64(bits)
+	return FIT{
+		SDC:   base * avf.SDC,
+		Crash: base * avf.Crash,
+	}
+}

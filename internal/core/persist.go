@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"avgi/internal/imm"
+)
+
+// The trained estimator — weights, ESC calibration, ERT windows — is the
+// reusable artefact of the methodology: it is learned once per
+// microarchitecture from exhaustive campaigns and then applied to any
+// workload. Save/LoadEstimator persist it as JSON so a tool can train on a
+// cluster and assess on a laptop.
+
+type estimatorJSON struct {
+	Weights map[string]map[string][3]float64 `json:"weights"`
+	Spread  map[string]map[string]float64    `json:"spread"`
+	ESC     map[string]float64               `json:"esc"`
+	ERT     map[string]ertJSON               `json:"ert"`
+}
+
+type ertJSON struct {
+	Cycles   uint64  `json:"cycles,omitempty"`
+	Frac     float64 `json:"frac,omitempty"`
+	Relative bool    `json:"relative,omitempty"`
+}
+
+var immByName = func() map[string]imm.IMM {
+	m := make(map[string]imm.IMM)
+	for _, c := range imm.Classes {
+		m[c.String()] = c
+	}
+	m[imm.Benign.String()] = imm.Benign
+	return m
+}()
+
+// Save writes the estimator as JSON.
+func (e *Estimator) Save(w io.Writer) error {
+	out := estimatorJSON{
+		Weights: make(map[string]map[string][3]float64),
+		Spread:  make(map[string]map[string]float64),
+		ESC:     e.ESC.C,
+		ERT:     make(map[string]ertJSON),
+	}
+	for s, per := range e.Weights.P {
+		out.Weights[s] = make(map[string][3]float64)
+		for c, p := range per {
+			out.Weights[s][c.String()] = p
+		}
+	}
+	for s, per := range e.Weights.Spread {
+		out.Spread[s] = make(map[string]float64)
+		for c, v := range per {
+			out.Spread[s][c.String()] = v
+		}
+	}
+	for s, ert := range e.ERT {
+		out.ERT[s] = ertJSON{Cycles: ert.Cycles, Frac: ert.Frac, Relative: ert.Relative}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadEstimator reads an estimator previously written by Save.
+func LoadEstimator(r io.Reader) (*Estimator, error) {
+	var in estimatorJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding estimator: %w", err)
+	}
+	e := &Estimator{
+		Weights: &Weights{
+			P:      make(map[string]map[imm.IMM]EffectProbs),
+			Spread: make(map[string]map[imm.IMM]float64),
+		},
+		ESC: &ESCModel{C: in.ESC},
+		ERT: make(map[string]ERT),
+	}
+	if e.ESC.C == nil {
+		e.ESC.C = make(map[string]float64)
+	}
+	for s, per := range in.Weights {
+		e.Weights.P[s] = make(map[imm.IMM]EffectProbs)
+		for name, p := range per {
+			c, ok := immByName[name]
+			if !ok {
+				return nil, fmt.Errorf("core: unknown IMM class %q in weights", name)
+			}
+			e.Weights.P[s][c] = p
+		}
+	}
+	for s, per := range in.Spread {
+		e.Weights.Spread[s] = make(map[imm.IMM]float64)
+		for name, v := range per {
+			c, ok := immByName[name]
+			if !ok {
+				return nil, fmt.Errorf("core: unknown IMM class %q in spread", name)
+			}
+			e.Weights.Spread[s][c] = v
+		}
+	}
+	for s, ert := range in.ERT {
+		e.ERT[s] = ERT{Cycles: ert.Cycles, Frac: ert.Frac, Relative: ert.Relative}
+	}
+	if err := e.Weights.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"avgi/internal/campaign"
+	"avgi/internal/imm"
+)
+
+func sampleEstimator() *Estimator {
+	return &Estimator{
+		Weights: &Weights{
+			P: map[string]map[imm.IMM]EffectProbs{
+				"RF":         {imm.DCR: {0.7, 0.2, 0.1}},
+				"L1I (Data)": {imm.OFS: {0.4, 0.3, 0.3}, imm.IRP: {0.1, 0.2, 0.7}},
+			},
+			Spread: map[string]map[imm.IMM]float64{
+				"RF": {imm.DCR: 0.02},
+			},
+		},
+		ESC: &ESCModel{C: map[string]float64{"L2 (Data)": 123.4}},
+		ERT: map[string]ERT{
+			"RF":  {Cycles: 1500},
+			"ROB": {Frac: 0.04, Relative: true},
+		},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	e := sampleEstimator()
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := got.Weights.Lookup("RF", imm.DCR); p != (EffectProbs{0.7, 0.2, 0.1}) {
+		t.Errorf("weights: %v", p)
+	}
+	if p := got.Weights.Lookup("L1I (Data)", imm.IRP); p != (EffectProbs{0.1, 0.2, 0.7}) {
+		t.Errorf("weights irp: %v", p)
+	}
+	if got.Weights.Spread["RF"][imm.DCR] != 0.02 {
+		t.Error("spread lost")
+	}
+	if got.ESC.C["L2 (Data)"] != 123.4 {
+		t.Error("esc lost")
+	}
+	if got.ERT["RF"] != (ERT{Cycles: 1500}) {
+		t.Errorf("ert rf: %+v", got.ERT["RF"])
+	}
+	if got.ERT["ROB"] != (ERT{Frac: 0.04, Relative: true}) {
+		t.Errorf("ert rob: %+v", got.ERT["ROB"])
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadEstimator(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadEstimator(strings.NewReader(`{"weights":{"RF":{"BOGUS":[1,0,0]}}}`)); err == nil {
+		t.Error("unknown IMM class accepted")
+	}
+	// Invalid probability vectors are rejected by validation.
+	if _, err := LoadEstimator(strings.NewReader(`{"weights":{"RF":{"DCR":[0.9,0.9,0.9]}}}`)); err == nil {
+		t.Error("non-normalised weights accepted")
+	}
+}
+
+func TestLoadEmptyEstimator(t *testing.T) {
+	got, err := LoadEstimator(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be usable: lookups fall back, ESC predicts zero.
+	if p := got.Weights.Lookup("RF", imm.Benign); p != (EffectProbs{1, 0, 0}) {
+		t.Errorf("benign lookup: %v", p)
+	}
+	if got.ESC.Predict("L2 (Data)", 1024, 100, 50) != 0 {
+		t.Error("empty ESC should predict zero")
+	}
+}
+
+func TestDeriveERTMarginScales(t *testing.T) {
+	d := map[string]map[string][]campaign.Result{
+		"RF": {"a": {
+			{Manifested: true, ManifestLatency: 400},
+			{},
+		}},
+	}
+	small := DeriveERTMargin(d, nil, 0.5)
+	big := DeriveERTMargin(d, nil, 2.0)
+	if small["RF"].Cycles != 200 || big["RF"].Cycles != 800 {
+		t.Errorf("windows: %d, %d", small["RF"].Cycles, big["RF"].Cycles)
+	}
+	// Non-positive margin falls back to the default (1.25).
+	def := DeriveERTMargin(d, nil, 0)
+	if def["RF"].Cycles != 500 {
+		t.Errorf("default margin window: %d", def["RF"].Cycles)
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import "math"
+
+// TimingRow is one row of the Table II reproduction: the simulated-cycle
+// cost of assessing one structure across all workloads under the three
+// flows, and the resulting speedups attributed to the paper's insights.
+//
+// Insight 1&2 (stop at the first commit-stage corruption, eliciting final
+// effects through the IMM weights) is the exhaustive-to-HVF ratio; benign
+// faults still run to completion there. Insight 3 (the ERT stop window)
+// removes the benign tail as well, so the paper's "Insight 3" column is
+// the full exhaustive-to-AVGI ratio.
+type TimingRow struct {
+	Structure string
+
+	// WindowDesc describes the ERT stop rule ("1.2M cycles" or "3%").
+	WindowDesc string
+
+	// Simulated post-injection cycles summed over all workloads' fault
+	// campaigns.
+	SFICycles  uint64
+	HVFCycles  uint64
+	AVGICycles uint64
+}
+
+// SpeedupInsight12 returns the exhaustive/HVF ratio.
+func (t TimingRow) SpeedupInsight12() float64 { return ratio(t.SFICycles, t.HVFCycles) }
+
+// SpeedupInsight3 returns the full exhaustive/AVGI ratio (the paper's
+// "Insight 3" column).
+func (t TimingRow) SpeedupInsight3() float64 { return ratio(t.SFICycles, t.AVGICycles) }
+
+// OrdersOfMagnitude returns log10 of the full speedup.
+func (t TimingRow) OrdersOfMagnitude() float64 {
+	s := t.SpeedupInsight3()
+	if s <= 0 {
+		return 0
+	}
+	return math.Log10(s)
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// ThroughputModel converts simulated cycles into wall-clock assessment
+// time on a simulation cluster, mirroring the units of Table II (days on
+// 192 cores). CyclesPerSecond is the single-core simulation throughput —
+// measure it with a timed run, or use the paper's gem5-class default.
+type ThroughputModel struct {
+	CyclesPerSecond float64
+	Cores           int
+}
+
+// Days returns the wall-clock days needed to simulate the given cycles.
+func (m ThroughputModel) Days(cycles uint64) float64 {
+	if m.CyclesPerSecond <= 0 || m.Cores <= 0 {
+		return 0
+	}
+	seconds := float64(cycles) / (m.CyclesPerSecond * float64(m.Cores))
+	return seconds / 86400
+}

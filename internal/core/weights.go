@@ -1,0 +1,129 @@
+// Package core implements the paper's primary contribution: the AVGI
+// microarchitecture-driven vulnerability-assessment methodology
+// (Section IV). Its pieces are
+//
+//   - the per-structure, per-IMM effect weights of Section III.D
+//     (weights.go),
+//   - the empirical ESC prediction equation of Section IV.D (esc.go),
+//   - the effective-residency-time analysis of Section V.A (ert.go),
+//   - the five-phase estimator that combines them into a final
+//     cross-layer AVF (estimator.go),
+//   - FIT-rate computation (fit.go), and
+//   - the speedup accounting behind Table II (timing.go).
+package core
+
+import (
+	"fmt"
+
+	"avgi/internal/campaign"
+	"avgi/internal/imm"
+	"avgi/internal/stats"
+)
+
+// EffectProbs is a probability vector over the final fault effects, indexed
+// by imm.Effect (Masked, SDC, Crash).
+type EffectProbs [3]float64
+
+// Sum returns the total probability mass.
+func (p EffectProbs) Sum() float64 { return p[0] + p[1] + p[2] }
+
+// Weights holds, per hardware structure and IMM class, the probability of
+// each final fault effect, averaged (arithmetic mean) across the training
+// workloads — the per-structure knob of Section III.D that lets the
+// methodology elicit final fault effects from IMM counts alone.
+type Weights struct {
+	// P[structure][class] = mean effect distribution.
+	P map[string]map[imm.IMM]EffectProbs
+	// Spread[structure][class] = max standard deviation across workloads
+	// over the three effects, reported to validate the uniformity claim
+	// (the paper observes 0.1%–2.4%).
+	Spread map[string]map[imm.IMM]float64
+}
+
+// TrainWeights derives weights from exhaustive ground-truth campaigns.
+// data[structure][workload] holds ModeExhaustive results. Per workload the
+// conditional distribution P(effect | IMM) is computed, then averaged
+// across workloads with at least one sample of that IMM.
+func TrainWeights(data map[string]map[string][]campaign.Result) *Weights {
+	w := &Weights{
+		P:      make(map[string]map[imm.IMM]EffectProbs),
+		Spread: make(map[string]map[imm.IMM]float64),
+	}
+	for structure, perWorkload := range data {
+		w.P[structure] = make(map[imm.IMM]EffectProbs)
+		w.Spread[structure] = make(map[imm.IMM]float64)
+		for _, class := range imm.Classes {
+			if class == imm.ESC {
+				continue // handled by the ESC model
+			}
+			// Collect this class's effect distribution per workload.
+			var perEffect [3][]float64
+			for _, results := range perWorkload {
+				var counts [3]int
+				total := 0
+				for _, res := range results {
+					if res.IMM == class && res.HasEffect {
+						counts[res.Effect]++
+						total++
+					}
+				}
+				if total == 0 {
+					continue
+				}
+				for e := range counts {
+					perEffect[e] = append(perEffect[e], float64(counts[e])/float64(total))
+				}
+			}
+			if len(perEffect[0]) == 0 {
+				continue
+			}
+			var probs EffectProbs
+			var spread float64
+			for e := range perEffect {
+				probs[e] = stats.Mean(perEffect[e])
+				if sd := stats.StdDev(perEffect[e]); sd > spread {
+					spread = sd
+				}
+			}
+			w.P[structure][class] = probs
+			w.Spread[structure][class] = spread
+		}
+	}
+	return w
+}
+
+// Lookup returns the effect distribution for (structure, class). IMMs never
+// observed during training fall back to the conservative prior
+// {Masked: 0, SDC: 0.5, Crash: 0.5}, and Benign is Masked by definition.
+func (w *Weights) Lookup(structure string, class imm.IMM) EffectProbs {
+	if class == imm.Benign {
+		return EffectProbs{1, 0, 0}
+	}
+	if m, ok := w.P[structure]; ok {
+		if p, ok := m[class]; ok {
+			return p
+		}
+	}
+	return EffectProbs{0, 0.5, 0.5}
+}
+
+// Structures lists the structures the weights were trained for.
+func (w *Weights) Structures() []string {
+	var out []string
+	for s := range w.P {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Validate checks that every trained distribution is a probability vector.
+func (w *Weights) Validate() error {
+	for s, m := range w.P {
+		for c, p := range m {
+			if sum := p.Sum(); sum < 0.999 || sum > 1.001 {
+				return fmt.Errorf("core: weights for %s/%v sum to %f", s, c, sum)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package cpu
+
+import (
+	"testing"
+
+	"avgi/internal/asm"
+)
+
+// TestBimodalPredictorLearnsLoop: after warm-up, a steady loop branch must
+// stop mispredicting, so total mispredicts stay far below iterations.
+func TestBimodalPredictorLearnsLoop(t *testing.T) {
+	m, res := run(t, ConfigA72(), func(b *asm.Builder) {
+		b.Li(1, 0)
+		b.Li(2, 500)
+		b.Label("loop")
+		b.Addi(1, 1, 1)
+		b.Blt(1, 2, "loop")
+		b.Halt()
+	})
+	if res.Status != StatusHalted {
+		t.Fatal(res.Status)
+	}
+	if m.Stats.Branches < 500 {
+		t.Fatalf("branches %d", m.Stats.Branches)
+	}
+	// One warm-up mispredict plus the final fall-through: the steady
+	// state must predict correctly.
+	if m.Stats.Mispredicts > 5 {
+		t.Errorf("mispredicts = %d for a steady loop", m.Stats.Mispredicts)
+	}
+}
+
+// TestBTBLearnsIndirectTarget: repeated calls through the same JALR (ret)
+// train the BTB, so later returns don't mispredict.
+func TestBTBLearnsIndirectTarget(t *testing.T) {
+	m, res := run(t, ConfigA72(), func(b *asm.Builder) {
+		b.Li(1, 0)
+		b.Li(2, 100)
+		b.Label("loop")
+		b.Call("fn")
+		b.Addi(1, 1, 1)
+		b.Blt(1, 2, "loop")
+		b.Halt()
+		b.Label("fn")
+		b.Ret()
+	})
+	if res.Status != StatusHalted {
+		t.Fatal(res.Status)
+	}
+	// The ret target is identical every iteration: after the first call
+	// the BTB supplies it. Allow warm-up noise from the loop branch.
+	perCall := float64(m.Stats.Mispredicts) / 100
+	if perCall > 0.2 {
+		t.Errorf("mispredicts per call = %.2f; BTB not learning", perCall)
+	}
+}
+
+// TestAlternatingBranchMispredicts: a strictly alternating branch defeats
+// a bimodal predictor — mispredict rate must be substantial, which is what
+// keeps wrong-path masking (squashes) exercised in campaigns.
+func TestAlternatingBranchMispredicts(t *testing.T) {
+	m, res := run(t, ConfigA72(), func(b *asm.Builder) {
+		b.Li(1, 0)   // i
+		b.Li(2, 400) // n
+		b.Li(3, 0)   // acc
+		b.Label("loop")
+		b.Andi(4, 1, 1)
+		b.Beq(4, 0, "even")
+		b.Addi(3, 3, 1)
+		b.Jump("next")
+		b.Label("even")
+		b.Addi(3, 3, 2)
+		b.Label("next")
+		b.Addi(1, 1, 1)
+		b.Blt(1, 2, "loop")
+		b.Halt()
+	})
+	if res.Status != StatusHalted {
+		t.Fatal(res.Status)
+	}
+	if m.ArchReg(3) != 200*1+200*2 {
+		t.Errorf("acc = %d", m.ArchReg(3))
+	}
+	if m.Stats.Squashed == 0 {
+		t.Error("alternating branch produced no squashes")
+	}
+}

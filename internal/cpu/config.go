@@ -1,0 +1,126 @@
+// Package cpu models a detailed out-of-order microprocessor core in the
+// style of gem5's O3 model: decoupled fetch with branch prediction,
+// register renaming over a physical register file, an issue queue, a
+// load/store queue with store-to-load forwarding, and a reorder buffer with
+// in-order commit and precise exceptions.
+//
+// The microarchitectural storage the paper injects faults into — the
+// physical register file, ROB, LQ and SQ — is exposed as bit-addressable
+// state. Control-field corruption in ROB/LQ/SQ entries is detected by
+// shadow integrity checks at use/commit time, modelling the internal
+// assertion checks of a detailed simulator (the paper's observation that
+// such faults manifest ~100% as pre-software crashes, Section III.B).
+package cpu
+
+import (
+	"avgi/internal/isa"
+	"avgi/internal/mem"
+)
+
+// Config describes one machine model.
+type Config struct {
+	Name    string
+	Variant isa.Variant
+
+	FetchWidth  int
+	DecodeWidth int
+	IssueWidth  int
+	CommitWidth int
+
+	ROBSize  int
+	IQSize   int
+	LQSize   int
+	SQSize   int
+	PhysRegs int
+
+	FetchQueue int // decoupling buffer between fetch and rename
+
+	BPBits     int // log2 of bimodal predictor entries
+	BTBEntries int // direct-mapped BTB for indirect jumps
+
+	LatALU uint64
+	LatMul uint64
+	LatDiv uint64
+
+	Mem mem.HierarchyConfig
+
+	// WatchdogCommitGap crashes the machine if no instruction commits
+	// for this many cycles (hung pipeline, runaway wrong-path fetch).
+	WatchdogCommitGap uint64
+}
+
+// ConfigA72 returns the 64-bit machine model, standing in for the paper's
+// Arm Cortex-A72-like CPU (Armv8). Cache geometry is scaled with the
+// workload footprints (see DESIGN.md §5) while keeping the paper's
+// structure mix and relative sizes.
+func ConfigA72() Config {
+	return Config{
+		Name:        "A72-like",
+		Variant:     isa.V64,
+		FetchWidth:  4,
+		DecodeWidth: 4,
+		IssueWidth:  4,
+		CommitWidth: 4,
+		ROBSize:     128,
+		IQSize:      48,
+		LQSize:      32,
+		SQSize:      32,
+		PhysRegs:    96,
+		FetchQueue:  16,
+		BPBits:      10,
+		BTBEntries:  256,
+		LatALU:      1,
+		LatMul:      3,
+		LatDiv:      12,
+		Mem: mem.HierarchyConfig{
+			RAMSize: 1 << 20,
+			// Cache capacities are scaled with the workload
+			// footprints (DESIGN.md §5) so the live fraction of
+			// each array — and therefore the benign-fault ratio —
+			// stays in the regime the paper reports.
+			L1I:         mem.CacheConfig{Name: "L1I", Sets: 8, Ways: 2, LineBytes: 64, HitLat: 1, AddrBits: 20},
+			L1D:         mem.CacheConfig{Name: "L1D", Sets: 32, Ways: 2, LineBytes: 64, HitLat: 2, AddrBits: 20},
+			L2:          mem.CacheConfig{Name: "L2", Sets: 128, Ways: 8, LineBytes: 64, HitLat: 12, AddrBits: 20},
+			ITLBEntries: 16,
+			DTLBEntries: 16,
+			WalkLat:     20,
+			DRAMLat:     60,
+		},
+		WatchdogCommitGap: 20000,
+	}
+}
+
+// ConfigA15 returns the 32-bit machine model, standing in for the paper's
+// Arm Cortex-A15-like CPU (Armv7) used in the Section VI case study.
+func ConfigA15() Config {
+	return Config{
+		Name:        "A15-like",
+		Variant:     isa.V32,
+		FetchWidth:  2,
+		DecodeWidth: 2,
+		IssueWidth:  2,
+		CommitWidth: 2,
+		ROBSize:     64,
+		IQSize:      24,
+		LQSize:      16,
+		SQSize:      16,
+		PhysRegs:    48,
+		FetchQueue:  8,
+		BPBits:      9,
+		BTBEntries:  128,
+		LatALU:      1,
+		LatMul:      4,
+		LatDiv:      16,
+		Mem: mem.HierarchyConfig{
+			RAMSize:     1 << 20,
+			L1I:         mem.CacheConfig{Name: "L1I", Sets: 16, Ways: 1, LineBytes: 64, HitLat: 1, AddrBits: 20},
+			L1D:         mem.CacheConfig{Name: "L1D", Sets: 16, Ways: 2, LineBytes: 64, HitLat: 2, AddrBits: 20},
+			L2:          mem.CacheConfig{Name: "L2", Sets: 64, Ways: 8, LineBytes: 64, HitLat: 10, AddrBits: 20},
+			ITLBEntries: 8,
+			DTLBEntries: 8,
+			WalkLat:     24,
+			DRAMLat:     70,
+		},
+		WatchdogCommitGap: 20000,
+	}
+}

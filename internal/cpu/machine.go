@@ -1,0 +1,439 @@
+package cpu
+
+import (
+	"fmt"
+
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+	"avgi/internal/mem"
+	"avgi/internal/trace"
+)
+
+// excKind is a precise exception recorded in a ROB entry and raised when the
+// entry reaches the commit head.
+type excKind uint8
+
+const (
+	excNone excKind = iota
+	excIllegal
+	excPage
+	excAlign
+)
+
+// CrashKind explains why a run crashed.
+type CrashKind uint8
+
+const (
+	CrashNone CrashKind = iota
+	// CrashMachineCheck is a shadow-integrity (simulator assertion)
+	// failure: corrupted ROB/LQ/SQ control state was about to be used.
+	CrashMachineCheck
+	// CrashIllegal is an undefined-instruction exception at commit.
+	CrashIllegal
+	// CrashPageFault is an access to an unmapped page.
+	CrashPageFault
+	// CrashAlignFault is a misaligned access.
+	CrashAlignFault
+	// CrashWatchdog fires when no instruction commits for the configured
+	// gap or the cycle limit is exceeded.
+	CrashWatchdog
+)
+
+func (k CrashKind) String() string {
+	switch k {
+	case CrashNone:
+		return "none"
+	case CrashMachineCheck:
+		return "machine check"
+	case CrashIllegal:
+		return "illegal instruction"
+	case CrashPageFault:
+		return "page fault"
+	case CrashAlignFault:
+		return "alignment fault"
+	case CrashWatchdog:
+		return "watchdog"
+	}
+	return fmt.Sprintf("crash(%d)", uint8(k))
+}
+
+// Status is the lifecycle state of a machine.
+type Status uint8
+
+const (
+	StatusRunning Status = iota
+	// StatusHalted means the program executed HALT; output was drained.
+	StatusHalted
+	// StatusCrashed means a catastrophic event ended the run.
+	StatusCrashed
+	// StatusStopped means the trace sink asked the run to stop early.
+	StatusStopped
+	// StatusCycleLimit means the run hit the caller's cycle budget.
+	StatusCycleLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusHalted:
+		return "halted"
+	case StatusCrashed:
+		return "crashed"
+	case StatusStopped:
+		return "stopped"
+	case StatusCycleLimit:
+		return "cycle limit"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+const noReg = ^uint16(0)
+
+// operand is a renamed source operand: either a physical register or a
+// constant resolved at rename time (the zero register and immediates).
+type operand struct {
+	isReg bool
+	phys  uint16
+	con   uint64
+}
+
+// robEntry is one reorder-buffer slot with all in-flight state.
+type robEntry struct {
+	used bool
+	seq  uint64
+
+	pc    uint64
+	word  uint32
+	inst  isa.Inst
+	class isa.Class
+
+	hasDest  bool
+	destArch uint8
+	destPhys uint16
+	oldPhys  uint16
+
+	src [2]operand
+
+	issued  bool
+	done    bool
+	readyAt uint64
+
+	exc excKind
+
+	// Branch state. Mispredict recovery walks the ROB back from the
+	// tail, undoing rename effects, so no checkpoint is stored.
+	predTaken  bool
+	predTarget uint64
+
+	// Memory state.
+	lq int
+	sq int
+
+	result  uint64
+	effAddr uint64
+
+	// injected marks surface corruption from fault injection; the shadow
+	// integrity check fires when the entry commits.
+	injected bool
+}
+
+type fqEntry struct {
+	pc         uint64
+	word       uint32
+	inst       isa.Inst // pre-decoded at fetch; rename reuses it
+	readyAt    uint64
+	predTaken  bool
+	predTarget uint64
+	fetchExc   excKind
+}
+
+type lqEntry struct {
+	used     bool
+	rob      int
+	seq      uint64
+	addr     uint64
+	size     uint64
+	known    bool
+	injected bool
+}
+
+type sqEntry struct {
+	used     bool
+	rob      int
+	seq      uint64
+	addr     uint64
+	size     uint64
+	data     uint64
+	known    bool
+	injected bool
+}
+
+// Stats accumulates run statistics (protected state).
+type Stats struct {
+	Commits     uint64
+	Branches    uint64
+	Mispredicts uint64
+	Squashed    uint64
+	Loads       uint64
+	Stores      uint64
+}
+
+// Machine is one simulated CPU attached to a memory hierarchy with a loaded
+// program.
+type Machine struct {
+	Cfg  Config
+	Prog *asm.Program
+	Mem  *mem.Hierarchy
+
+	// Physical register file: the value array is a fault target.
+	prf        []uint64
+	prfReadyAt []uint64
+
+	renameMap    []uint16 // speculative map (protected)
+	committedMap []uint16 // architectural map (protected)
+	freeList     []uint16 // LIFO stack of free physical registers
+	freeTop      int
+
+	rob      []robEntry
+	robHead  int
+	robTail  int
+	robCount int
+	seqNext  uint64
+
+	iq []int // ROB indices waiting to issue, program order
+
+	lqs    []lqEntry
+	lqHead int
+	lqTail int
+	lqCnt  int
+
+	sqs    []sqEntry
+	sqHead int
+	sqTail int
+	sqCnt  int
+
+	fq []fqEntry
+
+	fetchPC         uint64
+	fetchHalted     bool
+	fetchStallUntil uint64
+
+	bimodal []uint8  // 2-bit counters
+	btb     []uint64 // indirect-branch targets, direct-mapped by PC
+
+	cycle           uint64
+	lastCommitCycle uint64
+
+	status Status
+	crash  CrashKind
+
+	sink trace.Sink
+
+	Stats Stats
+
+	output []byte
+
+	// profile, when non-nil, samples the dirty-output-line occupancy of
+	// the data caches during the run (golden runs only; clones drop it).
+	profile *outputProfile
+}
+
+// outputProfile records how much of each cache array holds dirty data
+// destined for the program output — the exposure that makes ESC faults
+// possible (Section IV.D). Sampled every interval cycles as a time series
+// so the campaign runner can weight each sample by how much of the output
+// is already in its final state.
+type outputProfile struct {
+	lo, hi   uint64
+	interval uint64
+
+	cycles []uint64
+	l1d    []uint32 // dirty output lines in L1D per sample
+	l2     []uint32
+}
+
+// New builds a machine for cfg and loads the program image.
+func New(cfg Config, prog *asm.Program) *Machine {
+	if prog.Variant != cfg.Variant {
+		panic(fmt.Sprintf("cpu: program %s assembled for %s but machine is %s",
+			prog.Name, prog.Variant, cfg.Variant))
+	}
+	m := &Machine{Cfg: cfg, Prog: prog}
+	m.Mem = mem.NewHierarchy(cfg.Mem)
+
+	// Load the program image into physical memory.
+	text := make([]byte, len(prog.Text)*4)
+	for i, w := range prog.Text {
+		text[i*4] = byte(w)
+		text[i*4+1] = byte(w >> 8)
+		text[i*4+2] = byte(w >> 16)
+		text[i*4+3] = byte(w >> 24)
+	}
+	m.Mem.RAM.WriteBlock(prog.TextBase, text)
+	m.Mem.RAM.WriteBlock(prog.DataBase, prog.Data)
+
+	n := cfg.Variant.NumArchRegs()
+	m.prf = make([]uint64, cfg.PhysRegs)
+	m.prfReadyAt = make([]uint64, cfg.PhysRegs)
+	m.renameMap = make([]uint16, n)
+	m.committedMap = make([]uint16, n)
+	// Architectural registers start mapped to physical 0..n-1 (all zero);
+	// the rest go on the free list.
+	for i := 0; i < n; i++ {
+		m.renameMap[i] = uint16(i)
+		m.committedMap[i] = uint16(i)
+	}
+	m.freeList = make([]uint16, cfg.PhysRegs)
+	for p := n; p < cfg.PhysRegs; p++ {
+		m.freeList[m.freeTop] = uint16(p)
+		m.freeTop++
+	}
+
+	// Initialise the stack pointer convention: SP = top of RAM.
+	sp := cfg.Mem.RAMSize - 16
+	m.prf[m.renameMap[asm.SP]] = sp & cfg.Variant.Mask()
+
+	m.rob = make([]robEntry, cfg.ROBSize)
+	m.lqs = make([]lqEntry, cfg.LQSize)
+	m.sqs = make([]sqEntry, cfg.SQSize)
+	m.iq = make([]int, 0, cfg.IQSize)
+	m.fq = make([]fqEntry, 0, cfg.FetchQueue)
+	m.bimodal = make([]uint8, 1<<cfg.BPBits)
+	for i := range m.bimodal {
+		m.bimodal[i] = 1 // weakly not-taken
+	}
+	m.btb = make([]uint64, cfg.BTBEntries)
+
+	m.fetchPC = prog.TextBase
+	return m
+}
+
+// SetSink installs the commit-trace sink.
+func (m *Machine) SetSink(s trace.Sink) { m.sink = s }
+
+// Cycle returns the current cycle number.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Status returns the machine's lifecycle state.
+func (m *Machine) Status() Status { return m.status }
+
+// Crash returns the crash kind for StatusCrashed machines.
+func (m *Machine) Crash() CrashKind { return m.crash }
+
+// Output returns the DMA-drained output of a halted machine (nil
+// otherwise).
+func (m *Machine) Output() []byte { return m.output }
+
+// EnableOutputProfiling turns on dirty-output-exposure sampling over the
+// address range [lo, hi) every interval cycles. Campaign golden runs use
+// it to feed the ESC predictor; it is pure observation and does not change
+// timing or state.
+func (m *Machine) EnableOutputProfiling(lo, hi, interval uint64) {
+	if interval == 0 {
+		interval = 64
+	}
+	m.profile = &outputProfile{lo: lo, hi: hi, interval: interval}
+}
+
+// OutputProfile returns the sampled dirty-output-line time series: sample
+// cycles and, per sample, the dirty output lines in L1D and L2. The
+// campaign runner folds these into per-structure exposure fractions.
+func (m *Machine) OutputProfile() (cycles []uint64, l1d, l2 []uint32) {
+	p := m.profile
+	if p == nil {
+		return nil, nil, nil
+	}
+	return p.cycles, p.l1d, p.l2
+}
+
+// Step advances the machine one clock cycle. Stages run in reverse pipeline
+// order so that a cycle's results are visible to earlier stages only on the
+// next cycle.
+func (m *Machine) Step() {
+	if m.status != StatusRunning {
+		return
+	}
+	m.cycle++
+	if p := m.profile; p != nil && m.cycle%p.interval == 0 {
+		p.cycles = append(p.cycles, m.cycle)
+		p.l1d = append(p.l1d, uint32(m.Mem.L1D.DirtyLinesInRange(p.lo, p.hi)))
+		p.l2 = append(p.l2, uint32(m.Mem.L2.DirtyLinesInRange(p.lo, p.hi)))
+	}
+	m.commitStage()
+	if m.status != StatusRunning {
+		return
+	}
+	m.issueStage()
+	m.renameStage()
+	m.fetchStage()
+
+	if m.cycle-m.lastCommitCycle > m.Cfg.WatchdogCommitGap {
+		m.crashNow(CrashWatchdog)
+	}
+}
+
+// crashNow terminates the run with the given crash kind.
+func (m *Machine) crashNow(k CrashKind) {
+	m.status = StatusCrashed
+	m.crash = k
+}
+
+// halt completes a successful run: caches are flushed and the DMA engine
+// drains the output region from physical memory.
+func (m *Machine) halt() {
+	m.status = StatusHalted
+	out := m.Mem.DrainOutput(m.Prog.OutBase, m.Prog.OutLenAddr, m.Cfg.Variant.WordBytes())
+	m.output = append([]byte(nil), out...)
+}
+
+// RunOptions controls a Run invocation.
+type RunOptions struct {
+	// MaxCycles is the absolute cycle budget (0 means a generous default
+	// of 100M cycles).
+	MaxCycles uint64
+	// StopAtCycle pauses the run when the cycle counter reaches this
+	// value (0 disables). Used to position checkpoints.
+	StopAtCycle uint64
+}
+
+// Result summarises a completed run.
+type Result struct {
+	Status  Status
+	Crash   CrashKind
+	Cycles  uint64
+	Commits uint64
+	Output  []byte
+}
+
+// Run advances the machine until it halts, crashes, is stopped by the sink,
+// or exhausts the cycle budget.
+func (m *Machine) Run(opts RunOptions) Result {
+	max := opts.MaxCycles
+	if max == 0 {
+		max = 100_000_000
+	}
+	for m.status == StatusRunning {
+		if m.cycle >= max {
+			m.status = StatusCycleLimit
+			break
+		}
+		if opts.StopAtCycle > 0 && m.cycle >= opts.StopAtCycle {
+			break
+		}
+		m.Step()
+	}
+	return Result{
+		Status:  m.status,
+		Crash:   m.crash,
+		Cycles:  m.cycle,
+		Commits: m.Stats.Commits,
+		Output:  m.output,
+	}
+}
+
+// robAt returns the entry at ring index i.
+func (m *Machine) robAt(i int) *robEntry { return &m.rob[i] }
+
+// robNext returns the ring index after i.
+func (m *Machine) robNext(i int) int { return (i + 1) % len(m.rob) }

@@ -1,0 +1,49 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+
+	"avgi/internal/mem"
+)
+
+// StatsReport renders the machine's performance counters as a multi-line
+// human-readable summary (used by cmd/avgisim).
+func (m *Machine) StatsReport() string {
+	var b strings.Builder
+	s := m.Stats
+	ipc := 0.0
+	if m.cycle > 0 {
+		ipc = float64(s.Commits) / float64(m.cycle)
+	}
+	fmt.Fprintf(&b, "cycles        %d\n", m.cycle)
+	fmt.Fprintf(&b, "commits       %d (IPC %.2f)\n", s.Commits, ipc)
+	fmt.Fprintf(&b, "loads/stores  %d / %d\n", s.Loads, s.Stores)
+	mr := 0.0
+	if s.Branches > 0 {
+		mr = float64(s.Mispredicts) / float64(s.Branches)
+	}
+	fmt.Fprintf(&b, "branches      %d (%.1f%% mispredicted, %d squashed)\n",
+		s.Branches, mr*100, s.Squashed)
+	cache := func(name string, c *mem.Cache) {
+		rate := 0.0
+		if c.Accesses > 0 {
+			rate = float64(c.Misses) / float64(c.Accesses)
+		}
+		fmt.Fprintf(&b, "%-13s %d accesses, %.1f%% miss, %d writebacks\n",
+			name, c.Accesses, rate*100, c.Writebacks)
+	}
+	cache("L1I", m.Mem.L1I)
+	cache("L1D", m.Mem.L1D)
+	cache("L2", m.Mem.L2)
+	tlb := func(name string, t *mem.TLB) {
+		rate := 0.0
+		if t.Accesses > 0 {
+			rate = float64(t.Misses) / float64(t.Accesses)
+		}
+		fmt.Fprintf(&b, "%-13s %d accesses, %.2f%% miss\n", name, t.Accesses, rate*100)
+	}
+	tlb("ITLB", m.Mem.ITLB)
+	tlb("DTLB", m.Mem.DTLB)
+	return b.String()
+}

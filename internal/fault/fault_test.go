@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestListUniformAndSorted(t *testing.T) {
+	fs := List("RF", 5000, 6144, 100000, 42)
+	if len(fs) != 5000 {
+		t.Fatalf("len = %d", len(fs))
+	}
+	if !sort.SliceIsSorted(fs, func(i, j int) bool { return fs[i].Cycle < fs[j].Cycle }) {
+		t.Error("list not sorted by cycle")
+	}
+	var bitSum, cycSum float64
+	ids := map[int]bool{}
+	for _, f := range fs {
+		if f.Bit >= 6144 {
+			t.Fatalf("bit out of range: %d", f.Bit)
+		}
+		if f.Cycle < 1 || f.Cycle > 100000 {
+			t.Fatalf("cycle out of range: %d", f.Cycle)
+		}
+		if f.Structure != "RF" {
+			t.Fatalf("structure %q", f.Structure)
+		}
+		ids[f.ID] = true
+		bitSum += float64(f.Bit)
+		cycSum += float64(f.Cycle)
+	}
+	if len(ids) != 5000 {
+		t.Error("IDs not unique")
+	}
+	// Uniformity sanity: means within 5% of the midpoint.
+	if m := bitSum / 5000; m < 6144/2*0.95 || m > 6144/2*1.05 {
+		t.Errorf("bit mean %f suspicious", m)
+	}
+	if m := cycSum / 5000; m < 50000*0.95 || m > 50000*1.05 {
+		t.Errorf("cycle mean %f suspicious", m)
+	}
+}
+
+func TestListDeterministic(t *testing.T) {
+	a := List("RF", 100, 1000, 1000, 7)
+	b := List("RF", 100, 1000, 1000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different lists")
+		}
+	}
+	c := List("RF", 100, 1000, 1000, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical lists")
+	}
+}
+
+func TestListEmptyInputs(t *testing.T) {
+	if List("RF", 10, 0, 100, 1) != nil {
+		t.Error("zero bits should return nil")
+	}
+	if List("RF", 10, 100, 0, 1) != nil {
+		t.Error("zero cycles should return nil")
+	}
+}
+
+func TestSeedStable(t *testing.T) {
+	a := Seed("RF", "sha", 1)
+	if a != Seed("RF", "sha", 1) {
+		t.Error("Seed not stable")
+	}
+	if a == Seed("RF", "crc32", 1) || a == Seed("ROB", "sha", 1) {
+		t.Error("Seed collisions across inputs")
+	}
+	if Seed("RFx", "y", 1) == Seed("RF", "xy", 1) {
+		t.Error("separator not effective")
+	}
+	if a < 0 {
+		t.Error("seed should be non-negative")
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	s := Fault{ID: 3, Structure: "ROB", Bit: 17, Cycle: 999}.String()
+	for _, want := range []string{"#3", "ROB", "17", "999"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}

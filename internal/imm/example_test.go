@@ -1,0 +1,57 @@
+package imm_test
+
+import (
+	"fmt"
+
+	"avgi/internal/imm"
+	"avgi/internal/isa"
+	"avgi/internal/trace"
+)
+
+// ExampleClassify walks the Fig. 2 diagram for a corrupted-operand commit:
+// the golden run committed "add r1, r2, r3" but the faulty run committed
+// "add r1, r6, r3" — same PC, same opcode, an ISA-valid but wrong operand.
+func ExampleClassify() {
+	golden := trace.Record{
+		Cycle: 100, PC: 0x1000,
+		Word:    isa.Encode(isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3}),
+		HasDest: true, Dest: 1, Value: 7,
+	}
+	faulty := golden
+	faulty.Word = isa.Encode(isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 6, Rs2: 3})
+	faulty.Value = 99
+
+	class := imm.Classify(imm.Inputs{
+		Dev: trace.Deviation{
+			Kind:   trace.DevRecord,
+			Golden: golden,
+			Faulty: faulty,
+		},
+		Variant: isa.V64,
+	})
+	fmt.Println(class)
+	// Output: OFS
+}
+
+// ExampleClassify_rightBranch shows the no-deviation side of the diagram:
+// a run whose commit trace matched golden but whose output differs can
+// only be an escaped fault.
+func ExampleClassify_rightBranch() {
+	class := imm.Classify(imm.Inputs{
+		OutputProduced: true,
+		OutputMatches:  false,
+	})
+	fmt.Println(class)
+	// Output: ESC
+}
+
+// ExampleFinalEffect maps run outcomes to the classic SFI effect classes.
+func ExampleFinalEffect() {
+	fmt.Println(imm.FinalEffect(false, true, true))
+	fmt.Println(imm.FinalEffect(false, true, false))
+	fmt.Println(imm.FinalEffect(true, false, false))
+	// Output:
+	// Masked
+	// SDC
+	// Crash
+}

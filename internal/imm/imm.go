@@ -1,0 +1,211 @@
+// Package imm implements Table I and Fig. 2 of the paper: the eight
+// complete and mutually exclusive ISA Manifestation Models (IMMs) that
+// describe how a microarchitectural fault first touches the software layer,
+// and the decision procedure that assigns exactly one class to every
+// injected fault.
+package imm
+
+import (
+	"avgi/internal/isa"
+	"avgi/internal/trace"
+)
+
+// IMM is an ISA Manifestation Model class. Benign is the complement: the
+// fault never reached the software layer (hardware masking).
+type IMM uint8
+
+const (
+	// Benign: the fault was masked by the microarchitecture and never
+	// became architecturally visible (not an IMM in the paper's Table I;
+	// kept in the enum for bookkeeping).
+	Benign IMM = iota
+	// IFC — Instruction Flow Change: a different instruction committed
+	// due to incorrect instruction fetching (wrong PC).
+	IFC
+	// IRP — Instruction Replacement: a different instruction committed
+	// due to a corrupted opcode at the correct PC.
+	IRP
+	// UNO — Unknown Operand: one or more operand fields are corrupted
+	// and unknown to the ISA.
+	UNO
+	// OFS — Operand Forced Switch: register operand or immediate fields
+	// are corrupted but remain ISA-valid.
+	OFS
+	// DCR — Data Corruption: the correct resource is used but its
+	// contents (register or memory word) are corrupted.
+	DCR
+	// ETE — Execution Time Error: the correct instruction committed in a
+	// wrong clock cycle.
+	ETE
+	// PRE — Pre-Software Crash: execution crashed before the fault
+	// affected the ISA (simulator assertion / machine check, unhandled
+	// exception, hang).
+	PRE
+	// ESC — Escaped: the fault corrupted the program output without ever
+	// passing through the program trace (dirty cache lines holding
+	// output data, Section IV.D).
+	ESC
+)
+
+// Classes lists the eight IMMs of Table I in presentation order.
+var Classes = []IMM{IFC, IRP, UNO, OFS, DCR, ETE, PRE, ESC}
+
+// String returns the paper's three-letter class name.
+func (m IMM) String() string {
+	switch m {
+	case Benign:
+		return "Benign"
+	case IFC:
+		return "IFC"
+	case IRP:
+		return "IRP"
+	case UNO:
+		return "UNO"
+	case OFS:
+		return "OFS"
+	case DCR:
+		return "DCR"
+	case ETE:
+		return "ETE"
+	case PRE:
+		return "PRE"
+	case ESC:
+		return "ESC"
+	}
+	return "IMM?"
+}
+
+// Effect is the final fault-effect class of an end-to-end run
+// (Section II.B).
+type Effect uint8
+
+const (
+	// Masked: no observable deviation of the program output.
+	Masked Effect = iota
+	// SDC: the run finished normally but the output differs.
+	SDC
+	// Crash: the run ended in a catastrophic event with no output.
+	Crash
+)
+
+// Effects lists the final fault-effect classes.
+var Effects = []Effect{Masked, SDC, Crash}
+
+// String returns the class name.
+func (e Effect) String() string {
+	switch e {
+	case Masked:
+		return "Masked"
+	case SDC:
+		return "SDC"
+	case Crash:
+		return "Crash"
+	}
+	return "Effect?"
+}
+
+// Inputs collects the observations of one faulty run needed by the Fig. 2
+// classification diagram.
+type Inputs struct {
+	// Dev is the first commit-trace deviation (Kind DevNone if the
+	// commit trace matched golden for as long as the run was observed).
+	Dev trace.Deviation
+	// Crashed reports a catastrophic end (machine check, unhandled
+	// exception, watchdog, runaway).
+	Crashed bool
+	// OutputProduced reports that the run halted normally and produced
+	// an output file (only meaningful for end-to-end runs).
+	OutputProduced bool
+	// OutputMatches reports that the produced output equals the golden
+	// output.
+	OutputMatches bool
+	// Variant is the ISA variant used to decode instruction words.
+	Variant isa.Variant
+}
+
+// Classify walks the Fig. 2 diagram and returns exactly one class for any
+// input combination. The left branch (commit-trace deviation observed)
+// distinguishes IFC/IRP/UNO/OFS/DCR/ETE from the deviating record pair; the
+// right branch (no deviation) distinguishes PRE/Benign/ESC from the crash
+// flag and the output comparison.
+func Classify(in Inputs) IMM {
+	if in.Dev.Kind != trace.DevNone {
+		return classifyDeviation(in.Dev, in.Variant)
+	}
+	// Commit trace correct.
+	if in.Crashed || !in.OutputProduced {
+		// A high-level condition was violated before the fault
+		// reached the ISA.
+		return PRE
+	}
+	if in.OutputMatches {
+		return Benign
+	}
+	return ESC
+}
+
+// classifyDeviation orders its checks exactly as the Fig. 2 diagram: PC,
+// then opcode, then operand validity, then operand fields, then contents,
+// then commit cycle.
+func classifyDeviation(d trace.Deviation, v isa.Variant) IMM {
+	if d.Kind == trace.DevCycle {
+		return ETE
+	}
+	if d.Kind == trace.DevExtra {
+		// The faulty run committed past the golden end of execution:
+		// control flow diverged.
+		return IFC
+	}
+	g, f := d.Golden, d.Faulty
+	if f.PC != g.PC {
+		return IFC
+	}
+	gi := isa.Decode(g.Word, v)
+	fi := isa.Decode(f.Word, v)
+	if fi.Op != gi.Op {
+		return IRP
+	}
+	if fi.Illegal != isa.IllegalNone {
+		return UNO
+	}
+	if operandFieldsDiffer(gi, fi) {
+		return OFS
+	}
+	// Same instruction, same fields: the resource contents are wrong.
+	if f.Value != g.Value || f.Addr != g.Addr || f.HasDest != g.HasDest ||
+		f.Dest != g.Dest || f.IsStore != g.IsStore {
+		return DCR
+	}
+	// Only the cycle can remain (the comparator classifies that as
+	// DevCycle, but be complete).
+	return ETE
+}
+
+// operandFieldsDiffer compares the encoding fields the instruction's format
+// actually uses.
+func operandFieldsDiffer(g, f isa.Inst) bool {
+	switch isa.OpFormat(g.Op) {
+	case isa.FmtNone:
+		return false
+	case isa.FmtR:
+		return g.Rd != f.Rd || g.Rs1 != f.Rs1 || g.Rs2 != f.Rs2
+	case isa.FmtI, isa.FmtL, isa.FmtS, isa.FmtB:
+		return g.Rd != f.Rd || g.Rs1 != f.Rs1 || g.Imm != f.Imm
+	case isa.FmtJ, isa.FmtU:
+		return g.Rd != f.Rd || g.Imm != f.Imm
+	}
+	return false
+}
+
+// FinalEffect returns the end-to-end fault-effect class of an exhaustive
+// run (Section II.B): Masked if the output was produced and matches, SDC if
+// produced and different, Crash otherwise.
+func FinalEffect(crashed, outputProduced, outputMatches bool) Effect {
+	if crashed || !outputProduced {
+		return Crash
+	}
+	if outputMatches {
+		return Masked
+	}
+	return SDC
+}

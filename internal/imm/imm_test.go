@@ -1,0 +1,206 @@
+package imm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"avgi/internal/isa"
+	"avgi/internal/trace"
+)
+
+func rec(pc uint64, word uint32, value uint64) trace.Record {
+	return trace.Record{Cycle: 100, PC: pc, Word: word, HasDest: true, Dest: 1, Value: value}
+}
+
+func dev(kind trace.DeviationKind, g, f trace.Record) trace.Deviation {
+	return trace.Deviation{Kind: kind, Index: 5, Cycle: f.Cycle, Golden: g, Faulty: f}
+}
+
+func enc(in isa.Inst) uint32 { return isa.Encode(in) }
+
+func TestClassifyIFC(t *testing.T) {
+	g := rec(0x1000, enc(isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3}), 7)
+	f := rec(0x1004, enc(isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3}), 7)
+	if got := Classify(Inputs{Dev: dev(trace.DevRecord, g, f), Variant: isa.V64}); got != IFC {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestClassifyIRP(t *testing.T) {
+	g := rec(0x1000, enc(isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3}), 7)
+	f := rec(0x1000, enc(isa.Inst{Op: isa.OpSUB, Rd: 1, Rs1: 2, Rs2: 3}), 1)
+	if got := Classify(Inputs{Dev: dev(trace.DevRecord, g, f), Variant: isa.V64}); got != IRP {
+		t.Errorf("got %v", got)
+	}
+	// A corrupted opcode outside the ISA also counts as replacement in
+	// the Fig. 2 ordering (the opcode check precedes operand checks).
+	fbad := rec(0x1000, 0xEE<<24, 0)
+	if got := Classify(Inputs{Dev: dev(trace.DevRecord, g, fbad), Variant: isa.V64}); got != IRP {
+		t.Errorf("illegal opcode: got %v", got)
+	}
+}
+
+func TestClassifyUNO(t *testing.T) {
+	g := rec(0x1000, enc(isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3}), 7)
+	// Same opcode but a register field beyond the architectural file
+	// (bit flipped into rd makes it r33 on V64? use r1|32 = 33).
+	w := enc(isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3}) | (32 << 18)
+	f := rec(0x1000, w, 7)
+	if got := Classify(Inputs{Dev: dev(trace.DevRecord, g, f), Variant: isa.V64}); got != UNO {
+		t.Errorf("got %v", got)
+	}
+	// On V32, r20 is already unknown to the ISA.
+	w32 := enc(isa.Inst{Op: isa.OpADD, Rd: 4, Rs1: 2, Rs2: 3}) | (16 << 18)
+	f32 := rec(0x1000, w32, 7)
+	g32 := rec(0x1000, enc(isa.Inst{Op: isa.OpADD, Rd: 4, Rs1: 2, Rs2: 3}), 7)
+	if got := Classify(Inputs{Dev: dev(trace.DevRecord, g32, f32), Variant: isa.V32}); got != UNO {
+		t.Errorf("V32: got %v", got)
+	}
+}
+
+func TestClassifyOFS(t *testing.T) {
+	g := rec(0x1000, enc(isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3}), 7)
+	f := rec(0x1000, enc(isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 6, Rs2: 3}), 9)
+	if got := Classify(Inputs{Dev: dev(trace.DevRecord, g, f), Variant: isa.V64}); got != OFS {
+		t.Errorf("got %v", got)
+	}
+	// A corrupted immediate is also OFS.
+	gi := rec(0x1000, enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 2, Imm: 5}), 7)
+	fi := rec(0x1000, enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 2, Imm: 21}), 23)
+	if got := Classify(Inputs{Dev: dev(trace.DevRecord, gi, fi), Variant: isa.V64}); got != OFS {
+		t.Errorf("imm: got %v", got)
+	}
+}
+
+func TestClassifyDCR(t *testing.T) {
+	w := enc(isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3})
+	g := rec(0x1000, w, 7)
+	f := rec(0x1000, w, 0xBAD)
+	if got := Classify(Inputs{Dev: dev(trace.DevRecord, g, f), Variant: isa.V64}); got != DCR {
+		t.Errorf("got %v", got)
+	}
+	// Store with corrupted address is also a content corruption.
+	gs := trace.Record{Cycle: 9, PC: 0x1000, Word: enc(isa.Inst{Op: isa.OpSW, Rd: 1, Rs1: 2}), IsStore: true, Addr: 0x100, Value: 5}
+	fs := gs
+	fs.Addr = 0x180
+	if got := Classify(Inputs{Dev: dev(trace.DevRecord, gs, fs), Variant: isa.V64}); got != DCR {
+		t.Errorf("store addr: got %v", got)
+	}
+}
+
+func TestClassifyETE(t *testing.T) {
+	w := enc(isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3})
+	g := rec(0x1000, w, 7)
+	f := g
+	f.Cycle = 113
+	if got := Classify(Inputs{Dev: dev(trace.DevCycle, g, f), Variant: isa.V64}); got != ETE {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestClassifyRightBranch(t *testing.T) {
+	none := trace.Deviation{}
+	cases := []struct {
+		in   Inputs
+		want IMM
+	}{
+		{Inputs{Dev: none, Crashed: true}, PRE},
+		{Inputs{Dev: none, Crashed: false, OutputProduced: false}, PRE},
+		{Inputs{Dev: none, OutputProduced: true, OutputMatches: true}, Benign},
+		{Inputs{Dev: none, OutputProduced: true, OutputMatches: false}, ESC},
+	}
+	for i, c := range cases {
+		if got := Classify(c.in); got != c.want {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestClassifyExtraCommits(t *testing.T) {
+	d := trace.Deviation{Kind: trace.DevExtra, Faulty: rec(0x2000, 0, 0)}
+	if got := Classify(Inputs{Dev: d, Variant: isa.V64}); got != IFC {
+		t.Errorf("got %v", got)
+	}
+}
+
+// TestCompletenessAndExclusivity is the property behind Fig. 2: every
+// possible observation maps to exactly one class, and the deviating-record
+// branch never returns Benign/PRE/ESC while the no-deviation branch never
+// returns the trace-derived classes.
+func TestCompletenessAndExclusivity(t *testing.T) {
+	f := func(gw, fw uint32, gpc, fpc uint16, gval, fval uint64, kindSel uint8,
+		crashed, produced, matches, v32 bool) bool {
+		v := isa.V64
+		if v32 {
+			v = isa.V32
+		}
+		g := trace.Record{Cycle: 50, PC: uint64(gpc), Word: gw, HasDest: true, Value: gval}
+		fr := trace.Record{Cycle: 50, PC: uint64(fpc), Word: fw, HasDest: true, Value: fval}
+		var d trace.Deviation
+		switch kindSel % 4 {
+		case 0:
+			d = trace.Deviation{} // none
+		case 1:
+			d = dev(trace.DevRecord, g, fr)
+		case 2:
+			fr2 := g
+			fr2.Cycle = 51
+			d = dev(trace.DevCycle, g, fr2)
+		case 3:
+			d = dev(trace.DevExtra, trace.Record{}, fr)
+		}
+		got := Classify(Inputs{Dev: d, Crashed: crashed, OutputProduced: produced, OutputMatches: matches, Variant: v})
+		if d.Kind == trace.DevNone {
+			return got == Benign || got == PRE || got == ESC
+		}
+		return got == IFC || got == IRP || got == UNO || got == OFS || got == DCR || got == ETE
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFinalEffect(t *testing.T) {
+	cases := []struct {
+		crashed, produced, matches bool
+		want                       Effect
+	}{
+		{false, true, true, Masked},
+		{false, true, false, SDC},
+		{true, false, false, Crash},
+		{true, true, true, Crash}, // crash dominates
+		{false, false, false, Crash},
+	}
+	for i, c := range cases {
+		if got := FinalEffect(c.crashed, c.produced, c.matches); got != c.want {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	names := map[IMM]string{
+		Benign: "Benign", IFC: "IFC", IRP: "IRP", UNO: "UNO",
+		OFS: "OFS", DCR: "DCR", ETE: "ETE", PRE: "PRE", ESC: "ESC",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d -> %q, want %q", m, m.String(), want)
+		}
+	}
+	if IMM(99).String() != "IMM?" {
+		t.Error("unknown IMM string")
+	}
+	if Masked.String() != "Masked" || SDC.String() != "SDC" || Crash.String() != "Crash" {
+		t.Error("effect strings")
+	}
+	if Effect(9).String() != "Effect?" {
+		t.Error("unknown effect string")
+	}
+	if len(Classes) != 8 {
+		t.Errorf("Classes = %d, want 8", len(Classes))
+	}
+	if len(Effects) != 3 {
+		t.Errorf("Effects = %d, want 3", len(Effects))
+	}
+}

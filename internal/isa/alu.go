@@ -1,0 +1,117 @@
+package isa
+
+import "math/bits"
+
+// EvalALU computes the result of a register-register or register-immediate
+// ALU operation under the given variant's width. Operands a and b are
+// register values already masked to the variant width; for immediate forms
+// the caller passes the (sign- or zero-extended) immediate as b. The result
+// is masked to the variant width.
+//
+// Division follows the RISC-V convention: division by zero yields all ones
+// (DIV) or the dividend (REM) and signed overflow (MinInt / -1) yields the
+// dividend (DIV) or zero (REM); neither traps. This keeps arithmetic total,
+// so data corruption in divisor registers manifests as wrong values (DCR)
+// rather than machine-specific traps.
+func EvalALU(op Op, a, b uint64, v Variant) uint64 {
+	w := uint(v.Width())
+	mask := v.Mask()
+	shiftAmt := func(x uint64) uint { return uint(x) & (w - 1) }
+	var r uint64
+	switch op {
+	case OpADD, OpADDI:
+		r = a + b
+	case OpSUB:
+		r = a - b
+	case OpAND, OpANDI:
+		r = a & b
+	case OpOR, OpORI:
+		r = a | b
+	case OpXOR, OpXORI:
+		r = a ^ b
+	case OpSLL, OpSLLI:
+		r = a << shiftAmt(b)
+	case OpSRL, OpSRLI:
+		r = (a & mask) >> shiftAmt(b)
+	case OpSRA, OpSRAI:
+		r = uint64(v.SignExtend(a&mask) >> shiftAmt(b))
+	case OpMUL:
+		r = a * b
+	case OpMULH:
+		if v == V32 {
+			r = uint64(uint32(int64(v.SignExtend(a))*int64(v.SignExtend(b))>>32) & 0xFFFFFFFF)
+		} else {
+			hi, _ := bits.Mul64(uint64(v.SignExtend(a)), uint64(v.SignExtend(b)))
+			// Adjust for signed high multiply.
+			if v.SignExtend(a) < 0 {
+				hi -= b
+			}
+			if v.SignExtend(b) < 0 {
+				hi -= a
+			}
+			r = hi
+		}
+	case OpDIV:
+		sa, sb := v.SignExtend(a&mask), v.SignExtend(b&mask)
+		switch {
+		case sb == 0:
+			r = mask
+		case sa == minInt(v) && sb == -1:
+			r = a
+		default:
+			r = uint64(sa / sb)
+		}
+	case OpREM:
+		sa, sb := v.SignExtend(a&mask), v.SignExtend(b&mask)
+		switch {
+		case sb == 0:
+			r = a
+		case sa == minInt(v) && sb == -1:
+			r = 0
+		default:
+			r = uint64(sa % sb)
+		}
+	case OpSLT, OpSLTI:
+		if v.SignExtend(a&mask) < v.SignExtend(b&mask) {
+			r = 1
+		}
+	case OpSLTU:
+		if a&mask < b&mask {
+			r = 1
+		}
+	case OpLUI:
+		r = b << LUIShift
+	default:
+		r = 0
+	}
+	return r & mask
+}
+
+func minInt(v Variant) int64 {
+	if v == V32 {
+		return int64(int32(-1 << 31))
+	}
+	return -1 << 63
+}
+
+// BranchTaken evaluates a conditional branch with operand values a and b
+// (masked register values) under variant v.
+func BranchTaken(op Op, a, b uint64, v Variant) bool {
+	a &= v.Mask()
+	b &= v.Mask()
+	switch op {
+	case OpBEQ:
+		return a == b
+	case OpBNE:
+		return a != b
+	case OpBLT:
+		return v.SignExtend(a) < v.SignExtend(b)
+	case OpBGE:
+		return v.SignExtend(a) >= v.SignExtend(b)
+	case OpBLTU:
+		return a < b
+	case OpBGEU:
+		return a >= b
+	}
+	return false
+}

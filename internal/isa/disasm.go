@@ -1,0 +1,41 @@
+package isa
+
+import "fmt"
+
+// Disasm renders a decoded instruction as assembly text. Undefined
+// encodings render with a marker so corrupted instruction words remain
+// legible in fault-injection logs.
+func Disasm(inst Inst) string {
+	if inst.Illegal == IllegalOpcode {
+		return fmt.Sprintf(".illegal opcode=0x%02x", uint8(inst.Op))
+	}
+	name := OpName(inst.Op)
+	suffix := ""
+	if inst.Illegal == IllegalReg {
+		suffix = " ; illegal register operand"
+	}
+	switch OpFormat(inst.Op) {
+	case FmtNone:
+		return name
+	case FmtR:
+		return fmt.Sprintf("%s r%d, r%d, r%d%s", name, inst.Rd, inst.Rs1, inst.Rs2, suffix)
+	case FmtI:
+		return fmt.Sprintf("%s r%d, r%d, %d%s", name, inst.Rd, inst.Rs1, inst.Imm, suffix)
+	case FmtL:
+		return fmt.Sprintf("%s r%d, %d(r%d)%s", name, inst.Rd, inst.Imm, inst.Rs1, suffix)
+	case FmtS:
+		return fmt.Sprintf("%s r%d, %d(r%d)%s", name, inst.Rd, inst.Imm, inst.Rs1, suffix)
+	case FmtB:
+		return fmt.Sprintf("%s r%d, r%d, %d%s", name, inst.Rd, inst.Rs1, inst.Imm, suffix)
+	case FmtJ:
+		return fmt.Sprintf("%s r%d, %d%s", name, inst.Rd, inst.Imm, suffix)
+	case FmtU:
+		return fmt.Sprintf("%s r%d, 0x%x%s", name, inst.Rd, uint32(inst.Imm)&imm18Mask, suffix)
+	}
+	return name
+}
+
+// DisasmWord decodes and renders a raw instruction word under variant v.
+func DisasmWord(word uint32, v Variant) string {
+	return Disasm(Decode(word, v))
+}

@@ -1,0 +1,490 @@
+// Package isa defines the AVG instruction set: a synthetic fixed-width
+// 32-bit RISC encoding used by the AVGI reproduction as a stand-in for the
+// paper's Armv8 and Armv7 ISAs.
+//
+// Two variants exist. V64 models a 64-bit ISA with 32 architectural
+// registers (the paper's Armv8 / Cortex-A72 setting) and V32 models a 32-bit
+// ISA with 16 architectural registers (the paper's Armv7 / Cortex-A15
+// setting). Both share the same 32-bit instruction word layout, so the same
+// workloads assemble for either variant as long as they stay within the
+// common register subset.
+//
+// The encoding deliberately leaves large parts of the opcode and register
+// spaces undefined: single-bit flips in instruction words can therefore
+// produce valid-but-different instructions (IRP), ISA-invalid operand fields
+// (UNO), or changed-but-valid operands (OFS), which is exactly the behaviour
+// the paper's IMM taxonomy classifies.
+package isa
+
+import "fmt"
+
+// Variant selects the data-path width and architectural register count.
+type Variant uint8
+
+const (
+	// V64 is the 64-bit variant: 64-bit registers, 32 architectural
+	// registers. It stands in for the paper's Armv8 ISA.
+	V64 Variant = iota
+	// V32 is the 32-bit variant: 32-bit registers, 16 architectural
+	// registers. It stands in for the paper's Armv7 ISA.
+	V32
+)
+
+// String returns the conventional name of the variant.
+func (v Variant) String() string {
+	if v == V32 {
+		return "AVG32"
+	}
+	return "AVG64"
+}
+
+// Width returns the register width in bits.
+func (v Variant) Width() int {
+	if v == V32 {
+		return 32
+	}
+	return 64
+}
+
+// NumArchRegs returns the number of architectural registers. Register 0 is
+// hard-wired to zero in both variants.
+func (v Variant) NumArchRegs() int {
+	if v == V32 {
+		return 16
+	}
+	return 32
+}
+
+// Mask returns the value mask for the variant's register width.
+func (v Variant) Mask() uint64 {
+	if v == V32 {
+		return 0xFFFFFFFF
+	}
+	return ^uint64(0)
+}
+
+// SignExtend sign-extends an already-masked register value to 64 bits
+// according to the variant width, for signed comparisons.
+func (v Variant) SignExtend(x uint64) int64 {
+	if v == V32 {
+		return int64(int32(uint32(x)))
+	}
+	return int64(x)
+}
+
+// WordBytes returns the natural word size in bytes (8 for V64, 4 for V32).
+func (v Variant) WordBytes() uint64 {
+	if v == V32 {
+		return 4
+	}
+	return 8
+}
+
+// Op identifies an operation. The numeric value is the 8-bit opcode field.
+type Op uint8
+
+// Opcode assignments. The values are spread across the 8-bit space so that
+// single-bit corruption of an opcode lands on an undefined encoding with
+// realistic probability.
+const (
+	OpInvalid Op = 0x00
+
+	OpNOP  Op = 0x01
+	OpHALT Op = 0x02
+
+	// Register-register ALU (format R).
+	OpADD  Op = 0x10
+	OpSUB  Op = 0x11
+	OpAND  Op = 0x12
+	OpOR   Op = 0x13
+	OpXOR  Op = 0x14
+	OpSLL  Op = 0x15
+	OpSRL  Op = 0x16
+	OpSRA  Op = 0x17
+	OpMUL  Op = 0x18
+	OpMULH Op = 0x19
+	OpDIV  Op = 0x1A
+	OpREM  Op = 0x1B
+	OpSLT  Op = 0x1C
+	OpSLTU Op = 0x1D
+
+	// Register-immediate ALU (format I). Logical immediates are
+	// zero-extended; ADDI/SLTI immediates are sign-extended.
+	OpADDI Op = 0x20
+	OpANDI Op = 0x21
+	OpORI  Op = 0x22
+	OpXORI Op = 0x23
+	OpSLLI Op = 0x24
+	OpSRLI Op = 0x25
+	OpSRAI Op = 0x26
+	OpSLTI Op = 0x27
+	// OpLUI loads imm18<<14 into rd (format U).
+	OpLUI Op = 0x28
+
+	// Loads (format L: rd, rs1, imm12; address = rs1+imm).
+	OpLB  Op = 0x30
+	OpLBU Op = 0x31
+	OpLH  Op = 0x32
+	OpLHU Op = 0x33
+	OpLW  Op = 0x34
+	OpLWU Op = 0x35 // V64 only
+	OpLD  Op = 0x36 // V64 only
+
+	// Stores (format S: value reg in the rd slot, base in rs1, imm12).
+	OpSB Op = 0x38
+	OpSH Op = 0x39
+	OpSW Op = 0x3A
+	OpSD Op = 0x3B // V64 only
+
+	// Branches (format B: rsA in the rd slot, rsB in rs1, imm12 word
+	// offset relative to the branch).
+	OpBEQ  Op = 0x40
+	OpBNE  Op = 0x41
+	OpBLT  Op = 0x42
+	OpBGE  Op = 0x43
+	OpBLTU Op = 0x44
+	OpBGEU Op = 0x45
+
+	// Jumps. JAL is format J (rd, imm18 word offset); JALR is format I
+	// (rd, rs1, imm12 byte offset).
+	OpJAL  Op = 0x48
+	OpJALR Op = 0x49
+)
+
+// Format describes which encoding fields an opcode uses.
+type Format uint8
+
+const (
+	FmtNone Format = iota // opcode only (NOP, HALT)
+	FmtR                  // rd, rs1, rs2
+	FmtI                  // rd, rs1, imm12
+	FmtL                  // rd, rs1, imm12 (load)
+	FmtS                  // rv (rd slot), rs1, imm12 (store)
+	FmtB                  // ra (rd slot), rb (rs1 slot), imm12
+	FmtJ                  // rd, imm18
+	FmtU                  // rd, imm18
+)
+
+type opInfo struct {
+	name   string
+	format Format
+	v64    bool // valid on V64
+	v32    bool // valid on V32
+}
+
+// opTable is indexed directly by the 8-bit opcode; entries with an empty
+// name are undefined encodings. An array (not a map) because Decode is the
+// hottest function in the simulator.
+var opTable [256]opInfo
+
+var opDefs = map[Op]opInfo{
+	OpNOP:  {"nop", FmtNone, true, true},
+	OpHALT: {"halt", FmtNone, true, true},
+	OpADD:  {"add", FmtR, true, true},
+	OpSUB:  {"sub", FmtR, true, true},
+	OpAND:  {"and", FmtR, true, true},
+	OpOR:   {"or", FmtR, true, true},
+	OpXOR:  {"xor", FmtR, true, true},
+	OpSLL:  {"sll", FmtR, true, true},
+	OpSRL:  {"srl", FmtR, true, true},
+	OpSRA:  {"sra", FmtR, true, true},
+	OpMUL:  {"mul", FmtR, true, true},
+	OpMULH: {"mulh", FmtR, true, true},
+	OpDIV:  {"div", FmtR, true, true},
+	OpREM:  {"rem", FmtR, true, true},
+	OpSLT:  {"slt", FmtR, true, true},
+	OpSLTU: {"sltu", FmtR, true, true},
+	OpADDI: {"addi", FmtI, true, true},
+	OpANDI: {"andi", FmtI, true, true},
+	OpORI:  {"ori", FmtI, true, true},
+	OpXORI: {"xori", FmtI, true, true},
+	OpSLLI: {"slli", FmtI, true, true},
+	OpSRLI: {"srli", FmtI, true, true},
+	OpSRAI: {"srai", FmtI, true, true},
+	OpSLTI: {"slti", FmtI, true, true},
+	OpLUI:  {"lui", FmtU, true, true},
+	OpLB:   {"lb", FmtL, true, true},
+	OpLBU:  {"lbu", FmtL, true, true},
+	OpLH:   {"lh", FmtL, true, true},
+	OpLHU:  {"lhu", FmtL, true, true},
+	OpLW:   {"lw", FmtL, true, true},
+	OpLWU:  {"lwu", FmtL, true, false},
+	OpLD:   {"ld", FmtL, true, false},
+	OpSB:   {"sb", FmtS, true, true},
+	OpSH:   {"sh", FmtS, true, true},
+	OpSW:   {"sw", FmtS, true, true},
+	OpSD:   {"sd", FmtS, true, false},
+	OpBEQ:  {"beq", FmtB, true, true},
+	OpBNE:  {"bne", FmtB, true, true},
+	OpBLT:  {"blt", FmtB, true, true},
+	OpBGE:  {"bge", FmtB, true, true},
+	OpBLTU: {"bltu", FmtB, true, true},
+	OpBGEU: {"bgeu", FmtB, true, true},
+	OpJAL:  {"jal", FmtJ, true, true},
+	OpJALR: {"jalr", FmtI, true, true},
+}
+
+func init() {
+	for op, info := range opDefs {
+		opTable[op] = info
+	}
+}
+
+// ValidOp reports whether op is a defined opcode under the given variant.
+func ValidOp(op Op, v Variant) bool {
+	info := &opTable[op]
+	if info.name == "" {
+		return false
+	}
+	if v == V32 {
+		return info.v32
+	}
+	return info.v64
+}
+
+// OpName returns the mnemonic for op, or "op_XX" for undefined opcodes.
+func OpName(op Op) string {
+	if info := &opTable[op]; info.name != "" {
+		return info.name
+	}
+	return fmt.Sprintf("op_%02x", uint8(op))
+}
+
+// OpFormat returns the encoding format of op. Undefined opcodes report
+// FmtNone.
+func OpFormat(op Op) Format {
+	return opTable[op].format
+}
+
+// Encoding field boundaries within the 32-bit instruction word.
+const (
+	opcodeShift = 24
+	rdShift     = 18
+	rs1Shift    = 12
+	rs2Shift    = 6
+	regMask     = 0x3F
+	imm12Mask   = 0xFFF
+	imm18Mask   = 0x3FFFF
+
+	// LUIShift is the left shift applied to the LUI immediate.
+	LUIShift = 14
+)
+
+// Encode assembles the fields of inst into a 32-bit instruction word. It
+// panics on out-of-range fields; the assembler validates inputs, so a panic
+// indicates a programming error in a workload definition.
+func Encode(inst Inst) uint32 {
+	w := uint32(inst.Op) << opcodeShift
+	switch OpFormat(inst.Op) {
+	case FmtNone:
+	case FmtR:
+		checkReg(inst.Rd)
+		checkReg(inst.Rs1)
+		checkReg(inst.Rs2)
+		w |= uint32(inst.Rd)<<rdShift | uint32(inst.Rs1)<<rs1Shift | uint32(inst.Rs2)<<rs2Shift
+	case FmtI, FmtL:
+		checkReg(inst.Rd)
+		checkReg(inst.Rs1)
+		checkImm12(inst.Imm, inst.Op)
+		w |= uint32(inst.Rd)<<rdShift | uint32(inst.Rs1)<<rs1Shift | uint32(inst.Imm)&imm12Mask
+	case FmtS:
+		checkReg(inst.Rd) // value register travels in the rd slot
+		checkReg(inst.Rs1)
+		checkImm12(inst.Imm, inst.Op)
+		w |= uint32(inst.Rd)<<rdShift | uint32(inst.Rs1)<<rs1Shift | uint32(inst.Imm)&imm12Mask
+	case FmtB:
+		checkReg(inst.Rd)
+		checkReg(inst.Rs1)
+		checkImm12(inst.Imm, inst.Op)
+		w |= uint32(inst.Rd)<<rdShift | uint32(inst.Rs1)<<rs1Shift | uint32(inst.Imm)&imm12Mask
+	case FmtJ, FmtU:
+		checkReg(inst.Rd)
+		if inst.Imm < -(1<<17) || inst.Imm >= 1<<17 {
+			panic(fmt.Sprintf("isa: imm18 out of range for %s: %d", OpName(inst.Op), inst.Imm))
+		}
+		w |= uint32(inst.Rd)<<rdShift | uint32(inst.Imm)&imm18Mask
+	}
+	return w
+}
+
+func checkReg(r uint8) {
+	if r > regMask {
+		panic(fmt.Sprintf("isa: register field out of range: %d", r))
+	}
+}
+
+func checkImm12(imm int32, op Op) {
+	if zeroExtImm(op) {
+		if imm < 0 || imm > imm12Mask {
+			panic(fmt.Sprintf("isa: unsigned imm12 out of range for %s: %d", OpName(op), imm))
+		}
+		return
+	}
+	if imm < -2048 || imm > 2047 {
+		panic(fmt.Sprintf("isa: signed imm12 out of range for %s: %d", OpName(op), imm))
+	}
+}
+
+// zeroExtImm reports whether op's 12-bit immediate is zero-extended (logical
+// and shift immediates) rather than sign-extended.
+func zeroExtImm(op Op) bool {
+	switch op {
+	case OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI:
+		return true
+	}
+	return false
+}
+
+// Inst is a decoded instruction. For undefined encodings, Op retains the raw
+// opcode field and Illegal explains why the encoding is invalid.
+type Inst struct {
+	Op  Op
+	Rd  uint8 // destination (R/I/L/J/U); value register (S); first source (B)
+	Rs1 uint8 // first source; base register for loads/stores; second source (B)
+	Rs2 uint8 // second source (R)
+	Imm int32 // sign- or zero-extended immediate (12- or 18-bit)
+
+	// Illegal is the reason the encoding is undefined under the decoding
+	// variant, or IllegalNone for a well-formed instruction.
+	Illegal IllegalKind
+}
+
+// IllegalKind categorises why a decoded encoding is undefined.
+type IllegalKind uint8
+
+const (
+	// IllegalNone marks a well-formed instruction.
+	IllegalNone IllegalKind = iota
+	// IllegalOpcode marks an opcode undefined under the variant.
+	IllegalOpcode
+	// IllegalReg marks a register operand field outside the variant's
+	// architectural register file (the UNO condition).
+	IllegalReg
+)
+
+// Decode splits a 32-bit instruction word into fields under the rules of
+// variant v. Decoding never fails: undefined encodings come back with a
+// non-zero Illegal kind so the pipeline can raise a precise
+// undefined-instruction exception at commit, which is how corrupted
+// encodings become architecturally visible to the IMM classifier.
+func Decode(word uint32, v Variant) Inst {
+	inst := Inst{Op: Op(word >> opcodeShift)}
+	if !ValidOp(inst.Op, v) {
+		inst.Illegal = IllegalOpcode
+		// Still extract the generic fields so the classifier and
+		// disassembler can inspect them.
+		inst.Rd = uint8(word>>rdShift) & regMask
+		inst.Rs1 = uint8(word>>rs1Shift) & regMask
+		inst.Rs2 = uint8(word>>rs2Shift) & regMask
+		inst.Imm = int32(word & imm12Mask)
+		return inst
+	}
+	n := uint8(v.NumArchRegs())
+	switch OpFormat(inst.Op) {
+	case FmtNone:
+	case FmtR:
+		inst.Rd = uint8(word>>rdShift) & regMask
+		inst.Rs1 = uint8(word>>rs1Shift) & regMask
+		inst.Rs2 = uint8(word>>rs2Shift) & regMask
+		if inst.Rd >= n || inst.Rs1 >= n || inst.Rs2 >= n {
+			inst.Illegal = IllegalReg
+		}
+	case FmtI, FmtL, FmtS, FmtB:
+		inst.Rd = uint8(word>>rdShift) & regMask
+		inst.Rs1 = uint8(word>>rs1Shift) & regMask
+		inst.Imm = decodeImm12(word, inst.Op)
+		if inst.Rd >= n || inst.Rs1 >= n {
+			inst.Illegal = IllegalReg
+		}
+	case FmtJ, FmtU:
+		inst.Rd = uint8(word>>rdShift) & regMask
+		imm := int32(word & imm18Mask)
+		if imm&(1<<17) != 0 {
+			imm -= 1 << 18
+		}
+		inst.Imm = imm
+		if inst.Rd >= n {
+			inst.Illegal = IllegalReg
+		}
+	}
+	return inst
+}
+
+func decodeImm12(word uint32, op Op) int32 {
+	imm := int32(word & imm12Mask)
+	if !zeroExtImm(op) && imm&(1<<11) != 0 {
+		imm -= 1 << 12
+	}
+	return imm
+}
+
+// Class groups opcodes by pipeline behaviour.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassALU
+	ClassMul // multi-cycle integer ops (MUL/MULH/DIV/REM)
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassHalt
+	ClassIllegal
+)
+
+// Classify returns the pipeline class of a decoded instruction.
+func Classify(inst Inst) Class {
+	if inst.Illegal != IllegalNone {
+		return ClassIllegal
+	}
+	switch inst.Op {
+	case OpNOP:
+		return ClassNop
+	case OpHALT:
+		return ClassHalt
+	case OpMUL, OpMULH, OpDIV, OpREM:
+		return ClassMul
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpLWU, OpLD:
+		return ClassLoad
+	case OpSB, OpSH, OpSW, OpSD:
+		return ClassStore
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return ClassBranch
+	case OpJAL, OpJALR:
+		return ClassJump
+	default:
+		return ClassALU
+	}
+}
+
+// MemBytes returns the access size in bytes for a load or store opcode, and
+// zero for anything else.
+func MemBytes(op Op) uint64 {
+	switch op {
+	case OpLB, OpLBU, OpSB:
+		return 1
+	case OpLH, OpLHU, OpSH:
+		return 2
+	case OpLW, OpLWU, OpSW:
+		return 4
+	case OpLD, OpSD:
+		return 8
+	}
+	return 0
+}
+
+// AllOps returns every defined opcode, in ascending numeric order, for the
+// given variant. Useful for exhaustive tests.
+func AllOps(v Variant) []Op {
+	ops := make([]Op, 0, len(opTable))
+	for op := Op(0); ; op++ {
+		if ValidOp(op, v) {
+			ops = append(ops, op)
+		}
+		if op == 0xFF {
+			break
+		}
+	}
+	return ops
+}

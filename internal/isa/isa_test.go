@@ -1,0 +1,383 @@
+package isa
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVariantProperties(t *testing.T) {
+	if V64.Width() != 64 || V32.Width() != 32 {
+		t.Fatalf("widths: %d %d", V64.Width(), V32.Width())
+	}
+	if V64.NumArchRegs() != 32 || V32.NumArchRegs() != 16 {
+		t.Fatalf("regs: %d %d", V64.NumArchRegs(), V32.NumArchRegs())
+	}
+	if V64.Mask() != ^uint64(0) || V32.Mask() != 0xFFFFFFFF {
+		t.Fatalf("masks wrong")
+	}
+	if V64.WordBytes() != 8 || V32.WordBytes() != 4 {
+		t.Fatalf("word bytes wrong")
+	}
+	if V64.String() != "AVG64" || V32.String() != "AVG32" {
+		t.Fatalf("names: %q %q", V64.String(), V32.String())
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	if got := V32.SignExtend(0x80000000); got != -0x80000000 {
+		t.Errorf("V32 sign extend: got %d", got)
+	}
+	if got := V32.SignExtend(0x7FFFFFFF); got != 0x7FFFFFFF {
+		t.Errorf("V32 positive: got %d", got)
+	}
+	if got := V64.SignExtend(0xFFFFFFFFFFFFFFFF); got != -1 {
+		t.Errorf("V64 sign extend: got %d", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: OpNOP},
+		{Op: OpHALT},
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSUB, Rd: 15, Rs1: 14, Rs2: 13},
+		{Op: OpADDI, Rd: 5, Rs1: 6, Imm: -2048},
+		{Op: OpADDI, Rd: 5, Rs1: 6, Imm: 2047},
+		{Op: OpORI, Rd: 5, Rs1: 6, Imm: 4095},
+		{Op: OpANDI, Rd: 1, Rs1: 1, Imm: 0},
+		{Op: OpLUI, Rd: 7, Imm: 131071},
+		{Op: OpLUI, Rd: 7, Imm: -131072},
+		{Op: OpLW, Rd: 3, Rs1: 4, Imm: -4},
+		{Op: OpSW, Rd: 3, Rs1: 4, Imm: 124},
+		{Op: OpBEQ, Rd: 1, Rs1: 2, Imm: -100},
+		{Op: OpBNE, Rd: 1, Rs1: 2, Imm: 100},
+		{Op: OpJAL, Rd: 13, Imm: -5000},
+		{Op: OpJALR, Rd: 0, Rs1: 13, Imm: 0},
+	}
+	for _, v := range []Variant{V64, V32} {
+		for _, in := range cases {
+			w := Encode(in)
+			out := Decode(w, v)
+			if out.Illegal != IllegalNone {
+				t.Fatalf("%s decode of %s illegal: %v", v, Disasm(in), out.Illegal)
+			}
+			if out.Op != in.Op || out.Rd != in.Rd || out.Rs1 != in.Rs1 || out.Imm != in.Imm {
+				t.Errorf("%s round trip mismatch: in=%+v out=%+v", v, in, out)
+			}
+			if OpFormat(in.Op) == FmtR && out.Rs2 != in.Rs2 {
+				t.Errorf("%s rs2 mismatch: in=%+v out=%+v", v, in, out)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("reg", func() { Encode(Inst{Op: OpADD, Rd: 64}) })
+	mustPanic("imm12 high", func() { Encode(Inst{Op: OpADDI, Imm: 2048}) })
+	mustPanic("imm12 low", func() { Encode(Inst{Op: OpADDI, Imm: -2049}) })
+	mustPanic("uimm12 neg", func() { Encode(Inst{Op: OpORI, Imm: -1}) })
+	mustPanic("uimm12 high", func() { Encode(Inst{Op: OpORI, Imm: 4096}) })
+	mustPanic("imm18", func() { Encode(Inst{Op: OpLUI, Imm: 1 << 17}) })
+}
+
+func TestDecodeIllegalOpcode(t *testing.T) {
+	for _, v := range []Variant{V64, V32} {
+		inst := Decode(0xFF<<24|0x12345, v)
+		if inst.Illegal != IllegalOpcode {
+			t.Errorf("%s: expected IllegalOpcode, got %v", v, inst.Illegal)
+		}
+		if Classify(inst) != ClassIllegal {
+			t.Errorf("%s: expected ClassIllegal", v)
+		}
+	}
+}
+
+func TestDecodeIllegalRegister(t *testing.T) {
+	// r40 is illegal under both variants; r20 only under V32.
+	w := Encode(Inst{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3})
+	w40 := w&^uint32(regMask<<rdShift) | 40<<rdShift
+	for _, v := range []Variant{V64, V32} {
+		if got := Decode(w40, v).Illegal; got != IllegalReg {
+			t.Errorf("%s: r40 expected IllegalReg, got %v", v, got)
+		}
+	}
+	w20 := w&^uint32(regMask<<rdShift) | 20<<rdShift
+	if got := Decode(w20, V64).Illegal; got != IllegalNone {
+		t.Errorf("V64: r20 should be legal, got %v", got)
+	}
+	if got := Decode(w20, V32).Illegal; got != IllegalReg {
+		t.Errorf("V32: r20 expected IllegalReg, got %v", got)
+	}
+}
+
+func TestVariantOnlyOpcodes(t *testing.T) {
+	for _, op := range []Op{OpLD, OpSD, OpLWU} {
+		if !ValidOp(op, V64) {
+			t.Errorf("%s should be valid on V64", OpName(op))
+		}
+		if ValidOp(op, V32) {
+			t.Errorf("%s should be invalid on V32", OpName(op))
+		}
+	}
+	var inst Inst
+	if inst = Decode(Encode(Inst{Op: OpLD, Rd: 1, Rs1: 2}), V32); inst.Illegal != IllegalOpcode {
+		t.Errorf("LD on V32: expected IllegalOpcode, got %v", inst.Illegal)
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(word uint32, which bool) bool {
+		v := V64
+		if which {
+			v = V32
+		}
+		inst := Decode(word, v)
+		_ = Disasm(inst)
+		_ = Classify(inst)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeFieldExtractionMatchesEncoding(t *testing.T) {
+	// Property: for any legal instruction built from valid fields,
+	// Encode/Decode is the identity on the fields the format uses.
+	f := func(rd, rs1, rs2 uint8, rawImm int16, opIdx uint8) bool {
+		ops := AllOps(V64)
+		op := ops[int(opIdx)%len(ops)]
+		in := Inst{Op: op, Rd: rd % 16, Rs1: rs1 % 16, Rs2: rs2 % 16}
+		switch OpFormat(op) {
+		case FmtI, FmtL, FmtS, FmtB:
+			if zeroExtImm(op) {
+				in.Imm = int32(uint16(rawImm) % 4096)
+			} else {
+				in.Imm = int32(rawImm % 2048)
+			}
+		case FmtJ, FmtU:
+			in.Imm = int32(rawImm) // int16 always fits imm18
+		}
+		out := Decode(Encode(in), V64)
+		if out.Op != in.Op || out.Illegal != IllegalNone {
+			return false
+		}
+		switch OpFormat(op) {
+		case FmtR:
+			return out.Rd == in.Rd && out.Rs1 == in.Rs1 && out.Rs2 == in.Rs2
+		case FmtI, FmtL, FmtS, FmtB:
+			return out.Rd == in.Rd && out.Rs1 == in.Rs1 && out.Imm == in.Imm
+		case FmtJ, FmtU:
+			return out.Rd == in.Rd && out.Imm == in.Imm
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalALUBasics(t *testing.T) {
+	type tc struct {
+		op   Op
+		a, b uint64
+		v    Variant
+		want uint64
+	}
+	cases := []tc{
+		{OpADD, 2, 3, V64, 5},
+		{OpADD, 0xFFFFFFFF, 1, V32, 0},
+		{OpSUB, 3, 5, V32, 0xFFFFFFFE},
+		{OpAND, 0xF0, 0x3C, V64, 0x30},
+		{OpOR, 0xF0, 0x0F, V64, 0xFF},
+		{OpXOR, 0xFF, 0x0F, V64, 0xF0},
+		{OpSLL, 1, 4, V64, 16},
+		{OpSLL, 1, 31, V32, 0x80000000},
+		{OpSRL, 0x80000000, 31, V32, 1},
+		{OpSRA, 0x80000000, 31, V32, 0xFFFFFFFF},
+		{OpSRA, 1 << 63, 63, V64, ^uint64(0)},
+		{OpMUL, 7, 6, V64, 42},
+		{OpSLT, ^uint64(0), 0, V64, 1}, // -1 < 0 signed
+		{OpSLTU, ^uint64(0), 0, V64, 0},
+		{OpDIV, 42, 6, V64, 7},
+		{OpDIV, 7, 0, V64, ^uint64(0)},                   // div-by-zero -> all ones
+		{OpDIV, 7, 0, V32, 0xFFFFFFFF},                   // masked
+		{OpREM, 7, 0, V64, 7},                            // rem-by-zero -> dividend
+		{OpREM, 43, 6, V64, 1},                           //
+		{OpDIV, 0x80000000, ^uint64(0), V32, 0x80000000}, // overflow -> dividend
+		{OpLUI, 0, 3, V64, 3 << LUIShift},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b, c.v); got != c.want {
+			t.Errorf("%s(%#x,%#x,%s) = %#x, want %#x", OpName(c.op), c.a, c.b, c.v, got, c.want)
+		}
+	}
+}
+
+func TestEvalALUSignedDivision(t *testing.T) {
+	if got := EvalALU(OpDIV, uint64(0xFFFFFFFFFFFFFFF9), 3, V64); got != uint64(0xFFFFFFFFFFFFFFFE) {
+		t.Errorf("-7/3 = %d, want -2", int64(got))
+	}
+	if got := EvalALU(OpREM, uint64(0xFFFFFFFFFFFFFFF9), 3, V64); int64(got) != -1 {
+		t.Errorf("-7%%3 = %d, want -1", int64(got))
+	}
+}
+
+func TestMULHMatchesBigInt(t *testing.T) {
+	f := func(a, b int64) bool {
+		got := EvalALU(OpMULH, uint64(a), uint64(b), V64)
+		prod := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		want := uint64(prod.Rsh(prod, 64).Int64())
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	f32 := func(a, b int32) bool {
+		got := EvalALU(OpMULH, uint64(uint32(a)), uint64(uint32(b)), V32)
+		want := uint64(uint32((int64(a) * int64(b)) >> 32))
+		return got == want
+	}
+	if err := quick.Check(f32, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	neg := uint64(0xFFFFFFFF) // -1 in V32
+	cases := []struct {
+		op   Op
+		a, b uint64
+		v    Variant
+		want bool
+	}{
+		{OpBEQ, 5, 5, V64, true},
+		{OpBEQ, 5, 6, V64, false},
+		{OpBNE, 5, 6, V64, true},
+		{OpBLT, neg, 0, V32, true}, // -1 < 0 signed
+		{OpBLTU, neg, 0, V32, false},
+		{OpBGE, 0, neg, V32, true},
+		{OpBGEU, neg, 0, V32, true},
+		{OpBLT, 1 << 63, 0, V64, true},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.a, c.b, c.v); got != c.want {
+			t.Errorf("%s(%#x,%#x,%s) = %v, want %v", OpName(c.op), c.a, c.b, c.v, got, c.want)
+		}
+	}
+	if BranchTaken(OpADD, 1, 1, V64) {
+		t.Error("non-branch opcode should never be taken")
+	}
+}
+
+func TestEvalALUWidthClosure(t *testing.T) {
+	// Property: results always fit in the variant width.
+	f := func(a, b uint64, opIdx uint8, which bool) bool {
+		v := V64
+		if which {
+			v = V32
+		}
+		ops := AllOps(v)
+		op := ops[int(opIdx)%len(ops)]
+		return EvalALU(op, a&v.Mask(), b&v.Mask(), v)&^v.Mask() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpNOP}, "nop"},
+		{Inst{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpADDI, Rd: 1, Rs1: 0, Imm: -7}, "addi r1, r0, -7"},
+		{Inst{Op: OpLW, Rd: 2, Rs1: 14, Imm: 8}, "lw r2, 8(r14)"},
+		{Inst{Op: OpSW, Rd: 2, Rs1: 14, Imm: 8}, "sw r2, 8(r14)"},
+		{Inst{Op: OpBEQ, Rd: 1, Rs1: 2, Imm: -3}, "beq r1, r2, -3"},
+		{Inst{Op: OpJAL, Rd: 13, Imm: 40}, "jal r13, 40"},
+	}
+	for _, c := range cases {
+		if got := Disasm(c.in); got != c.want {
+			t.Errorf("Disasm(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := DisasmWord(0xFF<<24, V64); !strings.Contains(got, "illegal") {
+		t.Errorf("illegal disasm = %q", got)
+	}
+	if got := Disasm(Decode(Encode(Inst{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3})|40<<rdShift, V32)); !strings.Contains(got, "illegal register") {
+		t.Errorf("illegal reg disasm = %q", got)
+	}
+}
+
+func TestOpNameAndFormat(t *testing.T) {
+	if OpName(OpADD) != "add" {
+		t.Errorf("OpName(OpADD) = %q", OpName(OpADD))
+	}
+	if OpName(Op(0xEE)) != "op_ee" {
+		t.Errorf("OpName undefined = %q", OpName(Op(0xEE)))
+	}
+	if OpFormat(Op(0xEE)) != FmtNone {
+		t.Error("undefined opcode should report FmtNone")
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	want := map[Op]uint64{
+		OpLB: 1, OpLBU: 1, OpSB: 1,
+		OpLH: 2, OpLHU: 2, OpSH: 2,
+		OpLW: 4, OpLWU: 4, OpSW: 4,
+		OpLD: 8, OpSD: 8,
+		OpADD: 0, OpBEQ: 0,
+	}
+	for op, n := range want {
+		if got := MemBytes(op); got != n {
+			t.Errorf("MemBytes(%s) = %d, want %d", OpName(op), got, n)
+		}
+	}
+}
+
+func TestAllOpsCounts(t *testing.T) {
+	n64, n32 := len(AllOps(V64)), len(AllOps(V32))
+	if n64 <= n32 {
+		t.Errorf("V64 should define more opcodes: %d vs %d", n64, n32)
+	}
+	if n32 != n64-3 { // LD, SD, LWU are V64-only
+		t.Errorf("expected exactly 3 V64-only opcodes, got %d vs %d", n64, n32)
+	}
+	for _, op := range AllOps(V32) {
+		if !ValidOp(op, V64) {
+			t.Errorf("op %s valid on V32 but not V64", OpName(op))
+		}
+	}
+}
+
+func TestClassifyCoverage(t *testing.T) {
+	want := map[Op]Class{
+		OpNOP: ClassNop, OpHALT: ClassHalt,
+		OpADD: ClassALU, OpADDI: ClassALU, OpLUI: ClassALU,
+		OpMUL: ClassMul, OpDIV: ClassMul, OpREM: ClassMul, OpMULH: ClassMul,
+		OpLW: ClassLoad, OpLD: ClassLoad, OpLBU: ClassLoad,
+		OpSW: ClassStore, OpSB: ClassStore,
+		OpBEQ: ClassBranch, OpBGEU: ClassBranch,
+		OpJAL: ClassJump, OpJALR: ClassJump,
+	}
+	for op, cl := range want {
+		if got := Classify(Inst{Op: op}); got != cl {
+			t.Errorf("Classify(%s) = %v, want %v", OpName(op), got, cl)
+		}
+	}
+}

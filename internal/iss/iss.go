@@ -1,0 +1,228 @@
+// Package iss is a functional (atomic) instruction-set simulator for the
+// AVG ISA: no pipeline, no caches, no timing — one instruction per step
+// over flat memory. It plays the role gem5's atomic simple CPU plays next
+// to the detailed O3 model: an independent, much simpler executable
+// definition of the architecture used to cross-validate the detailed
+// machine. The test suite requires, for every workload on both variants,
+// that the ISS and the out-of-order pipeline retire the same instruction
+// count and produce byte-identical output.
+package iss
+
+import (
+	"fmt"
+
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+)
+
+// Result summarises a functional run.
+type Result struct {
+	// Halted reports a clean HALT.
+	Halted bool
+	// Insts is the number of executed (retired) instructions, including
+	// the final HALT.
+	Insts uint64
+	// Output is the program output (the output region up to the length
+	// word), nil unless halted.
+	Output []byte
+	// PC is the final program counter.
+	PC uint64
+}
+
+// Machine is the functional simulator state.
+type Machine struct {
+	v    isa.Variant
+	prog *asm.Program
+
+	pc   uint64
+	regs [64]uint64
+	mem  []byte
+
+	insts  uint64
+	halted bool
+}
+
+// New loads a program image.
+func New(p *asm.Program) *Machine {
+	m := &Machine{v: p.Variant, prog: p, pc: p.TextBase, mem: make([]byte, p.RAMSize)}
+	for i, w := range p.Text {
+		off := p.TextBase + uint64(i)*4
+		m.mem[off] = byte(w)
+		m.mem[off+1] = byte(w >> 8)
+		m.mem[off+2] = byte(w >> 16)
+		m.mem[off+3] = byte(w >> 24)
+	}
+	copy(m.mem[p.DataBase:], p.Data)
+	m.regs[asm.SP] = (p.RAMSize - 16) & p.Variant.Mask()
+	return m
+}
+
+// Reg returns an architectural register value.
+func (m *Machine) Reg(r uint8) uint64 {
+	if r == 0 {
+		return 0
+	}
+	return m.regs[r] & m.v.Mask()
+}
+
+func (m *Machine) setReg(r uint8, val uint64) {
+	if r != 0 {
+		m.regs[r] = val & m.v.Mask()
+	}
+}
+
+// Run executes until HALT, an architectural error, or the instruction
+// budget is exhausted.
+func (m *Machine) Run(maxInsts uint64) (Result, error) {
+	if err := m.RunN(maxInsts - m.insts); err != nil {
+		return Result{Insts: m.insts, PC: m.pc}, err
+	}
+	res := Result{Halted: m.halted, Insts: m.insts, PC: m.pc}
+	if !m.halted {
+		return res, fmt.Errorf("iss: instruction budget exhausted at pc %#x", m.pc)
+	}
+	res.Output = m.output()
+	return res, nil
+}
+
+// RunN executes up to n further instructions, stopping early at HALT. It
+// is the positioning primitive for architecture-level fault injection.
+func (m *Machine) RunN(n uint64) error {
+	for i := uint64(0); i < n && !m.halted; i++ {
+		if err := m.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Halted reports a clean HALT.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Insts returns the retired instruction count so far.
+func (m *Machine) Insts() uint64 { return m.insts }
+
+// Output returns the program output of a halted machine.
+func (m *Machine) Output() []byte {
+	if !m.halted {
+		return nil
+	}
+	return m.output()
+}
+
+// FlipReg flips one bit of an architectural register — the
+// architecture-level fault model that software/ISA-level SFI tools start
+// from. Flips of the hard-wired zero register are ignored.
+func (m *Machine) FlipReg(r uint8, bit uint) {
+	if r == 0 {
+		return
+	}
+	m.regs[r] = (m.regs[r] ^ 1<<bit) & m.v.Mask()
+}
+
+func (m *Machine) output() []byte {
+	n := m.load(m.prog.OutLenAddr, m.v.WordBytes())
+	if m.prog.OutBase >= uint64(len(m.mem)) {
+		return nil
+	}
+	if max := uint64(len(m.mem)) - m.prog.OutBase; n > max {
+		n = max
+	}
+	return append([]byte(nil), m.mem[m.prog.OutBase:m.prog.OutBase+n]...)
+}
+
+func (m *Machine) load(addr, n uint64) uint64 {
+	var v uint64
+	for i := n; i > 0; i-- {
+		v = v<<8 | uint64(m.mem[addr+i-1])
+	}
+	return v
+}
+
+func (m *Machine) store(addr, n, val uint64) {
+	for i := uint64(0); i < n; i++ {
+		m.mem[addr+i] = byte(val >> (8 * i))
+	}
+}
+
+func (m *Machine) checkAccess(addr, n uint64) error {
+	if addr%n != 0 {
+		return fmt.Errorf("iss: misaligned %d-byte access at %#x (pc %#x)", n, addr, m.pc)
+	}
+	if addr+n > uint64(len(m.mem)) {
+		return fmt.Errorf("iss: access beyond RAM at %#x (pc %#x)", addr, m.pc)
+	}
+	return nil
+}
+
+// extend applies the opcode's sign/zero extension to a raw loaded value.
+func extend(op isa.Op, raw uint64, v isa.Variant) uint64 {
+	switch op {
+	case isa.OpLB:
+		raw = uint64(int64(int8(raw)))
+	case isa.OpLH:
+		raw = uint64(int64(int16(raw)))
+	case isa.OpLW:
+		raw = uint64(int64(int32(raw)))
+	}
+	return raw & v.Mask()
+}
+
+// step executes one instruction.
+func (m *Machine) step() error {
+	if m.pc%4 != 0 || m.pc+4 > uint64(len(m.mem)) {
+		return fmt.Errorf("iss: bad fetch pc %#x", m.pc)
+	}
+	word := uint32(m.load(m.pc, 4))
+	in := isa.Decode(word, m.v)
+	if in.Illegal != isa.IllegalNone {
+		return fmt.Errorf("iss: illegal instruction %#08x at pc %#x", word, m.pc)
+	}
+	m.insts++
+	next := m.pc + 4
+	switch isa.Classify(in) {
+	case isa.ClassNop:
+	case isa.ClassHalt:
+		m.halted = true
+	case isa.ClassALU, isa.ClassMul:
+		var a, b uint64
+		switch isa.OpFormat(in.Op) {
+		case isa.FmtR:
+			a, b = m.Reg(in.Rs1), m.Reg(in.Rs2)
+		case isa.FmtI:
+			a, b = m.Reg(in.Rs1), uint64(int64(in.Imm))
+		case isa.FmtU:
+			b = uint64(int64(in.Imm))
+		}
+		m.setReg(in.Rd, isa.EvalALU(in.Op, a, b, m.v))
+	case isa.ClassLoad:
+		addr := (m.Reg(in.Rs1) + uint64(int64(in.Imm))) & m.v.Mask()
+		n := isa.MemBytes(in.Op)
+		if err := m.checkAccess(addr, n); err != nil {
+			return err
+		}
+		raw := m.load(addr, n)
+		m.setReg(in.Rd, extend(in.Op, raw, m.v))
+	case isa.ClassStore:
+		addr := (m.Reg(in.Rs1) + uint64(int64(in.Imm))) & m.v.Mask()
+		n := isa.MemBytes(in.Op)
+		if err := m.checkAccess(addr, n); err != nil {
+			return err
+		}
+		m.store(addr, n, m.Reg(in.Rd))
+	case isa.ClassBranch:
+		if isa.BranchTaken(in.Op, m.Reg(in.Rd), m.Reg(in.Rs1), m.v) {
+			next = m.pc + uint64(int64(in.Imm))*4
+		}
+	case isa.ClassJump:
+		link := (m.pc + 4) & m.v.Mask()
+		if in.Op == isa.OpJAL {
+			next = m.pc + uint64(int64(in.Imm))*4
+		} else {
+			next = (m.Reg(in.Rs1) + uint64(int64(in.Imm))) & m.v.Mask() &^ uint64(3)
+		}
+		m.setReg(in.Rd, link)
+	}
+	m.pc = next
+	return nil
+}

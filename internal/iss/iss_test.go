@@ -1,0 +1,151 @@
+package iss
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"avgi/internal/asm"
+	"avgi/internal/cpu"
+	"avgi/internal/isa"
+	"avgi/internal/prog"
+)
+
+func build(t *testing.T, v isa.Variant, f func(b *asm.Builder)) *asm.Program {
+	t.Helper()
+	b := asm.NewBuilder("t", v)
+	f(b)
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBasicExecution(t *testing.T) {
+	p := build(t, isa.V64, func(b *asm.Builder) {
+		b.Li(1, 6)
+		b.Li(2, 7)
+		b.Mul(3, 1, 2)
+		b.Halt()
+	})
+	m := New(p)
+	res, err := m.Run(1000)
+	if err != nil || !res.Halted {
+		t.Fatal(err, res)
+	}
+	if m.Reg(3) != 42 {
+		t.Errorf("r3 = %d", m.Reg(3))
+	}
+	if res.Insts != 4 {
+		t.Errorf("insts = %d", res.Insts)
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	p := build(t, isa.V32, func(b *asm.Builder) {
+		b.Addi(0, 0, 99)
+		b.Halt()
+	})
+	m := New(p)
+	if _, err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(0) != 0 {
+		t.Error("r0 mutated")
+	}
+}
+
+func TestMemoryAndBranches(t *testing.T) {
+	p := build(t, isa.V64, func(b *asm.Builder) {
+		arr := b.DataWords("a", []uint64{5, 10, 15})
+		b.Li(1, arr)
+		b.Li(2, 0) // sum
+		b.Li(3, 0) // i
+		b.Label("loop")
+		b.Slli(4, 3, 3)
+		b.Add(4, 4, 1)
+		b.LoadW(5, 4, 0)
+		b.Add(2, 2, 5)
+		b.Addi(3, 3, 1)
+		b.Slti(6, 3, 3)
+		b.Bne(6, 0, "loop")
+		b.Halt()
+	})
+	m := New(p)
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(2) != 30 {
+		t.Errorf("sum = %d", m.Reg(2))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	misaligned := build(t, isa.V64, func(b *asm.Builder) {
+		b.Li(1, 0x8001)
+		b.Lw(2, 1, 0)
+		b.Halt()
+	})
+	if _, err := New(misaligned).Run(100); err == nil || !strings.Contains(err.Error(), "misaligned") {
+		t.Errorf("misaligned: %v", err)
+	}
+	oob := build(t, isa.V64, func(b *asm.Builder) {
+		b.Li(1, 2<<20)
+		b.Lw(2, 1, 0)
+		b.Halt()
+	})
+	if _, err := New(oob).Run(100); err == nil || !strings.Contains(err.Error(), "beyond RAM") {
+		t.Errorf("oob: %v", err)
+	}
+	p := build(t, isa.V64, func(b *asm.Builder) { b.Nop() })
+	p.Text = append(p.Text, 0xEE<<24)
+	if _, err := New(p).Run(100); err == nil || !strings.Contains(err.Error(), "illegal") {
+		t.Errorf("illegal: %v", err)
+	}
+	spin := build(t, isa.V64, func(b *asm.Builder) {
+		b.Label("s")
+		b.Jump("s")
+	})
+	if _, err := New(spin).Run(50); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("budget: %v", err)
+	}
+}
+
+// TestCrossValidationAgainstPipeline is the load-bearing test of this
+// package: for every workload on both variants, the atomic ISS and the
+// detailed out-of-order pipeline must retire exactly the same number of
+// instructions and produce byte-identical output.
+func TestCrossValidationAgainstPipeline(t *testing.T) {
+	for _, w := range prog.All() {
+		for _, v := range []isa.Variant{isa.V64, isa.V32} {
+			w, v := w, v
+			t.Run(w.Name+"/"+v.String(), func(t *testing.T) {
+				t.Parallel()
+				p := w.Build(v)
+				res, err := New(p).Run(50_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := cpu.ConfigA72()
+				if v == isa.V32 {
+					cfg = cpu.ConfigA15()
+				}
+				m := cpu.New(cfg, w.Build(v))
+				pipe := m.Run(cpu.RunOptions{MaxCycles: 20_000_000})
+				if pipe.Status != cpu.StatusHalted {
+					t.Fatalf("pipeline: %v/%v", pipe.Status, pipe.Crash)
+				}
+				if res.Insts != pipe.Commits {
+					t.Errorf("instruction counts differ: iss %d vs pipeline %d", res.Insts, pipe.Commits)
+				}
+				if !bytes.Equal(res.Output, pipe.Output) {
+					t.Error("outputs differ between ISS and pipeline")
+				}
+				if !bytes.Equal(res.Output, w.Ref(v)) {
+					t.Error("ISS output differs from the reference model")
+				}
+			})
+		}
+	}
+}

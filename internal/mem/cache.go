@@ -1,0 +1,288 @@
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Level is a lower memory level a cache fills from and writes back to.
+type Level interface {
+	// ReadLine fetches a full line at the line-aligned address into dst
+	// and returns the access latency in cycles.
+	ReadLine(paddr uint64, dst []byte) uint64
+	// WriteLine writes a full line at the line-aligned address and
+	// returns the latency in cycles (zero if absorbed by a write buffer).
+	WriteLine(paddr uint64, src []byte) uint64
+}
+
+// RAMLevel adapts RAM as the terminal Level.
+type RAMLevel struct {
+	RAM     *RAM
+	ReadLat uint64
+}
+
+// ReadLine implements Level.
+func (r *RAMLevel) ReadLine(paddr uint64, dst []byte) uint64 {
+	r.RAM.ReadBlock(paddr, dst)
+	return r.ReadLat
+}
+
+// WriteLine implements Level. Writebacks are absorbed by the memory
+// controller's write buffer, so they add no latency to the access path.
+func (r *RAMLevel) WriteLine(paddr uint64, src []byte) uint64 {
+	r.RAM.WriteBlock(paddr, src)
+	return 0
+}
+
+// CacheConfig describes the geometry and hit latency of one cache level.
+type CacheConfig struct {
+	Name      string
+	Sets      int
+	Ways      int
+	LineBytes int
+	HitLat    uint64
+	// AddrBits is the number of physical address bits the tag must
+	// distinguish (log2 of RAM size).
+	AddrBits int
+}
+
+// SizeBytes returns the data capacity.
+func (c CacheConfig) SizeBytes() int { return c.Sets * c.Ways * c.LineBytes }
+
+// Cache is a set-associative, write-back, write-allocate cache with
+// separate bit-addressable tag and data arrays.
+type Cache struct {
+	cfg      CacheConfig
+	setBits  int
+	lineBits int
+	tagBits  int // tag field width; entry adds valid+dirty
+
+	// tags packs valid(1) | dirty(1) | tag(tagBits) per way, set-major.
+	tags []uint64
+	// data holds the line contents, set-major then way-major.
+	data []byte
+
+	// lru holds last-touch timestamps (protected replacement metadata).
+	lru  []uint64
+	tick uint64
+
+	lower Level
+
+	// Statistics (protected).
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// NewCache builds a cache with the given geometry over the lower level.
+func NewCache(cfg CacheConfig, lower Level) *Cache {
+	if cfg.Sets&(cfg.Sets-1) != 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("mem: %s: sets and line size must be powers of two", cfg.Name))
+	}
+	c := &Cache{
+		cfg:      cfg,
+		setBits:  bits.TrailingZeros(uint(cfg.Sets)),
+		lineBits: bits.TrailingZeros(uint(cfg.LineBytes)),
+		tags:     make([]uint64, cfg.Sets*cfg.Ways),
+		data:     make([]byte, cfg.Sets*cfg.Ways*cfg.LineBytes),
+		lru:      make([]uint64, cfg.Sets*cfg.Ways),
+		lower:    lower,
+	}
+	c.tagBits = cfg.AddrBits - c.setBits - c.lineBits
+	if c.tagBits <= 0 {
+		panic(fmt.Sprintf("mem: %s: geometry larger than address space", cfg.Name))
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) validBit() uint64 { return 1 << (c.tagBits + 1) }
+func (c *Cache) dirtyBit() uint64 { return 1 << c.tagBits }
+func (c *Cache) tagMask() uint64  { return 1<<c.tagBits - 1 }
+
+func (c *Cache) split(paddr uint64) (set int, tag uint64, off uint64) {
+	line := paddr >> c.lineBits
+	set = int(line) & (c.cfg.Sets - 1)
+	tag = (line >> c.setBits) & c.tagMask()
+	off = paddr & uint64(c.cfg.LineBytes-1)
+	return
+}
+
+// lineAddr reconstructs the line-aligned physical address of a way's
+// contents from its (possibly corrupted) tag.
+func (c *Cache) lineAddr(set int, tag uint64) uint64 {
+	return (tag<<c.setBits | uint64(set)) << c.lineBits
+}
+
+// Access performs a read (write=false, buf filled) or write (write=true,
+// buf consumed) of n bytes at paddr. The access must not cross a line
+// boundary — the core enforces natural alignment before translation. The
+// returned latency includes any fill from the lower level.
+func (c *Cache) Access(paddr uint64, n uint64, write bool, buf []byte) uint64 {
+	c.Accesses++
+	c.tick++
+	set, tag, off := c.split(paddr)
+	base := set * c.cfg.Ways
+	way := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		e := c.tags[base+w]
+		if e&c.validBit() != 0 && e&c.tagMask() == tag {
+			way = w
+			break
+		}
+	}
+	lat := c.cfg.HitLat
+	if way < 0 {
+		c.Misses++
+		way = c.victim(set)
+		lat += c.fill(set, way, tag)
+	}
+	c.lru[base+way] = c.tick
+	idx := (base+way)*c.cfg.LineBytes + int(off)
+	if write {
+		copy(c.data[idx:idx+int(n)], buf[:n])
+		c.tags[base+way] |= c.dirtyBit()
+	} else {
+		copy(buf[:n], c.data[idx:idx+int(n)])
+	}
+	return lat
+}
+
+// victim picks the way to replace in set: an invalid way if any, else LRU.
+func (c *Cache) victim(set int) int {
+	base := set * c.cfg.Ways
+	oldest, way := ^uint64(0), 0
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w]&c.validBit() == 0 {
+			return w
+		}
+		if c.lru[base+w] < oldest {
+			oldest = c.lru[base+w]
+			way = w
+		}
+	}
+	return way
+}
+
+// fill evicts the victim way (writing back a dirty line to the address its
+// current — possibly corrupted — tag names) and fetches the new line.
+func (c *Cache) fill(set, way int, tag uint64) uint64 {
+	base := set * c.cfg.Ways
+	e := c.tags[base+way]
+	idx := (base + way) * c.cfg.LineBytes
+	var lat uint64
+	if e&c.validBit() != 0 && e&c.dirtyBit() != 0 {
+		c.Writebacks++
+		lat += c.lower.WriteLine(c.lineAddr(set, e&c.tagMask()), c.data[idx:idx+c.cfg.LineBytes])
+	}
+	lat += c.lower.ReadLine(c.lineAddr(set, tag), c.data[idx:idx+c.cfg.LineBytes])
+	c.tags[base+way] = c.validBit() | tag
+	return lat
+}
+
+// ReadLine implements Level so an L1 can sit on top of this cache.
+func (c *Cache) ReadLine(paddr uint64, dst []byte) uint64 {
+	return c.Access(paddr, uint64(len(dst)), false, dst)
+}
+
+// WriteLine implements Level.
+func (c *Cache) WriteLine(paddr uint64, src []byte) uint64 {
+	return c.Access(paddr, uint64(len(src)), true, src)
+}
+
+// DirtyLinesInRange counts valid dirty lines whose (tag-derived) physical
+// address lies in [lo, hi). It is a pure observation used by the golden
+// run's output-exposure profile (the ESC predictor input) and does not
+// touch replacement state or statistics.
+func (c *Cache) DirtyLinesInRange(lo, hi uint64) int {
+	n := 0
+	for set := 0; set < c.cfg.Sets; set++ {
+		base := set * c.cfg.Ways
+		for w := 0; w < c.cfg.Ways; w++ {
+			e := c.tags[base+w]
+			if e&c.validBit() == 0 || e&c.dirtyBit() == 0 {
+				continue
+			}
+			addr := c.lineAddr(set, e&c.tagMask())
+			if addr >= lo && addr < hi {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Lines returns the total number of lines in the cache.
+func (c *Cache) Lines() int { return c.cfg.Sets * c.cfg.Ways }
+
+// Flush writes every dirty line back to the lower level and clears dirty
+// bits. Used at halt so the DMA engine observes the program's output in
+// physical memory, including any corruption that escaped through dirty
+// lines (the ESC path).
+func (c *Cache) Flush() {
+	for set := 0; set < c.cfg.Sets; set++ {
+		base := set * c.cfg.Ways
+		for w := 0; w < c.cfg.Ways; w++ {
+			e := c.tags[base+w]
+			if e&c.validBit() != 0 && e&c.dirtyBit() != 0 {
+				idx := (base + w) * c.cfg.LineBytes
+				c.Writebacks++
+				c.lower.WriteLine(c.lineAddr(set, e&c.tagMask()), c.data[idx:idx+c.cfg.LineBytes])
+				c.tags[base+w] &^= c.dirtyBit()
+			}
+		}
+	}
+}
+
+// Clone deep-copies the cache. The lower pointer is rebound by the caller
+// via SetLower, since the whole hierarchy is cloned together.
+func (c *Cache) Clone() *Cache {
+	cl := *c
+	cl.tags = append([]uint64(nil), c.tags...)
+	cl.data = append([]byte(nil), c.data...)
+	cl.lru = append([]uint64(nil), c.lru...)
+	return &cl
+}
+
+// SetLower rebinds the lower level after cloning.
+func (c *Cache) SetLower(l Level) { c.lower = l }
+
+// TagArray exposes the tag array as a fault-injection target.
+func (c *Cache) TagArray() *CacheTagArray { return &CacheTagArray{c} }
+
+// DataArray exposes the data array as a fault-injection target.
+func (c *Cache) DataArray() *CacheDataArray { return &CacheDataArray{c} }
+
+// CacheTagArray is the bit-addressable view of a cache's tag array,
+// including valid and dirty bits (tagBits+2 bits per line).
+type CacheTagArray struct{ c *Cache }
+
+// Name returns the target name, e.g. "L1D (Tag)".
+func (a *CacheTagArray) Name() string { return a.c.cfg.Name + " (Tag)" }
+
+// BitCount returns the number of injectable bits.
+func (a *CacheTagArray) BitCount() uint64 {
+	return uint64(len(a.c.tags)) * uint64(a.c.tagBits+2)
+}
+
+// FlipBit flips bit i of the tag array.
+func (a *CacheTagArray) FlipBit(i uint64) {
+	per := uint64(a.c.tagBits + 2)
+	a.c.tags[i/per] ^= 1 << (i % per)
+}
+
+// CacheDataArray is the bit-addressable view of a cache's data array.
+type CacheDataArray struct{ c *Cache }
+
+// Name returns the target name, e.g. "L1D (Data)".
+func (a *CacheDataArray) Name() string { return a.c.cfg.Name + " (Data)" }
+
+// BitCount returns the number of injectable bits.
+func (a *CacheDataArray) BitCount() uint64 { return uint64(len(a.c.data)) * 8 }
+
+// FlipBit flips bit i of the data array.
+func (a *CacheDataArray) FlipBit(i uint64) {
+	a.c.data[i/8] ^= 1 << (i % 8)
+}

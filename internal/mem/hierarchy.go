@@ -1,0 +1,162 @@
+package mem
+
+// HierarchyConfig collects the geometry of the whole memory system.
+type HierarchyConfig struct {
+	RAMSize uint64
+
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+
+	ITLBEntries int
+	DTLBEntries int
+	WalkLat     uint64 // page-walk latency charged on TLB misses
+	DRAMLat     uint64 // RAM read latency beyond L2
+}
+
+// Hierarchy is the assembled memory system: split L1s over a unified L2
+// over RAM, with per-side TLBs and an identity page table.
+type Hierarchy struct {
+	Cfg HierarchyConfig
+
+	RAM       *RAM
+	PageTable *PageTable
+	ITLB      *TLB
+	DTLB      *TLB
+	L1I       *Cache
+	L1D       *Cache
+	L2        *Cache
+
+	ramLevel *RAMLevel
+}
+
+// NewHierarchy builds the memory system.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h := &Hierarchy{Cfg: cfg}
+	h.RAM = NewRAM(cfg.RAMSize)
+	h.PageTable = NewPageTable(cfg.RAMSize)
+	h.ITLB = NewTLB("ITLB", cfg.ITLBEntries, cfg.WalkLat)
+	h.DTLB = NewTLB("DTLB", cfg.DTLBEntries, cfg.WalkLat)
+	h.ramLevel = &RAMLevel{RAM: h.RAM, ReadLat: cfg.DRAMLat}
+	h.L2 = NewCache(cfg.L2, h.ramLevel)
+	h.L1I = NewCache(cfg.L1I, h.L2)
+	h.L1D = NewCache(cfg.L1D, h.L2)
+	return h
+}
+
+// FetchWord reads one 32-bit instruction word through the ITLB and L1I.
+func (h *Hierarchy) FetchWord(vaddr uint64) (word uint32, lat uint64, fault Fault) {
+	if vaddr%4 != 0 {
+		return 0, 0, FaultAlign
+	}
+	paddr, tlat, fault := h.ITLB.Translate(vaddr, h.PageTable)
+	if fault != FaultNone {
+		return 0, tlat, fault
+	}
+	var buf [4]byte
+	clat := h.L1I.Access(paddr, 4, false, buf[:])
+	return uint32(uint64LE(buf[:4])), tlat + clat, FaultNone
+}
+
+// Load reads n bytes (1, 2, 4 or 8; naturally aligned) through the DTLB and
+// L1D, returning the zero-extended value.
+func (h *Hierarchy) Load(vaddr, n uint64) (val uint64, lat uint64, fault Fault) {
+	if vaddr%n != 0 {
+		return 0, 0, FaultAlign
+	}
+	paddr, tlat, fault := h.DTLB.Translate(vaddr, h.PageTable)
+	if fault != FaultNone {
+		return 0, tlat, fault
+	}
+	var buf [8]byte
+	clat := h.L1D.Access(paddr, n, false, buf[:n])
+	return uint64LE(buf[:n]), tlat + clat, FaultNone
+}
+
+// Store writes the low n bytes of val through the DTLB and L1D.
+func (h *Hierarchy) Store(vaddr, n, val uint64) (lat uint64, fault Fault) {
+	if vaddr%n != 0 {
+		return 0, FaultAlign
+	}
+	paddr, tlat, fault := h.DTLB.Translate(vaddr, h.PageTable)
+	if fault != FaultNone {
+		return tlat, fault
+	}
+	var buf [8]byte
+	for i := uint64(0); i < n; i++ {
+		buf[i] = byte(val >> (8 * i))
+	}
+	clat := h.L1D.Access(paddr, n, true, buf[:n])
+	return tlat + clat, FaultNone
+}
+
+// PrefetchI fills the line containing vaddr into L1I in the background,
+// charging no latency to the fetch stream. It models the next-line
+// instruction prefetcher of the Cortex-A72-class front end. Prefetches of
+// unmapped addresses are dropped silently.
+func (h *Hierarchy) PrefetchI(vaddr uint64) {
+	paddr, _, fault := h.ITLB.Translate(vaddr, h.PageTable)
+	if fault != FaultNone {
+		return
+	}
+	line := uint64(h.Cfg.L1I.LineBytes)
+	var buf [4]byte
+	h.L1I.Access(paddr&^(line-1), 4, false, buf[:])
+}
+
+// TranslateData exposes a data-side translation without a cache access,
+// used by the store queue to pre-translate store addresses.
+func (h *Hierarchy) TranslateData(vaddr uint64) (paddr uint64, lat uint64, fault Fault) {
+	return h.DTLB.Translate(vaddr, h.PageTable)
+}
+
+// DrainOutput models the DMA engine reading the program's output at halt:
+// all dirty lines are flushed to RAM (L1D first, then L2) and the output
+// region is read directly from physical memory. Corruption sitting in dirty
+// cache lines that was never re-read by the program therefore reaches the
+// output — the ESC path of the paper.
+//
+// outLenAddr holds the output byte count (stored by the program as a
+// natural-width word); outBase is the start of the output region. The
+// returned slice aliases RAM.
+func (h *Hierarchy) DrainOutput(outBase, outLenAddr uint64, lenBytes uint64) []byte {
+	h.L1D.Flush()
+	h.L2.Flush()
+	var buf [8]byte
+	h.RAM.ReadBlock(outLenAddr, buf[:lenBytes])
+	n := uint64LE(buf[:lenBytes])
+	// A faulty run can leave an arbitrary (even near-2^64) length word;
+	// clamp without overflowing outBase+n.
+	if outBase >= h.RAM.Size() {
+		return nil
+	}
+	if max := h.RAM.Size() - outBase; n > max {
+		n = max
+	}
+	return h.RAM.Bytes()[outBase : outBase+n]
+}
+
+// Clone deep-copies the entire memory system.
+func (h *Hierarchy) Clone() *Hierarchy {
+	c := &Hierarchy{Cfg: h.Cfg}
+	c.RAM = h.RAM.Clone()
+	c.PageTable = h.PageTable // immutable
+	c.ITLB = h.ITLB.Clone()
+	c.DTLB = h.DTLB.Clone()
+	c.ramLevel = &RAMLevel{RAM: c.RAM, ReadLat: h.ramLevel.ReadLat}
+	c.L2 = h.L2.Clone()
+	c.L2.SetLower(c.ramLevel)
+	c.L1I = h.L1I.Clone()
+	c.L1I.SetLower(c.L2)
+	c.L1D = h.L1D.Clone()
+	c.L1D.SetLower(c.L2)
+	return c
+}
+
+func uint64LE(b []byte) uint64 {
+	var v uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

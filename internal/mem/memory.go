@@ -1,0 +1,103 @@
+// Package mem models the memory subsystem of the AVGI machine: flat
+// physical RAM, instruction and data TLBs, and a two-level write-back cache
+// hierarchy (split L1I/L1D over a unified L2).
+//
+// Every array the paper injects faults into — L1I/L1D/L2 tag and data
+// arrays, ITLB and DTLB entry arrays — is held as explicit bit-addressable
+// state with FlipBit/BitCount accessors, so a single-bit upset mutates
+// exactly the state a real SRAM upset would. Replacement metadata and the
+// page table are "protected" (not fault targets), mirroring the paper's
+// 12-structure fault model.
+package mem
+
+import "fmt"
+
+// PageBytes is the page size used by both TLBs and the page table.
+const PageBytes = 4096
+
+// vpn/ppn field widths in TLB entries. Twelve bits of page number cover a
+// 16 MiB virtual space while physical RAM is 1 MiB, so corrupted page
+// numbers can point at unmapped pages and raise page faults, as on real
+// hardware.
+const pageNumBits = 12
+
+// Fault is a memory-system exception reported to the core, which raises it
+// as a precise exception at commit.
+type Fault uint8
+
+const (
+	FaultNone Fault = iota
+	// FaultPage is an access to an unmapped page.
+	FaultPage
+	// FaultAlign is a misaligned access.
+	FaultAlign
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultPage:
+		return "page fault"
+	case FaultAlign:
+		return "alignment fault"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(f))
+}
+
+// RAM is flat physical memory. DRAM cells are not one of the paper's 12
+// fault targets, so RAM has no FlipBit accessor.
+type RAM struct {
+	bytes []byte
+}
+
+// NewRAM allocates size bytes of zeroed physical memory.
+func NewRAM(size uint64) *RAM {
+	return &RAM{bytes: make([]byte, size)}
+}
+
+// Size returns the RAM size in bytes.
+func (r *RAM) Size() uint64 { return uint64(len(r.bytes)) }
+
+// Bytes returns the backing store for direct block access (line fills,
+// writebacks, program loading, DMA reads).
+func (r *RAM) Bytes() []byte { return r.bytes }
+
+// WriteBlock copies data into RAM at addr.
+func (r *RAM) WriteBlock(addr uint64, data []byte) {
+	copy(r.bytes[addr:], data)
+}
+
+// ReadBlock copies len(dst) bytes from RAM at addr.
+func (r *RAM) ReadBlock(addr uint64, dst []byte) {
+	copy(dst, r.bytes[addr:])
+}
+
+// Clone deep-copies the RAM.
+func (r *RAM) Clone() *RAM {
+	return &RAM{bytes: append([]byte(nil), r.bytes...)}
+}
+
+// PageTable is the identity mapping from virtual to physical pages for all
+// pages backed by RAM. It is architectural metadata maintained by
+// (hypothetical) system software and is not a fault target.
+type PageTable struct {
+	numPages uint64
+}
+
+// NewPageTable builds the identity page table covering ramSize bytes.
+func NewPageTable(ramSize uint64) *PageTable {
+	return &PageTable{numPages: ramSize / PageBytes}
+}
+
+// Walk translates a virtual page number. The walk itself costs WalkLatency
+// cycles, charged by the TLB on a miss.
+func (pt *PageTable) Walk(vpn uint64) (ppn uint64, ok bool) {
+	if vpn >= pt.numPages {
+		return 0, false
+	}
+	return vpn, true
+}
+
+// NumPages returns the number of mapped pages.
+func (pt *PageTable) NumPages() uint64 { return pt.numPages }

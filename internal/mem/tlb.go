@@ -1,0 +1,100 @@
+package mem
+
+// TLB is a fully associative translation lookaside buffer. Each entry packs
+// valid(1) | vpn(12) | ppn(12) into the low 25 bits of a uint64; those 25
+// bits per entry are the fault-injection surface of the structure, matching
+// the paper's ITLB/DTLB targets.
+//
+// Replacement state (round-robin pointer) is protected metadata.
+type TLB struct {
+	name    string
+	entries []uint64
+	rr      int // round-robin replacement cursor (protected)
+
+	walkLatency uint64
+
+	// Accesses and Misses are running statistics (protected).
+	Accesses uint64
+	Misses   uint64
+}
+
+const tlbEntryBits = 1 + 2*pageNumBits
+
+const (
+	tlbValidBit = 1 << 24
+	tlbVPNShift = 12
+	tlbPPNShift = 0
+	pageNumMask = (1 << pageNumBits) - 1
+)
+
+// NewTLB builds a TLB with n entries. walkLatency is the page-walk cost in
+// cycles charged on every miss.
+func NewTLB(name string, n int, walkLatency uint64) *TLB {
+	return &TLB{name: name, entries: make([]uint64, n), walkLatency: walkLatency}
+}
+
+// Name returns the structure name (e.g. "ITLB").
+func (t *TLB) Name() string { return t.name }
+
+// BitCount returns the total number of fault-injectable bits.
+func (t *TLB) BitCount() uint64 { return uint64(len(t.entries)) * tlbEntryBits }
+
+// FlipBit flips bit i of the entry array.
+func (t *TLB) FlipBit(i uint64) {
+	entry := i / tlbEntryBits
+	bit := i % tlbEntryBits
+	t.entries[entry] ^= 1 << bit
+}
+
+// Translate maps a virtual address to a physical address, consulting the
+// page table pt on a miss. It returns the physical address, the latency in
+// cycles added by translation (0 on a hit), and a fault indication for
+// unmapped pages.
+func (t *TLB) Translate(vaddr uint64, pt *PageTable) (paddr uint64, lat uint64, fault Fault) {
+	t.Accesses++
+	vpn := (vaddr / PageBytes) & pageNumMask
+	off := vaddr % PageBytes
+	for _, e := range t.entries {
+		if e&tlbValidBit != 0 && (e>>tlbVPNShift)&pageNumMask == vpn {
+			ppn := (e >> tlbPPNShift) & pageNumMask
+			if ppn >= pt.NumPages() {
+				// A corrupted PPN can point outside RAM; the
+				// access raises a page fault exactly as a
+				// hardware translation to an unbacked page
+				// would.
+				return 0, 0, FaultPage
+			}
+			return ppn*PageBytes + off, 0, FaultNone
+		}
+	}
+	t.Misses++
+	ppn, ok := pt.Walk(vpn)
+	if !ok {
+		return 0, t.walkLatency, FaultPage
+	}
+	t.fill(vpn, ppn)
+	return ppn*PageBytes + off, t.walkLatency, FaultNone
+}
+
+func (t *TLB) fill(vpn, ppn uint64) {
+	// Prefer an invalid slot; otherwise round-robin replace.
+	victim := -1
+	for i, e := range t.entries {
+		if e&tlbValidBit == 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = t.rr
+		t.rr = (t.rr + 1) % len(t.entries)
+	}
+	t.entries[victim] = tlbValidBit | (vpn&pageNumMask)<<tlbVPNShift | (ppn&pageNumMask)<<tlbPPNShift
+}
+
+// Clone deep-copies the TLB.
+func (t *TLB) Clone() *TLB {
+	c := *t
+	c.entries = append([]uint64(nil), t.entries...)
+	return &c
+}

@@ -1,0 +1,214 @@
+package prog
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"avgi/internal/isa"
+)
+
+func TestXorshiftDeterministicNonZero(t *testing.T) {
+	a, b := xorshift32(1), xorshift32(1)
+	seen := map[uint32]bool{}
+	for i := 0; i < 1000; i++ {
+		x, y := a(), b()
+		if x != y {
+			t.Fatal("same seed diverged")
+		}
+		if x == 0 {
+			t.Fatal("xorshift produced zero (would stick)")
+		}
+		seen[x] = true
+	}
+	if len(seen) < 990 {
+		t.Errorf("only %d distinct values in 1000", len(seen))
+	}
+}
+
+func TestRandWordsMasked(t *testing.T) {
+	for _, w := range randWords(7, 100, isa.V32) {
+		if w>>32 != 0 {
+			t.Fatal("V32 word exceeds 32 bits")
+		}
+	}
+}
+
+func TestCRCTableMatchesStdlibPolynomial(t *testing.T) {
+	// Spot-check the classic IEEE value: CRC32("123456789") = 0xCBF43926.
+	tbl := crcTable()
+	crc := uint32(0xFFFFFFFF)
+	for _, b := range []byte("123456789") {
+		crc = tbl[byte(crc)^b] ^ (crc >> 8)
+	}
+	if crc^0xFFFFFFFF != 0xCBF43926 {
+		t.Errorf("check value %#x", crc^0xFFFFFFFF)
+	}
+}
+
+func TestHorspoolAgainstNaive(t *testing.T) {
+	f := func(textSeed uint32, patOff, patLen uint8) bool {
+		text := randBytes(textSeed|1, 300)
+		m := int(patLen%12) + 2
+		off := int(patOff) % (len(text) - m)
+		pat := text[off : off+m]
+		got := horspool(text, pat)
+		want := uint64(bytes.Index(text, pat))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	if horspool([]byte("abc"), []byte("zzz")) != ^uint64(0) {
+		t.Error("missing pattern should return all-ones")
+	}
+}
+
+func TestRjSboxIsPermutation(t *testing.T) {
+	s := rjSbox()
+	seen := make([]bool, 256)
+	for _, v := range s {
+		if seen[v] {
+			t.Fatalf("duplicate sbox value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRjShiftIsPermutation(t *testing.T) {
+	seen := make([]bool, 16)
+	for _, v := range rjShift {
+		if seen[v] {
+			t.Fatalf("duplicate shift index %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFftRevIsInvolution(t *testing.T) {
+	rev := fftRev()
+	for i := 0; i < fftN; i++ {
+		if int(rev[rev[i]]) != i {
+			t.Fatalf("rev not an involution at %d", i)
+		}
+	}
+}
+
+func TestFftTwiddleMagnitudes(t *testing.T) {
+	wr, wi := fftTwiddles()
+	for k := range wr {
+		if wr[k] > 16384 || wr[k] < -16384 || wi[k] > 16384 || wi[k] < -16384 {
+			t.Fatalf("twiddle %d out of Q14 range: %d %d", k, wr[k], wi[k])
+		}
+	}
+	if wr[0] != 16384 || wi[0] != 0 {
+		t.Errorf("w^0 = (%d, %d)", wr[0], wi[0])
+	}
+}
+
+func TestQsortRefIsSorted(t *testing.T) {
+	out := refQsort(isa.V64)
+	prev := uint64(0)
+	for i := 0; i < qsN; i++ {
+		var v uint64
+		for b := 7; b >= 0; b-- {
+			v = v<<8 | uint64(out[i*8+b])
+		}
+		if i > 0 && v < prev {
+			t.Fatalf("not sorted at %d", i)
+		}
+		prev = v
+	}
+	// And it must be a permutation of the input.
+	in := randWords(qsSeed, qsN, isa.V64)
+	sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+	var first uint64
+	for b := 7; b >= 0; b-- {
+		first = first<<8 | uint64(out[b])
+	}
+	if first != in[0] {
+		t.Error("sorted output is not a permutation of the input")
+	}
+}
+
+func TestDijkstraRefTriangleInequality(t *testing.T) {
+	adj := djAdj()
+	out := refDijkstra(isa.V64)
+	dist := make([]uint64, djV)
+	for i := range dist {
+		for b := 7; b >= 0; b-- {
+			dist[i] = dist[i]<<8 | uint64(out[i*8+b])
+		}
+	}
+	if dist[0] != 0 {
+		t.Fatal("source distance not zero")
+	}
+	for u := 0; u < djV; u++ {
+		for v := 0; v < djV; v++ {
+			if u == v {
+				continue
+			}
+			if dist[v] > dist[u]+adj[u*djV+v] {
+				t.Fatalf("triangle inequality violated: d[%d]=%d > d[%d]+w=%d",
+					v, dist[v], u, dist[u]+adj[u*djV+v])
+			}
+		}
+	}
+}
+
+func TestMgSmoothPreservesBounds(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := xorshift32(seed | 1)
+		a := make([]int32, 64)
+		for i := range a {
+			a[i] = int32(r() % 32768)
+		}
+		mgSmooth(a)
+		for _, v := range a {
+			if v < 0 || v >= 32768 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlowfishRefInvertibleStructure(t *testing.T) {
+	// Feistel ciphertexts must differ from plaintexts and be length-
+	// preserving.
+	out := refBlowfish(isa.V64)
+	if len(out) != bfMsgLen {
+		t.Fatalf("ciphertext length %d", len(out))
+	}
+	msg := randBytes(bfSeedVal^0xDD, bfMsgLen)
+	if bytes.Equal(out, msg) {
+		t.Error("ciphertext equals plaintext")
+	}
+}
+
+func TestISRefIsValidRanking(t *testing.T) {
+	out := refIS(isa.V64)
+	keys := isKeyData()
+	ranks := make([]int, len(keys))
+	seen := make([]bool, len(keys))
+	for i := range keys {
+		r := int(out[i*2]) | int(out[i*2+1])<<8
+		ranks[i] = r
+		if r >= len(keys) || seen[r] {
+			t.Fatalf("rank %d invalid or duplicated", r)
+		}
+		seen[r] = true
+	}
+	// Ranks must order the keys.
+	for i := range keys {
+		for j := range keys {
+			if keys[i] < keys[j] && ranks[i] > ranks[j] {
+				t.Fatalf("ranking inverted for keys %d,%d", keys[i], keys[j])
+			}
+		}
+	}
+}

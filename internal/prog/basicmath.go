@@ -1,0 +1,204 @@
+package prog
+
+import (
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+)
+
+// basicmath exercises integer math kernels in the style of MiBench
+// automotive/basicmath: Euclid GCDs, Newton integer square roots, cube
+// roots by binary search, and a trial-division prime count. All four use
+// the multi-cycle divide unit heavily. Output: 89 natural words.
+
+const (
+	bmSeed       = 0xBA51C3A7
+	bmGCDs       = 32
+	bmSqrts      = 32
+	bmCbrts      = 24
+	bmPrimeLimit = 300
+	bmIters      = 20
+)
+
+func init() {
+	register(Workload{
+		Name:  "basicmath",
+		Suite: "mibench",
+		Build: buildBasicmath,
+		Ref:   refBasicmath,
+	})
+}
+
+func bmInputs() (gcdA, gcdB, sqrtN, cbrtN []uint64) {
+	r := xorshift32(bmSeed)
+	for i := 0; i < bmGCDs; i++ {
+		gcdA = append(gcdA, uint64(r()%(1<<20)+1))
+		gcdB = append(gcdB, uint64(r()%(1<<20)+1))
+	}
+	for i := 0; i < bmSqrts; i++ {
+		sqrtN = append(sqrtN, uint64(r()%(1<<28)+1))
+	}
+	for i := 0; i < bmCbrts; i++ {
+		cbrtN = append(cbrtN, uint64(r()%(1<<30)+1))
+	}
+	return
+}
+
+func refBasicmath(v isa.Variant) []byte {
+	gcdA, gcdB, sqrtN, cbrtN := bmInputs()
+	wb := wordBytes(v)
+	var out []byte
+	for i := range gcdA {
+		a, b := gcdA[i], gcdB[i]
+		for b != 0 {
+			a, b = b, a%b
+		}
+		out = putWord(out, a, wb)
+	}
+	for _, n := range sqrtN {
+		x := n
+		for k := 0; k < bmIters; k++ {
+			x = (x + n/x) / 2
+		}
+		out = putWord(out, x, wb)
+	}
+	for _, n := range cbrtN {
+		lo, hi := uint64(0), uint64(1<<10)
+		for k := 0; k < bmIters; k++ {
+			mid := (lo + hi) / 2
+			if mid*mid*mid <= n {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		out = putWord(out, lo, wb)
+	}
+	count := uint64(0)
+	for i := 2; i < bmPrimeLimit; i++ {
+		prime := true
+		for j := 2; j*j <= i; j++ {
+			if i%j == 0 {
+				prime = false
+				break
+			}
+		}
+		if prime {
+			count++
+		}
+	}
+	out = putWord(out, count, wb)
+	return out
+}
+
+func buildBasicmath(v isa.Variant) *asm.Program {
+	b := asm.NewBuilder("basicmath", v)
+	gcdA, gcdB, sqrtN, cbrtN := bmInputs()
+	aArr := b.DataWords("gcdA", gcdA)
+	bArr := b.DataWords("gcdB", gcdB)
+	sArr := b.DataWords("sqrtN", sqrtN)
+	cArr := b.DataWords("cbrtN", cbrtN)
+	sh := b.WordShift()
+	wb := int32(v.WordBytes())
+
+	// r1 out ptr, r2 index, r3 limit, r4..r12,r15 temps.
+	b.Li(1, asm.DefaultOutBase)
+
+	// GCDs: a,b = b, a%b until b == 0 (unsigned via REM on positive
+	// inputs).
+	b.Li(2, 0)
+	b.Li(3, bmGCDs)
+	b.Label("gcd")
+	b.Slli(9, 2, sh)
+	b.Li(10, aArr)
+	b.Add(10, 10, 9)
+	b.LoadW(4, 10, 0)
+	b.Li(10, bArr)
+	b.Add(10, 10, 9)
+	b.LoadW(5, 10, 0)
+	b.Label("euclid")
+	b.Beq(5, 0, "gcddone")
+	b.Rem(6, 4, 5)
+	b.Mov(4, 5)
+	b.Mov(5, 6)
+	b.Jump("euclid")
+	b.Label("gcddone")
+	b.StoreW(4, 1, 0)
+	b.Addi(1, 1, wb)
+	b.Addi(2, 2, 1)
+	b.Blt(2, 3, "gcd")
+
+	// Integer square roots by a fixed Newton iteration count.
+	b.Li(2, 0)
+	b.Li(3, bmSqrts)
+	b.Label("isq")
+	b.Slli(9, 2, sh)
+	b.Li(10, sArr)
+	b.Add(10, 10, 9)
+	b.LoadW(4, 10, 0) // n
+	b.Mov(5, 4)       // x = n
+	b.Li(6, bmIters)
+	b.Label("newton")
+	b.Div(7, 4, 5)
+	b.Add(7, 7, 5)
+	b.Srli(5, 7, 1)
+	b.Addi(6, 6, -1)
+	b.Bne(6, 0, "newton")
+	b.StoreW(5, 1, 0)
+	b.Addi(1, 1, wb)
+	b.Addi(2, 2, 1)
+	b.Blt(2, 3, "isq")
+
+	// Cube roots by binary search over a fixed iteration count.
+	b.Li(2, 0)
+	b.Li(3, bmCbrts)
+	b.Label("cbr")
+	b.Slli(9, 2, sh)
+	b.Li(10, cArr)
+	b.Add(10, 10, 9)
+	b.LoadW(4, 10, 0) // n
+	b.Li(5, 0)        // lo
+	b.Li(6, 1<<10)    // hi
+	b.Li(7, bmIters)
+	b.Label("bisect")
+	b.Add(8, 5, 6)
+	b.Srli(8, 8, 1) // mid
+	b.Mul(9, 8, 8)
+	b.Mul(9, 9, 8) // mid^3
+	b.Bltu(4, 9, "chigh")
+	b.Mov(5, 8) // mid^3 <= n: lo = mid
+	b.Jump("cnext")
+	b.Label("chigh")
+	b.Mov(6, 8)
+	b.Label("cnext")
+	b.Addi(7, 7, -1)
+	b.Bne(7, 0, "bisect")
+	b.StoreW(5, 1, 0)
+	b.Addi(1, 1, wb)
+	b.Addi(2, 2, 1)
+	b.Blt(2, 3, "cbr")
+
+	// Prime count below bmPrimeLimit by trial division.
+	b.Li(4, 0) // count
+	b.Li(2, 2) // i
+	b.Li(3, bmPrimeLimit)
+	b.Label("pi")
+	b.Li(5, 2) // j
+	b.Label("pj")
+	b.Mul(9, 5, 5)
+	b.Blt(2, 9, "isprime") // j*j > i
+	b.Rem(9, 2, 5)
+	b.Beq(9, 0, "notprime")
+	b.Addi(5, 5, 1)
+	b.Jump("pj")
+	b.Label("isprime")
+	b.Addi(4, 4, 1)
+	b.Label("notprime")
+	b.Addi(2, 2, 1)
+	b.Blt(2, 3, "pi")
+	b.StoreW(4, 1, 0)
+	b.Addi(1, 1, wb)
+
+	b.Li(4, uint64(bmGCDs+bmSqrts+bmCbrts+1)*uint64(wb))
+	epilogue(b, 4, 15)
+	return b.MustAssemble()
+}

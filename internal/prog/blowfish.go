@@ -1,0 +1,175 @@
+package prog
+
+import (
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+)
+
+// blowfish encrypts a 3 KiB buffer with a Blowfish-style 16-round Feistel
+// network: an 18-entry P-array and four 256-entry S-boxes drive the round
+// function F(x) = ((S0[a]+S1[b]) ^ S2[c]) + S3[d] over 32-bit halves.
+// Output: the 3 KiB ciphertext — a large-output workload with high ESC
+// probability, mirroring the paper's blowfish discussion in Section IV.D.
+
+const (
+	bfMsgLen  = 3072
+	bfSeedVal = 0xB10F158
+)
+
+func init() {
+	register(Workload{
+		Name:  "blowfish",
+		Suite: "mibench",
+		Build: buildBlowfish,
+		Ref:   refBlowfish,
+	})
+}
+
+func bfKeys() (p []uint32, s [][]uint32) {
+	r := xorshift32(bfSeedVal)
+	p = make([]uint32, 18)
+	for i := range p {
+		p[i] = r()
+	}
+	s = make([][]uint32, 4)
+	for k := range s {
+		s[k] = make([]uint32, 256)
+		for i := range s[k] {
+			s[k][i] = r()
+		}
+	}
+	return
+}
+
+func bfF(x uint32, s [][]uint32) uint32 {
+	a := x >> 24
+	b2 := (x >> 16) & 0xFF
+	c := (x >> 8) & 0xFF
+	d := x & 0xFF
+	return ((s[0][a] + s[1][b2]) ^ s[2][c]) + s[3][d]
+}
+
+func refBlowfish(v isa.Variant) []byte {
+	msg := randBytes(bfSeedVal^0xDD, bfMsgLen)
+	p, s := bfKeys()
+	out := make([]byte, bfMsgLen)
+	for o := 0; o < bfMsgLen; o += 8 {
+		l := uint32(msg[o]) | uint32(msg[o+1])<<8 | uint32(msg[o+2])<<16 | uint32(msg[o+3])<<24
+		r := uint32(msg[o+4]) | uint32(msg[o+5])<<8 | uint32(msg[o+6])<<16 | uint32(msg[o+7])<<24
+		for i := 0; i < 16; i++ {
+			l ^= p[i]
+			r ^= bfF(l, s)
+			l, r = r, l
+		}
+		l, r = r, l
+		r ^= p[16]
+		l ^= p[17]
+		out[o] = byte(l)
+		out[o+1] = byte(l >> 8)
+		out[o+2] = byte(l >> 16)
+		out[o+3] = byte(l >> 24)
+		out[o+4] = byte(r)
+		out[o+5] = byte(r >> 8)
+		out[o+6] = byte(r >> 16)
+		out[o+7] = byte(r >> 24)
+	}
+	return out
+}
+
+func buildBlowfish(v isa.Variant) *asm.Program {
+	b := asm.NewBuilder("blowfish", v)
+	msg := b.DataBytes("msg", randBytes(bfSeedVal^0xDD, bfMsgLen))
+	b.Align(4)
+	p, s := bfKeys()
+	pArr := b.DataWords32("p", p)
+	sArr := make([]uint64, 4)
+	for k := 0; k < 4; k++ {
+		sArr[k] = b.DataWords32("", s[k])
+	}
+
+	// r1 msg ptr, r2 out ptr, r3 mask32, r4 L, r5 R, r6 round/idx,
+	// r7 blocks left, r8 P base, r9..r12,r15 temps. S-box bases are
+	// materialised per use from constants (r10).
+	b.Li(1, msg)
+	b.Li(2, asm.DefaultOutBase)
+	b.Li(3, 0xFFFFFFFF)
+	b.Li(7, bfMsgLen/8)
+	b.Li(8, pArr)
+
+	// F(x in r11) -> r12, clobbers r9, r10, r15.
+	F := func() {
+		// a = x>>24
+		b.Srli(9, 11, 24)
+		b.Slli(9, 9, 2)
+		b.Li(10, sArr[0])
+		b.Add(9, 9, 10)
+		b.Lw(12, 9, 0)
+		// + S1[(x>>16)&255]
+		b.Srli(9, 11, 16)
+		b.Andi(9, 9, 0xFF)
+		b.Slli(9, 9, 2)
+		b.Li(10, sArr[1])
+		b.Add(9, 9, 10)
+		b.Lw(15, 9, 0)
+		b.Add(12, 12, 15)
+		// ^ S2[(x>>8)&255]
+		b.Srli(9, 11, 8)
+		b.Andi(9, 9, 0xFF)
+		b.Slli(9, 9, 2)
+		b.Li(10, sArr[2])
+		b.Add(9, 9, 10)
+		b.Lw(15, 9, 0)
+		b.Xor(12, 12, 15)
+		// + S3[x&255]
+		b.Andi(9, 11, 0xFF)
+		b.Slli(9, 9, 2)
+		b.Li(10, sArr[3])
+		b.Add(9, 9, 10)
+		b.Lw(15, 9, 0)
+		b.Add(12, 12, 15)
+		b.And(12, 12, 3)
+	}
+
+	b.Label("block")
+	b.Lw(4, 1, 0) // L
+	b.Lw(5, 1, 4) // R
+	b.And(4, 4, 3)
+	b.And(5, 5, 3)
+	// 16 rounds, unrolled in pairs to avoid the swap.
+	for i := 0; i < 16; i += 2 {
+		// L ^= P[i]; R ^= F(L)
+		b.Lw(9, 8, int32(i*4))
+		b.Xor(4, 4, 9)
+		b.And(4, 4, 3)
+		b.Mov(11, 4)
+		F()
+		b.Xor(5, 5, 12)
+		// (swap) then: R' ^= P[i+1]; L' ^= F(R')
+		b.Lw(9, 8, int32((i+1)*4))
+		b.Xor(5, 5, 9)
+		b.And(5, 5, 3)
+		b.Mov(11, 5)
+		F()
+		b.Xor(4, 4, 12)
+	}
+	// After 8 unrolled pairs, register r4 holds the reference's r-half
+	// and r5 its l-half (the reference's final un-swap). Post-whitening:
+	// r ^= P[16], l ^= P[17]; the l-half is stored first.
+	b.Lw(9, 8, 16*4)
+	b.Xor(4, 4, 9)
+	b.Lw(9, 8, 17*4)
+	b.Xor(5, 5, 9)
+	b.And(4, 4, 3)
+	b.And(5, 5, 3)
+	b.Sw(5, 2, 0)
+	b.Sw(4, 2, 4)
+
+	b.Addi(1, 1, 8)
+	b.Addi(2, 2, 8)
+	b.Addi(7, 7, -1)
+	b.Bne(7, 0, "block")
+
+	b.Li(4, bfMsgLen)
+	epilogue(b, 4, 15)
+	return b.MustAssemble()
+}

@@ -1,0 +1,101 @@
+package prog
+
+import (
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+)
+
+// crc32 computes table-driven CRC-32 (reflected, polynomial 0xEDB88320)
+// over a 4 KiB message, one checksum per 256-byte chunk. Output: 16 32-bit
+// checksums (64 bytes) — small output, memory-bound table lookups.
+
+const (
+	crcMsgLen   = 4096
+	crcChunk    = 256
+	crcSeed     = 0xC3C32019
+	crcPoly     = 0xEDB88320
+	crcInitUint = 0xFFFFFFFF
+)
+
+func init() {
+	register(Workload{
+		Name:  "crc32",
+		Suite: "mibench",
+		Build: buildCRC32,
+		Ref:   refCRC32,
+	})
+}
+
+func crcTable() []uint32 {
+	t := make([]uint32, 256)
+	for i := range t {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = crcPoly ^ (c >> 1)
+			} else {
+				c >>= 1
+			}
+		}
+		t[i] = c
+	}
+	return t
+}
+
+func refCRC32(v isa.Variant) []byte {
+	msg := randBytes(crcSeed, crcMsgLen)
+	tbl := crcTable()
+	var out []byte
+	for c := 0; c < crcMsgLen/crcChunk; c++ {
+		crc := uint32(crcInitUint)
+		for _, by := range msg[c*crcChunk : (c+1)*crcChunk] {
+			crc = tbl[byte(crc)^by] ^ (crc >> 8)
+		}
+		crc ^= crcInitUint
+		out = append(out, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+	}
+	return out
+}
+
+func buildCRC32(v isa.Variant) *asm.Program {
+	b := asm.NewBuilder("crc32", v)
+	msg := b.DataBytes("msg", randBytes(crcSeed, crcMsgLen))
+	b.Align(4)
+	tbl := b.DataWords32("tbl", crcTable())
+
+	// r1 msg ptr, r2 chunk count, r3 mask32, r4 crc, r5 byte index,
+	// r6 table base, r7 out ptr, r8..r12,r15 temps.
+	b.Li(1, msg)
+	b.Li(2, crcMsgLen/crcChunk)
+	b.Li(3, 0xFFFFFFFF)
+	b.Li(6, tbl)
+	b.Li(7, asm.DefaultOutBase)
+
+	b.Label("chunk")
+	b.Mov(4, 3) // crc = 0xFFFFFFFF
+	b.Li(5, 0)
+	b.Label("byte")
+	b.Add(8, 1, 5)
+	b.Lbu(8, 8, 0) // message byte
+	b.Xor(9, 4, 8) // crc ^ byte
+	b.Andi(9, 9, 0xFF)
+	b.Slli(9, 9, 2)
+	b.Add(9, 9, 6)
+	b.Lw(9, 9, 0) // table entry
+	b.And(9, 9, 3)
+	b.Srli(10, 4, 8) // crc >> 8 (crc is 32-bit clean)
+	b.Xor(4, 9, 10)
+	b.Addi(5, 5, 1)
+	b.Slti(10, 5, crcChunk)
+	b.Bne(10, 0, "byte")
+	b.Xor(4, 4, 3) // final complement
+	b.Sw(4, 7, 0)
+	b.Addi(7, 7, 4)
+	b.Addi(1, 1, crcChunk)
+	b.Addi(2, 2, -1)
+	b.Bne(2, 0, "chunk")
+
+	b.Li(4, crcMsgLen/crcChunk*4)
+	epilogue(b, 4, 15)
+	return b.MustAssemble()
+}

@@ -1,0 +1,174 @@
+package prog
+
+import (
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+)
+
+// dijkstra computes single-source shortest paths on a dense 48-node graph
+// with an O(V^2) scan (no heap), as in the MiBench network suite. Output:
+// the distance vector (48 natural words).
+
+const (
+	djV    = 48
+	djSeed = 0xD1357A99
+	djInf  = 1 << 28
+)
+
+func init() {
+	register(Workload{
+		Name:  "dijkstra",
+		Suite: "mibench",
+		Build: buildDijkstra,
+		Ref:   refDijkstra,
+	})
+}
+
+// djAdj generates the dense weight matrix: adj[i][j] in 1..255, 0 on the
+// diagonal.
+func djAdj() []uint64 {
+	r := xorshift32(djSeed)
+	m := make([]uint64, djV*djV)
+	for i := 0; i < djV; i++ {
+		for j := 0; j < djV; j++ {
+			if i == j {
+				continue
+			}
+			m[i*djV+j] = uint64(r()%255 + 1)
+		}
+	}
+	return m
+}
+
+func refDijkstra(v isa.Variant) []byte {
+	adj := djAdj()
+	dist := make([]uint64, djV)
+	visited := make([]bool, djV)
+	for i := 1; i < djV; i++ {
+		dist[i] = djInf
+	}
+	for iter := 0; iter < djV; iter++ {
+		best := uint64(djInf + 1)
+		bi := 0
+		for i := 0; i < djV; i++ {
+			if !visited[i] && dist[i] < best {
+				best = dist[i]
+				bi = i
+			}
+		}
+		visited[bi] = true
+		for j := 0; j < djV; j++ {
+			if visited[j] {
+				continue
+			}
+			nd := dist[bi] + adj[bi*djV+j]
+			if nd < dist[j] {
+				dist[j] = nd
+			}
+		}
+	}
+	wb := wordBytes(v)
+	var out []byte
+	for _, d := range dist {
+		out = putWord(out, d, wb)
+	}
+	return out
+}
+
+func buildDijkstra(v isa.Variant) *asm.Program {
+	b := asm.NewBuilder("dijkstra", v)
+	adj := b.DataWords("adj", djAdj())
+	wb := int32(v.WordBytes())
+	sh := b.WordShift()
+	dist := b.Reserve("dist", djV*int(wb))
+	visited := b.Reserve("visited", djV)
+
+	// r1 adj, r2 dist, r3 visited, r4 iter, r5 best, r6 bestIdx,
+	// r7 loop idx, r8..r12,r15 temps.
+	b.Li(1, adj)
+	b.Li(2, dist)
+	b.Li(3, visited)
+
+	// Initialise dist[0]=0 (Reserve zero-fills) and dist[1..]=INF.
+	b.Li(7, 1)
+	b.Li(8, djV)
+	b.Li(9, djInf)
+	b.Label("init")
+	b.Slli(10, 7, sh)
+	b.Add(10, 10, 2)
+	b.StoreW(9, 10, 0)
+	b.Addi(7, 7, 1)
+	b.Blt(7, 8, "init")
+
+	b.Li(4, 0) // iter
+	b.Label("outer")
+	// Select the unvisited node with the minimum distance.
+	b.Li(5, djInf+1)
+	b.Li(6, 0)
+	b.Li(7, 0)
+	b.Label("scan")
+	b.Add(9, 3, 7)
+	b.Lbu(9, 9, 0)
+	b.Bne(9, 0, "scannext")
+	b.Slli(10, 7, sh)
+	b.Add(10, 10, 2)
+	b.LoadW(10, 10, 0)
+	b.Bgeu(10, 5, "scannext")
+	b.Mov(5, 10)
+	b.Mov(6, 7)
+	b.Label("scannext")
+	b.Addi(7, 7, 1)
+	b.Li(9, djV)
+	b.Blt(7, 9, "scan")
+
+	// Mark visited and relax every unvisited neighbour.
+	b.Add(9, 3, 6)
+	b.Li(10, 1)
+	b.Sb(10, 9, 0)
+	// r8 = adj row base = adj + bestIdx*V*wb; r5 = dist[best].
+	b.Li(9, djV)
+	b.Mul(8, 6, 9)
+	b.Slli(8, 8, sh)
+	b.Add(8, 8, 1)
+	b.Slli(9, 6, sh)
+	b.Add(9, 9, 2)
+	b.LoadW(5, 9, 0)
+	b.Li(7, 0)
+	b.Label("relax")
+	b.Add(9, 3, 7)
+	b.Lbu(9, 9, 0)
+	b.Bne(9, 0, "relaxnext")
+	b.Slli(10, 7, sh)
+	b.Add(11, 10, 8)
+	b.LoadW(11, 11, 0) // weight
+	b.Add(11, 11, 5)   // candidate distance
+	b.Add(12, 10, 2)
+	b.LoadW(9, 12, 0) // dist[j]
+	b.Bgeu(11, 9, "relaxnext")
+	b.StoreW(11, 12, 0)
+	b.Label("relaxnext")
+	b.Addi(7, 7, 1)
+	b.Li(9, djV)
+	b.Blt(7, 9, "relax")
+
+	b.Addi(4, 4, 1)
+	b.Li(9, djV)
+	b.Blt(4, 9, "outer")
+
+	// Copy dist to the output region.
+	b.Li(7, 0)
+	b.Li(8, djV)
+	b.Li(11, asm.DefaultOutBase)
+	b.Label("emit")
+	b.Slli(10, 7, sh)
+	b.Add(9, 10, 2)
+	b.LoadW(9, 9, 0)
+	b.Add(10, 10, 11)
+	b.StoreW(9, 10, 0)
+	b.Addi(7, 7, 1)
+	b.Blt(7, 8, "emit")
+
+	b.Li(4, uint64(djV)*uint64(wb))
+	epilogue(b, 4, 15)
+	return b.MustAssemble()
+}

@@ -1,0 +1,256 @@
+package prog
+
+import (
+	"math"
+
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+)
+
+// fft runs an in-place iterative radix-2 FFT over 256 complex points in
+// Q14 fixed-point arithmetic with per-stage scaling, as in the MiBench
+// telecomm FFT. Twiddle factors and the bit-reversal permutation are baked
+// into the data section. Output: the full spectrum (256 re + 256 im 32-bit
+// words, 2 KiB) — a medium/large-output workload.
+
+const (
+	fftN    = 256
+	fftLogN = 8
+	fftSeed = 0xFF7A
+)
+
+func init() {
+	register(Workload{
+		Name:  "fft",
+		Suite: "mibench",
+		Build: buildFFT,
+		Ref:   refFFT,
+	})
+}
+
+// fftInput generates the random Q14 input samples in [-8192, 8191].
+func fftInput() (re, im []int32) {
+	r := xorshift32(fftSeed)
+	re = make([]int32, fftN)
+	im = make([]int32, fftN)
+	for i := 0; i < fftN; i++ {
+		re[i] = int32(r()%16384) - 8192
+		im[i] = int32(r()%16384) - 8192
+	}
+	return
+}
+
+// fftTwiddles returns the Q14 twiddle factor tables for k = 0..N/2-1.
+func fftTwiddles() (wr, wi []int32) {
+	wr = make([]int32, fftN/2)
+	wi = make([]int32, fftN/2)
+	for k := 0; k < fftN/2; k++ {
+		ang := -2 * math.Pi * float64(k) / fftN
+		wr[k] = int32(math.Round(math.Cos(ang) * 16384))
+		wi[k] = int32(math.Round(math.Sin(ang) * 16384))
+	}
+	return
+}
+
+// fftRev returns the bit-reversal permutation table.
+func fftRev() []byte {
+	rev := make([]byte, fftN)
+	for i := 0; i < fftN; i++ {
+		r := 0
+		for b := 0; b < fftLogN; b++ {
+			r = r<<1 | (i>>b)&1
+		}
+		rev[i] = byte(r)
+	}
+	return rev
+}
+
+// fftRun mirrors the machine algorithm exactly in int32 arithmetic.
+func fftRun(re, im []int32) {
+	rev := fftRev()
+	for i := 0; i < fftN; i++ {
+		j := int(rev[i])
+		if j > i {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	twr, twi := fftTwiddles()
+	for length := 2; length <= fftN; length <<= 1 {
+		half := length / 2
+		step := fftN / length
+		for i := 0; i < fftN; i += length {
+			for j := 0; j < half; j++ {
+				k := j * step
+				xr, xi := re[i+j+half], im[i+j+half]
+				wr, wi := twr[k], twi[k]
+				tr := (wr*xr - wi*xi) >> 14
+				ti := (wr*xi + wi*xr) >> 14
+				ur, ui := re[i+j], im[i+j]
+				re[i+j] = (ur + tr) >> 1
+				im[i+j] = (ui + ti) >> 1
+				re[i+j+half] = (ur - tr) >> 1
+				im[i+j+half] = (ui - ti) >> 1
+			}
+		}
+	}
+}
+
+func refFFT(v isa.Variant) []byte {
+	re, im := fftInput()
+	fftRun(re, im)
+	var out []byte
+	for _, x := range re {
+		out = append(out, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	for _, x := range im {
+		out = append(out, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return out
+}
+
+func i32words(xs []int32) []uint32 {
+	out := make([]uint32, len(xs))
+	for i, x := range xs {
+		out[i] = uint32(x)
+	}
+	return out
+}
+
+func buildFFT(v isa.Variant) *asm.Program {
+	b := asm.NewBuilder("fft", v)
+	reIn, imIn := fftInput()
+	twrV, twiV := fftTwiddles()
+	re := b.DataWords32("re", i32words(reIn))
+	im := b.DataWords32("im", i32words(imIn))
+	twr := b.DataWords32("twr", i32words(twrV))
+	twi := b.DataWords32("twi", i32words(twiV))
+	rev := b.DataBytes("rev", fftRev())
+
+	// Register plan: r1 re, r2 im, r3 twr, r4 twi, r5 len (elements),
+	// r6 step bytes, r7 i (elements), r8 half bytes, r13 cb (byte offset
+	// of the upper butterfly input), r14 twiddle byte offset (no calls,
+	// no stack: SP is repurposed), r9..r12,r15 temps.
+	b.Li(1, re)
+	b.Li(2, im)
+	b.Li(3, twr)
+	b.Li(4, twi)
+
+	// Bit-reversal permutation: swap when rev[i] > i.
+	b.Li(7, 0)
+	b.Label("rv")
+	b.Li(9, rev)
+	b.Add(9, 9, 7)
+	b.Lbu(9, 9, 0) // j
+	b.Bge(7, 9, "rvnext")
+	b.Slli(10, 7, 2) // i*4
+	b.Slli(11, 9, 2) // j*4
+	// swap re[i], re[j]
+	b.Add(12, 10, 1)
+	b.Add(13, 11, 1)
+	b.Lw(9, 12, 0)
+	b.Lw(15, 13, 0)
+	b.Sw(15, 12, 0)
+	b.Sw(9, 13, 0)
+	// swap im[i], im[j]
+	b.Add(12, 10, 2)
+	b.Add(13, 11, 2)
+	b.Lw(9, 12, 0)
+	b.Lw(15, 13, 0)
+	b.Sw(15, 12, 0)
+	b.Sw(9, 13, 0)
+	b.Label("rvnext")
+	b.Addi(7, 7, 1)
+	b.Li(9, fftN)
+	b.Blt(7, 9, "rv")
+
+	// Stage loop.
+	b.Li(5, 2)        // len
+	b.Li(6, fftN*4/2) // step bytes = (N/len)*4
+	b.Label("stage")
+	b.Slli(8, 5, 1) // half bytes = len*4/2
+	b.Li(7, 0)      // i
+	b.Label("iloop")
+	b.Slli(13, 7, 2)
+	b.Add(13, 13, 8) // cb = i*4 + halfBytes
+	b.Li(14, 0)      // twiddle offset
+	b.Label("bfly")
+	// Load twiddles wr -> r11, wi -> r12.
+	b.Add(15, 14, 3)
+	b.Lw(11, 15, 0)
+	b.Add(15, 14, 4)
+	b.Lw(12, 15, 0)
+	// Load x: xr -> r9, xi -> r10.
+	b.Add(15, 13, 1)
+	b.Lw(9, 15, 0)
+	b.Add(15, 13, 2)
+	b.Lw(10, 15, 0)
+	// tr -> r15, ti -> r9 (see package comment for the Q14 math).
+	b.Mul(15, 11, 9)  // wr*xr
+	b.Mul(9, 12, 9)   // wi*xr
+	b.Mul(12, 12, 10) // wi*xi
+	b.Mul(10, 11, 10) // wr*xi
+	b.Sub(15, 15, 12)
+	b.Srai(15, 15, 14) // tr
+	b.Add(9, 10, 9)
+	b.Srai(9, 9, 14) // ti
+	// re side: ur -> r12 at addr r10 = re + (cb - halfBytes).
+	b.Sub(11, 13, 8)
+	b.Add(10, 11, 1)
+	b.Lw(12, 10, 0)
+	b.Add(11, 12, 15)
+	b.Srai(11, 11, 1)
+	b.Sw(11, 10, 0) // re[u] = (ur+tr)>>1
+	b.Sub(11, 12, 15)
+	b.Srai(11, 11, 1)
+	b.Add(12, 13, 1)
+	b.Sw(11, 12, 0) // re[x] = (ur-tr)>>1
+	// im side: ui -> r12 at addr r10 = im + (cb - halfBytes).
+	b.Sub(11, 13, 8)
+	b.Add(10, 11, 2)
+	b.Lw(12, 10, 0)
+	b.Add(11, 12, 9)
+	b.Srai(11, 11, 1)
+	b.Sw(11, 10, 0) // im[u] = (ui+ti)>>1
+	b.Sub(11, 12, 9)
+	b.Srai(11, 11, 1)
+	b.Add(12, 13, 2)
+	b.Sw(11, 12, 0) // im[x] = (ui-ti)>>1
+	// Advance the butterfly: cb += 4, twoff += stepBytes; the twiddle
+	// offset sweeps exactly [0, N*2) bytes per i-group.
+	b.Addi(13, 13, 4)
+	b.Add(14, 14, 6)
+	b.Li(15, fftN*2)
+	b.Bltu(14, 15, "bfly")
+	// i += len
+	b.Add(7, 7, 5)
+	b.Li(15, fftN)
+	b.Blt(7, 15, "iloop")
+	// len <<= 1; step bytes >>= 1
+	b.Slli(5, 5, 1)
+	b.Srli(6, 6, 1)
+	b.Li(15, fftN)
+	b.Bge(15, 5, "stage")
+
+	// Emit re then im to the output region.
+	b.Li(7, 0)
+	b.Li(11, asm.DefaultOutBase)
+	b.Label("emit")
+	b.Slli(10, 7, 2)
+	b.Add(9, 10, 1)
+	b.Lw(9, 9, 0)
+	b.Add(12, 10, 11)
+	b.Sw(9, 12, 0)
+	b.Slli(10, 7, 2)
+	b.Add(9, 10, 2)
+	b.Lw(9, 9, 0)
+	b.Add(12, 10, 11)
+	b.Sw(9, 12, fftN*4)
+	b.Addi(7, 7, 1)
+	b.Li(9, fftN)
+	b.Blt(7, 9, "emit")
+
+	b.Li(4, fftN*8)
+	epilogue(b, 4, 15)
+	return b.MustAssemble()
+}

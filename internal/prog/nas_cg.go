@@ -1,0 +1,164 @@
+package prog
+
+import (
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+)
+
+// nas-cg is a sparse iterative kernel in the style of NAS CG: twelve
+// fixed-point power iterations of y = A·x over a CSR matrix (64 rows, 8
+// nonzeros per row) with a shift normalisation between iterations. Output:
+// the final vector plus a checksum (65 natural words).
+
+const (
+	cgRows  = 64
+	cgNNZ   = 8
+	cgIters = 12
+	cgShift = 10
+	cgSeed  = 0xC6C6C6C6
+)
+
+func init() {
+	register(Workload{
+		Name:  "cg",
+		Suite: "nas",
+		Build: buildCG,
+		Ref:   refCG,
+	})
+}
+
+func cgData() (cols []uint16, vals, x0 []uint64) {
+	r := xorshift32(cgSeed)
+	cols = make([]uint16, cgRows*cgNNZ)
+	vals = make([]uint64, cgRows*cgNNZ)
+	for i := range cols {
+		cols[i] = uint16(r() % cgRows)
+		vals[i] = uint64(r()%255 + 1)
+	}
+	x0 = make([]uint64, cgRows)
+	for i := range x0 {
+		x0[i] = uint64(r()%255 + 1)
+	}
+	return
+}
+
+func refCG(v isa.Variant) []byte {
+	cols, vals, x := cgData()
+	y := make([]uint64, cgRows)
+	mask := v.Mask()
+	var checksum uint64
+	for it := 0; it < cgIters; it++ {
+		for i := 0; i < cgRows; i++ {
+			var sum uint64
+			for k := 0; k < cgNNZ; k++ {
+				idx := i*cgNNZ + k
+				sum = (sum + vals[idx]*x[cols[idx]]) & mask
+			}
+			y[i] = sum
+		}
+		checksum = 0
+		for i := 0; i < cgRows; i++ {
+			checksum = (checksum + y[i]) & mask
+			x[i] = y[i] >> cgShift
+		}
+	}
+	wb := wordBytes(v)
+	var out []byte
+	for _, xi := range x {
+		out = putWord(out, xi, wb)
+	}
+	out = putWord(out, checksum, wb)
+	return out
+}
+
+func buildCG(v isa.Variant) *asm.Program {
+	b := asm.NewBuilder("cg", v)
+	cols, vals, x0 := cgData()
+	colRaw := make([]byte, len(cols)*2)
+	for i, c := range cols {
+		colRaw[i*2] = byte(c)
+		colRaw[i*2+1] = byte(c >> 8)
+	}
+	colArr := b.DataBytes("cols", colRaw)
+	b.Align(8)
+	valArr := b.DataWords("vals", vals)
+	xArr := b.DataWords("x", x0)
+	yArr := b.Reserve("y", cgRows*int(v.WordBytes()))
+	sh := b.WordShift()
+	wb := int32(v.WordBytes())
+
+	// r1 cols, r2 vals, r3 x, r4 y, r5 iter, r6 row, r7 k, r8 sum,
+	// r9..r12,r15 temps, r13 checksum.
+	b.Li(1, colArr)
+	b.Li(2, valArr)
+	b.Li(3, xArr)
+	b.Li(4, yArr)
+	b.Li(5, cgIters)
+
+	b.Label("iter")
+	b.Li(6, 0)
+	b.Label("row")
+	b.Li(8, 0) // sum
+	b.Li(7, 0) // k
+	b.Label("nnz")
+	// idx = row*NNZ + k
+	b.Slli(9, 6, 3) // NNZ = 8
+	b.Add(9, 9, 7)
+	b.Slli(10, 9, 1)
+	b.Add(10, 10, 1)
+	b.Lhu(10, 10, 0) // col
+	b.Slli(10, 10, sh)
+	b.Add(10, 10, 3)
+	b.LoadW(10, 10, 0) // x[col]
+	b.Slli(11, 9, sh)
+	b.Add(11, 11, 2)
+	b.LoadW(11, 11, 0) // vals[idx]
+	b.Mul(10, 10, 11)
+	b.Add(8, 8, 10)
+	b.Addi(7, 7, 1)
+	b.Li(9, cgNNZ)
+	b.Blt(7, 9, "nnz")
+	// y[row] = sum
+	b.Slli(9, 6, sh)
+	b.Add(9, 9, 4)
+	b.StoreW(8, 9, 0)
+	b.Addi(6, 6, 1)
+	b.Li(9, cgRows)
+	b.Blt(6, 9, "row")
+	// checksum and normalise: x[i] = y[i] >> shift.
+	b.Li(13, 0)
+	b.Li(6, 0)
+	b.Label("norm")
+	b.Slli(9, 6, sh)
+	b.Add(10, 9, 4)
+	b.LoadW(11, 10, 0)
+	b.Add(13, 13, 11)
+	b.Srli(11, 11, cgShift)
+	b.Add(10, 9, 3)
+	b.StoreW(11, 10, 0)
+	b.Addi(6, 6, 1)
+	b.Li(9, cgRows)
+	b.Blt(6, 9, "norm")
+	b.Addi(5, 5, -1)
+	b.Bne(5, 0, "iter")
+
+	// Emit x then the checksum.
+	b.Li(6, 0)
+	b.Li(11, asm.DefaultOutBase)
+	b.Label("emit")
+	b.Slli(9, 6, sh)
+	b.Add(10, 9, 3)
+	b.LoadW(10, 10, 0)
+	b.Add(9, 9, 11)
+	b.StoreW(10, 9, 0)
+	b.Addi(6, 6, 1)
+	b.Li(9, cgRows)
+	b.Blt(6, 9, "emit")
+	b.Slli(9, 6, sh)
+	b.Add(9, 9, 11)
+	b.StoreW(13, 9, 0)
+
+	b.Li(4, uint64(cgRows+1)*uint64(wb))
+	epilogue(b, 4, 15)
+	return b.MustAssemble()
+}

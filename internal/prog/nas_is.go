@@ -1,0 +1,124 @@
+package prog
+
+import (
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+)
+
+// nas-is is an Integer Sort kernel in the style of NAS IS: counting sort
+// (bucket histogram, exclusive prefix sum, rank assignment) over 1536 keys
+// in [0, 512). Output: the rank of every key as 16-bit values (3 KiB) — a
+// large-output, memory-bound workload.
+
+const (
+	isKeys    = 1536
+	isBuckets = 512
+	isSeed    = 0x15A5B33F
+)
+
+func init() {
+	register(Workload{
+		Name:  "is",
+		Suite: "nas",
+		Build: buildIS,
+		Ref:   refIS,
+	})
+}
+
+func isKeyData() []uint16 {
+	r := xorshift32(isSeed)
+	keys := make([]uint16, isKeys)
+	for i := range keys {
+		keys[i] = uint16(r() % isBuckets)
+	}
+	return keys
+}
+
+func refIS(v isa.Variant) []byte {
+	keys := isKeyData()
+	counts := make([]uint32, isBuckets)
+	for _, k := range keys {
+		counts[k]++
+	}
+	sum := uint32(0)
+	for i := range counts {
+		c := counts[i]
+		counts[i] = sum
+		sum += c
+	}
+	out := make([]byte, 0, isKeys*2)
+	for _, k := range keys {
+		rank := counts[k]
+		counts[k]++
+		out = append(out, byte(rank), byte(rank>>8))
+	}
+	return out
+}
+
+func buildIS(v isa.Variant) *asm.Program {
+	b := asm.NewBuilder("is", v)
+	keys := isKeyData()
+	raw := make([]byte, isKeys*2)
+	for i, k := range keys {
+		raw[i*2] = byte(k)
+		raw[i*2+1] = byte(k >> 8)
+	}
+	keyArr := b.DataBytes("keys", raw)
+	b.Align(4)
+	counts := b.Reserve("counts", isBuckets*4)
+
+	// r1 keys, r2 counts, r3 out, r4 i, r5 limit, r9..r12,r15 temps.
+	b.Li(1, keyArr)
+	b.Li(2, counts)
+	b.Li(3, asm.DefaultOutBase)
+
+	// Histogram.
+	b.Li(4, 0)
+	b.Li(5, isKeys)
+	b.Label("hist")
+	b.Slli(9, 4, 1)
+	b.Add(9, 9, 1)
+	b.Lhu(9, 9, 0) // key
+	b.Slli(9, 9, 2)
+	b.Add(9, 9, 2)
+	b.Lw(10, 9, 0)
+	b.Addi(10, 10, 1)
+	b.Sw(10, 9, 0)
+	b.Addi(4, 4, 1)
+	b.Blt(4, 5, "hist")
+
+	// Exclusive prefix sum.
+	b.Li(4, 0)
+	b.Li(5, isBuckets)
+	b.Li(6, 0) // running sum
+	b.Label("scan")
+	b.Slli(9, 4, 2)
+	b.Add(9, 9, 2)
+	b.Lw(10, 9, 0)
+	b.Sw(6, 9, 0)
+	b.Add(6, 6, 10)
+	b.Addi(4, 4, 1)
+	b.Blt(4, 5, "scan")
+
+	// Rank assignment.
+	b.Li(4, 0)
+	b.Li(5, isKeys)
+	b.Label("rank")
+	b.Slli(9, 4, 1)
+	b.Add(9, 9, 1)
+	b.Lhu(9, 9, 0) // key
+	b.Slli(9, 9, 2)
+	b.Add(9, 9, 2)
+	b.Lw(10, 9, 0) // rank
+	b.Addi(11, 10, 1)
+	b.Sw(11, 9, 0)
+	b.Slli(12, 4, 1)
+	b.Add(12, 12, 3)
+	b.Sh(10, 12, 0)
+	b.Addi(4, 4, 1)
+	b.Blt(4, 5, "rank")
+
+	b.Li(4, isKeys*2)
+	epilogue(b, 4, 15)
+	return b.MustAssemble()
+}

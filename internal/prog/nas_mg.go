@@ -1,0 +1,203 @@
+package prog
+
+import (
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+)
+
+// nas-mg is a 1-D multigrid V-cycle kernel in the style of NAS MG: two
+// V-cycles of Gauss-Seidel smoothing, pairwise restriction to two coarser
+// grids, and interpolation back with correction, over a 1024-point grid of
+// 15-bit fixed-point values. The grid routines are real subroutines invoked
+// through the call/return path, so the workload also exercises JAL/JALR.
+// Output: the final fine grid as 16-bit values (2 KiB) — large output.
+
+const (
+	mgN     = 1024
+	mgSeed  = 0x36C36C11
+	mgVCyls = 2
+)
+
+func init() {
+	register(Workload{
+		Name:  "mg",
+		Suite: "nas",
+		Build: buildMG,
+		Ref:   refMG,
+	})
+}
+
+func mgInput() []int32 {
+	r := xorshift32(mgSeed)
+	g := make([]int32, mgN)
+	for i := range g {
+		g[i] = int32(r() % 32768)
+	}
+	return g
+}
+
+// The reference model mirrors the machine subroutines exactly.
+
+func mgSmooth(a []int32) {
+	for i := 1; i < len(a)-1; i++ {
+		a[i] = (a[i-1] + 2*a[i] + a[i+1]) >> 2
+	}
+}
+
+func mgRestrict(dst, src []int32) {
+	for i := range dst {
+		dst[i] = (src[2*i] + src[2*i+1]) >> 1
+	}
+}
+
+func mgProlong(dst, src []int32) {
+	for i := range src {
+		dst[2*i] = (dst[2*i] + src[i]) >> 1
+		dst[2*i+1] = (dst[2*i+1] + src[i]) >> 1
+	}
+}
+
+func refMG(v isa.Variant) []byte {
+	fine := mgInput()
+	mid := make([]int32, mgN/2)
+	coarse := make([]int32, mgN/4)
+	for c := 0; c < mgVCyls; c++ {
+		mgSmooth(fine)
+		mgSmooth(fine)
+		mgRestrict(mid, fine)
+		mgSmooth(mid)
+		mgSmooth(mid)
+		mgRestrict(coarse, mid)
+		mgSmooth(coarse)
+		mgSmooth(coarse)
+		mgProlong(mid, coarse)
+		mgSmooth(mid)
+		mgProlong(fine, mid)
+		mgSmooth(fine)
+	}
+	out := make([]byte, 0, mgN*2)
+	for _, x := range fine {
+		out = append(out, byte(x), byte(x>>8))
+	}
+	return out
+}
+
+func buildMG(v isa.Variant) *asm.Program {
+	b := asm.NewBuilder("mg", v)
+	fine := b.DataWords32("fine", i32words(mgInput()))
+	mid := b.Reserve("mid", mgN/2*4)
+	coarse := b.Reserve("coarse", mgN/4*4)
+
+	// Calling convention: r1 = array (or dst), r2 = n, r3 = src;
+	// subroutines clobber r9..r12, r15. r4 = V-cycle counter.
+	b.Li(4, mgVCyls)
+	b.Label("vcycle")
+	call2 := func(fn string, arr uint64, n int) {
+		b.Li(1, arr)
+		b.Li(2, uint64(n))
+		b.Call(fn)
+	}
+	call3 := func(fn string, dst uint64, n int, src uint64) {
+		b.Li(1, dst)
+		b.Li(2, uint64(n))
+		b.Li(3, src)
+		b.Call(fn)
+	}
+	call2("smooth", fine, mgN)
+	call2("smooth", fine, mgN)
+	call3("restrict", mid, mgN/2, fine)
+	call2("smooth", mid, mgN/2)
+	call2("smooth", mid, mgN/2)
+	call3("restrict", coarse, mgN/4, mid)
+	call2("smooth", coarse, mgN/4)
+	call2("smooth", coarse, mgN/4)
+	call3("prolong", mid, mgN/4, coarse)
+	call2("smooth", mid, mgN/2)
+	call3("prolong", fine, mgN/2, mid)
+	call2("smooth", fine, mgN)
+	b.Addi(4, 4, -1)
+	b.Bne(4, 0, "vcycle")
+
+	// Emit the fine grid as halfwords.
+	b.Li(1, fine)
+	b.Li(2, mgN)
+	b.Li(3, asm.DefaultOutBase)
+	b.Li(9, 0)
+	b.Label("emit")
+	b.Slli(10, 9, 2)
+	b.Add(10, 10, 1)
+	b.Lw(11, 10, 0)
+	b.Slli(12, 9, 1)
+	b.Add(12, 12, 3)
+	b.Sh(11, 12, 0)
+	b.Addi(9, 9, 1)
+	b.Blt(9, 2, "emit")
+	b.Li(4, mgN*2)
+	epilogue(b, 4, 15)
+
+	// smooth(a=r1, n=r2): Gauss-Seidel 3-point smoothing.
+	b.Label("smooth")
+	b.Li(9, 1) // i
+	b.Addi(10, 2, -1)
+	b.Label("sm_loop")
+	b.Bge(9, 10, "sm_done")
+	b.Slli(11, 9, 2)
+	b.Add(11, 11, 1) // &a[i]
+	b.Lw(12, 11, -4) // a[i-1]
+	b.Lw(15, 11, 0)  // a[i]
+	b.Add(15, 15, 15)
+	b.Add(12, 12, 15)
+	b.Lw(15, 11, 4) // a[i+1]
+	b.Add(12, 12, 15)
+	b.Srai(12, 12, 2)
+	b.Sw(12, 11, 0)
+	b.Addi(9, 9, 1)
+	b.Jump("sm_loop")
+	b.Label("sm_done")
+	b.Ret()
+
+	// restrict(dst=r1, n=r2, src=r3): dst[i] = (src[2i]+src[2i+1])>>1.
+	b.Label("restrict")
+	b.Li(9, 0)
+	b.Label("rs_loop")
+	b.Bge(9, 2, "rs_done")
+	b.Slli(11, 9, 3)
+	b.Add(11, 11, 3) // &src[2i]
+	b.Lw(12, 11, 0)
+	b.Lw(15, 11, 4)
+	b.Add(12, 12, 15)
+	b.Srai(12, 12, 1)
+	b.Slli(11, 9, 2)
+	b.Add(11, 11, 1)
+	b.Sw(12, 11, 0)
+	b.Addi(9, 9, 1)
+	b.Jump("rs_loop")
+	b.Label("rs_done")
+	b.Ret()
+
+	// prolong(dst=r1, n=r2, src=r3): n is the SOURCE length;
+	// dst[2i] = (dst[2i]+src[i])>>1 and likewise for 2i+1.
+	b.Label("prolong")
+	b.Li(9, 0)
+	b.Label("pl_loop")
+	b.Bge(9, 2, "pl_done")
+	b.Slli(11, 9, 2)
+	b.Add(11, 11, 3)
+	b.Lw(12, 11, 0) // src[i]
+	b.Slli(11, 9, 3)
+	b.Add(11, 11, 1) // &dst[2i]
+	b.Lw(15, 11, 0)
+	b.Add(15, 15, 12)
+	b.Srai(15, 15, 1)
+	b.Sw(15, 11, 0)
+	b.Lw(15, 11, 4)
+	b.Add(15, 15, 12)
+	b.Srai(15, 15, 1)
+	b.Sw(15, 11, 4)
+	b.Addi(9, 9, 1)
+	b.Jump("pl_loop")
+	b.Label("pl_done")
+	b.Ret()
+
+	return b.MustAssemble()
+}

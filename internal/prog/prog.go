@@ -1,0 +1,146 @@
+// Package prog defines the 13 workloads of the AVGI study: ten
+// MiBench-like kernels (sha, bitcount, crc32, qsort, dijkstra,
+// stringsearch, blowfish, rijndael, fft, basicmath) and three NAS-like
+// kernels (is, cg, mg), written against the asm builder so one definition
+// assembles for both ISA variants.
+//
+// Each workload carries a Go reference model that computes the exact
+// expected output bytes; the test suite runs every workload end-to-end on
+// both machine models and compares the DMA-drained output against the
+// reference. Output sizes deliberately span the paper's range: under 1 KB
+// for sha and bitcount (zero ESC probability) up to several KB for
+// blowfish, rijndael, qsort, is and mg (high ESC probability), scaled with
+// the machine geometry per DESIGN.md §5.
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+)
+
+// Workload is one benchmark: an assembler recipe plus a reference model.
+type Workload struct {
+	Name string
+	// Suite is "mibench" or "nas".
+	Suite string
+	// Build assembles the workload for the given ISA variant.
+	Build func(v isa.Variant) *asm.Program
+	// Ref returns the expected output bytes for the given variant.
+	Ref func(v isa.Variant) []byte
+}
+
+var registry = map[string]Workload{}
+
+func register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("prog: duplicate workload " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+// All returns the 13 workloads sorted by name.
+func All() []Workload {
+	ws := make([]Workload, 0, len(registry))
+	for _, w := range registry {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Name < ws[j].Name })
+	return ws
+}
+
+// MiBench returns the ten MiBench-like workloads, sorted by name.
+func MiBench() []Workload {
+	var ws []Workload
+	for _, w := range All() {
+		if w.Suite == "mibench" {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// NAS returns the three NAS-like workloads, sorted by name.
+func NAS() []Workload {
+	var ws []Workload
+	for _, w := range All() {
+		if w.Suite == "nas" {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// ByName looks up one workload.
+func ByName(name string) (Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("prog: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// Names returns all workload names sorted.
+func Names() []string {
+	var ns []string
+	for _, w := range All() {
+		ns = append(ns, w.Name)
+	}
+	return ns
+}
+
+// xorshift32 is the deterministic PRNG used to generate workload inputs.
+// Inputs are baked into the data section at assembly time, so the machine
+// never executes nondeterministic code.
+func xorshift32(seed uint32) func() uint32 {
+	x := seed
+	return func() uint32 {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		return x
+	}
+}
+
+// randWords generates n word-sized values (masked to the variant width)
+// from seed.
+func randWords(seed uint32, n int, v isa.Variant) []uint64 {
+	r := xorshift32(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		w := uint64(r())<<32 | uint64(r())
+		out[i] = w & v.Mask()
+	}
+	return out
+}
+
+// randBytes generates n bytes from seed.
+func randBytes(seed uint32, n int) []byte {
+	r := xorshift32(seed)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r())
+	}
+	return out
+}
+
+// epilogue stores the output length (already in rLen) to the output-length
+// cell and halts. rTmp is clobbered.
+func epilogue(b *asm.Builder, rLen, rTmp uint8) {
+	b.Li(rTmp, asm.DefaultOutLenAddr)
+	b.StoreW(rLen, rTmp, 0)
+	b.Halt()
+}
+
+// putWord appends a natural-width little-endian word to out.
+func putWord(out []byte, v uint64, width int) []byte {
+	for i := 0; i < width; i++ {
+		out = append(out, byte(v>>(8*i)))
+	}
+	return out
+}
+
+// wordBytes returns the variant's natural word size in bytes.
+func wordBytes(v isa.Variant) int { return int(v.WordBytes()) }

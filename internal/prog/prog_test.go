@@ -1,0 +1,133 @@
+package prog
+
+import (
+	"bytes"
+	"testing"
+
+	"avgi/internal/cpu"
+	"avgi/internal/isa"
+)
+
+func machineFor(v isa.Variant) cpu.Config {
+	if v == isa.V32 {
+		return cpu.ConfigA15()
+	}
+	return cpu.ConfigA72()
+}
+
+// TestWorkloadsEndToEnd runs every registered workload on both machine
+// models and compares the DMA-drained output with the Go reference model.
+func TestWorkloadsEndToEnd(t *testing.T) {
+	for _, w := range All() {
+		for _, v := range []isa.Variant{isa.V64, isa.V32} {
+			w, v := w, v
+			t.Run(w.Name+"/"+v.String(), func(t *testing.T) {
+				t.Parallel()
+				p := w.Build(v)
+				m := cpu.New(machineFor(v), p)
+				res := m.Run(cpu.RunOptions{MaxCycles: 20_000_000})
+				if res.Status != cpu.StatusHalted {
+					t.Fatalf("status %v (crash %v) after %d cycles, %d commits",
+						res.Status, res.Crash, res.Cycles, res.Commits)
+				}
+				want := w.Ref(v)
+				if !bytes.Equal(res.Output, want) {
+					n := len(res.Output)
+					if len(want) < n {
+						n = len(want)
+					}
+					diffAt := -1
+					for i := 0; i < n; i++ {
+						if res.Output[i] != want[i] {
+							diffAt = i
+							break
+						}
+					}
+					t.Fatalf("output mismatch: got %d bytes want %d, first diff at %d",
+						len(res.Output), len(want), diffAt)
+				}
+				t.Logf("%s/%s: %d cycles, %d commits, IPC %.2f, output %d bytes",
+					w.Name, v, res.Cycles, res.Commits,
+					float64(res.Commits)/float64(res.Cycles), len(res.Output))
+			})
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) == 0 {
+		t.Fatal("no workloads registered")
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Suite != "mibench" && w.Suite != "nas" {
+			t.Errorf("%s: bad suite %q", w.Name, w.Suite)
+		}
+		if w.Build == nil || w.Ref == nil {
+			t.Errorf("%s: nil Build/Ref", w.Name)
+		}
+	}
+	if _, err := ByName("bitcount"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+	if len(Names()) != len(all) {
+		t.Error("Names length mismatch")
+	}
+	if len(MiBench())+len(NAS()) != len(all) {
+		t.Error("suite partition broken")
+	}
+}
+
+func TestOutputSizeSpread(t *testing.T) {
+	// The ESC model depends on output sizes spanning small to large.
+	if len(All()) < 13 {
+		t.Skip("full workload set not yet registered")
+	}
+	var small, large int
+	for _, w := range All() {
+		n := len(w.Ref(isa.V64))
+		if n == 0 {
+			t.Errorf("%s: empty output", w.Name)
+		}
+		if n <= 128 {
+			small++
+		}
+		if n >= 2048 {
+			large++
+		}
+	}
+	if small < 2 {
+		t.Errorf("need at least 2 small-output workloads, have %d", small)
+	}
+	if large < 3 {
+		t.Errorf("need at least 3 large-output workloads, have %d", large)
+	}
+}
+
+func TestDeterministicBuilds(t *testing.T) {
+	for _, w := range All() {
+		a := w.Build(isa.V64)
+		b := w.Build(isa.V64)
+		if len(a.Text) != len(b.Text) {
+			t.Errorf("%s: nondeterministic text", w.Name)
+			continue
+		}
+		for i := range a.Text {
+			if a.Text[i] != b.Text[i] {
+				t.Errorf("%s: text differs at %d", w.Name, i)
+				break
+			}
+		}
+		if !bytes.Equal(a.Data, b.Data) {
+			t.Errorf("%s: nondeterministic data", w.Name)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package prog
+
+import (
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+)
+
+// qsort sorts 512 random natural-width words in place in the output region
+// using shellsort with the Knuth gap sequence (the MiBench qsort slot; see
+// DESIGN.md for the substitution note). The full sorted array is the
+// output — one of the large-output workloads that feed the ESC model.
+
+const (
+	qsN    = 512
+	qsSeed = 0x9507AB1D
+)
+
+var qsGaps = []uint64{121, 40, 13, 4, 1}
+
+func init() {
+	register(Workload{
+		Name:  "qsort",
+		Suite: "mibench",
+		Build: buildQsort,
+		Ref:   refQsort,
+	})
+}
+
+func refQsort(v isa.Variant) []byte {
+	a := randWords(qsSeed, qsN, v)
+	// Mirror the machine algorithm exactly (unsigned shellsort).
+	for _, gap := range qsGaps {
+		g := int(gap)
+		for i := g; i < qsN; i++ {
+			val := a[i]
+			j := i
+			for j >= g && a[j-g] > val {
+				a[j] = a[j-g]
+				j -= g
+			}
+			a[j] = val
+		}
+	}
+	wb := wordBytes(v)
+	var out []byte
+	for _, x := range a {
+		out = putWord(out, x, wb)
+	}
+	return out
+}
+
+func buildQsort(v isa.Variant) *asm.Program {
+	b := asm.NewBuilder("qsort", v)
+	src := b.DataWords("src", randWords(qsSeed, qsN, v))
+	gaps := b.DataWords("gaps", qsGaps)
+	sh := b.WordShift()
+	wb := int32(v.WordBytes())
+
+	// r1 array base (output region), r2 gap, r3 i, r4 j, r5 val,
+	// r6 n(bytes), r7 gap bytes, r8 gap index, r9..r12,r15 temps.
+	// Copy the input into the output region, then sort there.
+	b.Li(1, asm.DefaultOutBase)
+	b.Li(9, src)
+	b.Li(10, 0)
+	b.Li(11, qsN)
+	b.Label("copy")
+	b.Slli(12, 10, sh)
+	b.Add(15, 12, 9)
+	b.LoadW(15, 15, 0)
+	b.Add(12, 12, 1)
+	b.StoreW(15, 12, 0)
+	b.Addi(10, 10, 1)
+	b.Blt(10, 11, "copy")
+
+	b.Li(6, uint64(qsN)*uint64(wb)) // n in bytes
+	b.Li(8, 0)                      // gap index
+	b.Label("gaploop")
+	b.Li(9, gaps)
+	b.Slli(10, 8, sh)
+	b.Add(9, 9, 10)
+	b.LoadW(2, 9, 0) // gap (elements)
+	b.Slli(7, 2, sh) // gap in bytes
+	b.Mov(3, 7)      // i = gap (bytes)
+	b.Label("insloop")
+	b.Bge(3, 6, "insend")
+	b.Add(9, 1, 3)
+	b.LoadW(5, 9, 0) // val = a[i]
+	b.Mov(4, 3)      // j = i
+	b.Label("shift")
+	b.Blt(4, 7, "place") // j < gap
+	b.Sub(9, 4, 7)
+	b.Add(10, 1, 9)
+	b.LoadW(11, 10, 0) // a[j-gap]
+	b.Bgeu(5, 11, "place")
+	b.Add(12, 1, 4)
+	b.StoreW(11, 12, 0) // a[j] = a[j-gap]
+	b.Mov(4, 9)         // j -= gap
+	b.Jump("shift")
+	b.Label("place")
+	b.Add(9, 1, 4)
+	b.StoreW(5, 9, 0) // a[j] = val
+	b.Addi(3, 3, wb)  // i++
+	b.Jump("insloop")
+	b.Label("insend")
+	b.Addi(8, 8, 1)
+	b.Li(9, int64Const(len(qsGaps)))
+	b.Blt(8, 9, "gaploop")
+
+	b.Li(4, uint64(qsN)*uint64(wb))
+	epilogue(b, 4, 15)
+	return b.MustAssemble()
+}
+
+func int64Const(n int) uint64 { return uint64(n) }

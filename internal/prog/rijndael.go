@@ -1,0 +1,177 @@
+package prog
+
+import (
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+)
+
+// rijndael encrypts a 3 KiB buffer with an AES-structured block cipher on
+// 16-byte blocks: AddRoundKey, then four rounds of SubBytes (random S-box),
+// ShiftRows, a linear MixColumns variant, and AddRoundKey. Output: the 3 KiB
+// ciphertext — the paper's second large-output workload.
+
+const (
+	rjMsgLen = 3072
+	rjSeed   = 0x41354E5
+	rjRounds = 4
+)
+
+func init() {
+	register(Workload{
+		Name:  "rijndael",
+		Suite: "mibench",
+		Build: buildRijndael,
+		Ref:   refRijndael,
+	})
+}
+
+// rjSbox is a deterministic random permutation of 0..255.
+func rjSbox() []byte {
+	s := make([]byte, 256)
+	for i := range s {
+		s[i] = byte(i)
+	}
+	r := xorshift32(rjSeed)
+	for i := 255; i > 0; i-- {
+		j := int(r()) % (i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+	return s
+}
+
+// rjShift is the ShiftRows permutation over the 4x4 byte state in
+// column-major order: output byte i comes from input position rjShift[i].
+var rjShift = [16]int{0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11}
+
+// rjRoundKeys returns the five 16-byte round keys.
+func rjRoundKeys() []byte { return randBytes(0x4E57C0DE, (rjRounds+1)*16) }
+
+func rjEncryptBlock(blk, sbox, keys []byte) []byte {
+	st := make([]byte, 16)
+	tmp := make([]byte, 16)
+	for i := 0; i < 16; i++ {
+		st[i] = blk[i] ^ keys[i]
+	}
+	for r := 1; r <= rjRounds; r++ {
+		for i := 0; i < 16; i++ {
+			st[i] = sbox[st[i]]
+		}
+		for i := 0; i < 16; i++ {
+			tmp[i] = st[rjShift[i]]
+		}
+		for c := 0; c < 4; c++ {
+			b0, b1, b2, b3 := tmp[c*4], tmp[c*4+1], tmp[c*4+2], tmp[c*4+3]
+			t := b0 ^ b1 ^ b2 ^ b3
+			st[c*4] = b0 ^ b1 ^ t
+			st[c*4+1] = b1 ^ b2 ^ t
+			st[c*4+2] = b2 ^ b3 ^ t
+			st[c*4+3] = b3 ^ b0 ^ t
+		}
+		for i := 0; i < 16; i++ {
+			st[i] ^= keys[r*16+i]
+		}
+	}
+	return st
+}
+
+func refRijndael(v isa.Variant) []byte {
+	msg := randBytes(rjSeed^0xD47A, rjMsgLen)
+	sbox := rjSbox()
+	keys := rjRoundKeys()
+	var out []byte
+	for o := 0; o < rjMsgLen; o += 16 {
+		out = append(out, rjEncryptBlock(msg[o:o+16], sbox, keys)...)
+	}
+	return out
+}
+
+func buildRijndael(v isa.Variant) *asm.Program {
+	b := asm.NewBuilder("rijndael", v)
+	msg := b.DataBytes("msg", randBytes(rjSeed^0xD47A, rjMsgLen))
+	sbox := b.DataBytes("sbox", rjSbox())
+	keys := b.DataBytes("keys", rjRoundKeys())
+	st := b.Reserve("state", 16)
+	tmp := b.Reserve("tmp", 16)
+
+	// Register plan: r1 msg ptr, r2 out ptr, r3 blocks left, r4 state,
+	// r5 tmp, r6 sbox, r7 keys, r8 round, r9..r13,r15 temps (r13/LR is
+	// free: the workload makes no calls).
+	b.Li(1, msg)
+	b.Li(2, asm.DefaultOutBase)
+	b.Li(3, rjMsgLen/16)
+	b.Li(4, st)
+	b.Li(5, tmp)
+	b.Li(6, sbox)
+	b.Li(7, keys)
+
+	b.Label("block")
+	// st = blk ^ key0
+	for i := int32(0); i < 16; i++ {
+		b.Lbu(9, 1, i)
+		b.Lbu(10, 7, i)
+		b.Xor(9, 9, 10)
+		b.Sb(9, 4, i)
+	}
+	b.Li(8, 1) // round counter
+	b.Label("round")
+	// SubBytes: st[i] = sbox[st[i]].
+	for i := int32(0); i < 16; i++ {
+		b.Lbu(9, 4, i)
+		b.Add(9, 9, 6)
+		b.Lbu(9, 9, 0)
+		b.Sb(9, 4, i)
+	}
+	// ShiftRows into tmp.
+	for i := int32(0); i < 16; i++ {
+		b.Lbu(9, 4, int32(rjShift[i]))
+		b.Sb(9, 5, i)
+	}
+	// MixColumns variant back into st.
+	for c := int32(0); c < 4; c++ {
+		b.Lbu(9, 5, c*4)    // b0
+		b.Lbu(10, 5, c*4+1) // b1
+		b.Lbu(11, 5, c*4+2) // b2
+		b.Lbu(12, 5, c*4+3) // b3
+		b.Xor(15, 9, 10)
+		b.Xor(15, 15, 11)
+		b.Xor(15, 15, 12) // t
+		b.Xor(13, 9, 10)
+		b.Xor(13, 13, 15)
+		b.Sb(13, 4, c*4) // b0^b1^t
+		b.Xor(13, 10, 11)
+		b.Xor(13, 13, 15)
+		b.Sb(13, 4, c*4+1) // b1^b2^t
+		b.Xor(13, 11, 12)
+		b.Xor(13, 13, 15)
+		b.Sb(13, 4, c*4+2) // b2^b3^t
+		b.Xor(13, 12, 9)
+		b.Xor(13, 13, 15)
+		b.Sb(13, 4, c*4+3) // b3^b0^t
+	}
+	// AddRoundKey: st[i] ^= keys[round*16+i].
+	b.Slli(13, 8, 4)
+	b.Add(13, 13, 7)
+	for i := int32(0); i < 16; i++ {
+		b.Lbu(9, 13, i)
+		b.Lbu(10, 4, i)
+		b.Xor(9, 9, 10)
+		b.Sb(9, 4, i)
+	}
+	b.Addi(8, 8, 1)
+	b.Li(9, rjRounds)
+	b.Bge(9, 8, "round")
+
+	// Copy the state to the output and advance.
+	for i := int32(0); i < 16; i++ {
+		b.Lbu(9, 4, i)
+		b.Sb(9, 2, i)
+	}
+	b.Addi(1, 1, 16)
+	b.Addi(2, 2, 16)
+	b.Addi(3, 3, -1)
+	b.Bne(3, 0, "block")
+
+	b.Li(4, rjMsgLen)
+	epilogue(b, 4, 15)
+	return b.MustAssemble()
+}

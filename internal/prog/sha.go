@@ -1,0 +1,191 @@
+package prog
+
+import (
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+)
+
+// sha implements a SHA-1-style compression over a 2 KiB message: 64-byte
+// blocks, a 20-word message schedule with rotate-by-one extension, and 20
+// mixing rounds per block over five 32-bit chaining values. The algorithm
+// works in 32-bit arithmetic on both variants (values are masked on the
+// 64-bit machine). Output: the 20-byte digest — the paper's canonical
+// small-output workload (ESC probability zero).
+
+const (
+	shaMsgLen = 2048
+	shaSeed   = 0x5AA17EE7
+	shaRounds = 20
+)
+
+func init() {
+	register(Workload{
+		Name:  "sha",
+		Suite: "mibench",
+		Build: buildSHA,
+		Ref:   refSHA,
+	})
+}
+
+// shaF is the round function: (b AND c) XOR ((NOT b) AND d), with the
+// round constant 0x5A827999.
+func shaMix(h [5]uint32, w [shaRounds]uint32) [5]uint32 {
+	a, b, c, d, e := h[0], h[1], h[2], h[3], h[4]
+	for r := 0; r < shaRounds; r++ {
+		f := (b & c) ^ (^b & d)
+		t := rotl32(a, 5) + f + e + w[r] + 0x5A827999
+		e, d, c, b, a = d, c, rotl32(b, 30), a, t
+	}
+	h[0] += a
+	h[1] += b
+	h[2] += c
+	h[3] += d
+	h[4] += e
+	return h
+}
+
+func rotl32(x uint32, s uint) uint32 { return x<<s | x>>(32-s) }
+
+func refSHA(v isa.Variant) []byte {
+	msg := randBytes(shaSeed, shaMsgLen)
+	h := [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+	for blk := 0; blk < shaMsgLen/64; blk++ {
+		var w [shaRounds]uint32
+		for i := 0; i < 16; i++ {
+			o := blk*64 + i*4
+			w[i] = uint32(msg[o]) | uint32(msg[o+1])<<8 | uint32(msg[o+2])<<16 | uint32(msg[o+3])<<24
+		}
+		for i := 16; i < shaRounds; i++ {
+			w[i] = rotl32(w[i-3]^w[i-8]^w[i-14]^w[i-16], 1)
+		}
+		h = shaMix(h, w)
+	}
+	var out []byte
+	for _, x := range h {
+		out = append(out, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return out
+}
+
+func buildSHA(v isa.Variant) *asm.Program {
+	b := asm.NewBuilder("sha", v)
+	msg := b.DataBytes("msg", randBytes(shaSeed, shaMsgLen))
+	b.Align(8)
+	hArr := b.DataWords32("h", []uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0})
+	wScratch := b.Reserve("w", shaRounds*4)
+
+	// Register plan (no calls, so r13 is a free pointer):
+	//  r1 block pointer   r2 blocks remaining  r3 0xFFFFFFFF mask
+	//  r4..r8 a..e        r9..r12,r15 temps    r13 w-scratch base
+	b.Li(1, msg)
+	b.Li(2, shaMsgLen/64)
+	b.Li(3, 0xFFFFFFFF)
+	b.Li(13, wScratch)
+
+	mask := func(r uint8) { b.And(r, r, 3) }
+	// rotl32(dst, src, s): dst = ((src<<s) | (src>>(32-s))) & mask,
+	// clobbering r15. src must already be 32-bit clean.
+	rotl := func(dst, src uint8, s int32) {
+		b.Slli(15, src, s)
+		b.Srli(dst, src, 32-s)
+		b.Or(dst, dst, 15)
+		mask(dst)
+	}
+
+	b.Label("block")
+	// Load 16 message words into the schedule scratch.
+	b.Li(9, 0)
+	b.Label("ld")
+	b.Slli(10, 9, 2)
+	b.Add(11, 10, 1)
+	b.Lw(12, 11, 0)
+	mask(12) // lw sign-extends on the 64-bit variant
+	b.Add(11, 10, 13)
+	b.Sw(12, 11, 0)
+	b.Addi(9, 9, 1)
+	b.Slti(10, 9, 16)
+	b.Bne(10, 0, "ld")
+	// Extend words 16..19: w[i] = rotl1(w[i-3]^w[i-8]^w[i-14]^w[i-16]).
+	b.Label("ext")
+	b.Slli(10, 9, 2)
+	b.Add(10, 10, 13)
+	b.Lw(11, 10, -3*4)
+	b.Lw(12, 10, -8*4)
+	b.Xor(11, 11, 12)
+	b.Lw(12, 10, -14*4)
+	b.Xor(11, 11, 12)
+	b.Lw(12, 10, -16*4)
+	b.Xor(11, 11, 12)
+	mask(11)
+	rotl(12, 11, 1)
+	b.Sw(12, 10, 0)
+	b.Addi(9, 9, 1)
+	b.Slti(10, 9, shaRounds)
+	b.Bne(10, 0, "ext")
+
+	// Load chaining values a..e.
+	b.Li(9, hArr)
+	b.Lw(4, 9, 0)
+	b.Lw(5, 9, 4)
+	b.Lw(6, 9, 8)
+	b.Lw(7, 9, 12)
+	b.Lw(8, 9, 16)
+	mask(4)
+	mask(5)
+	mask(6)
+	mask(7)
+	mask(8)
+
+	b.Li(9, 0) // round counter
+	b.Label("round")
+	// f = (b&c) ^ (~b & d)
+	b.And(10, 5, 6)
+	b.Xor(11, 5, 3) // ~b within 32 bits
+	b.And(11, 11, 7)
+	b.Xor(10, 10, 11)
+	// t = rotl(a,5) + f + e + w[r] + K
+	rotl(11, 4, 5)
+	b.Add(11, 11, 10)
+	b.Add(11, 11, 8)
+	b.Slli(12, 9, 2)
+	b.Add(12, 12, 13)
+	b.Lw(12, 12, 0)
+	b.Add(11, 11, 12)
+	b.Li(12, 0x5A827999)
+	b.Add(11, 11, 12)
+	mask(11)
+	// rotate the registers: e=d d=c c=rotl(b,30) b=a a=t
+	b.Mov(8, 7)
+	b.Mov(7, 6)
+	rotl(6, 5, 30)
+	b.Mov(5, 4)
+	b.Mov(4, 11)
+	b.Addi(9, 9, 1)
+	b.Slti(10, 9, shaRounds)
+	b.Bne(10, 0, "round")
+
+	// Fold back into h[].
+	b.Li(9, hArr)
+	for i, r := range []uint8{4, 5, 6, 7, 8} {
+		b.Lw(10, 9, int32(i*4))
+		b.Add(10, 10, r)
+		mask(10)
+		b.Sw(10, 9, int32(i*4))
+	}
+
+	// Next block.
+	b.Addi(1, 1, 64)
+	b.Addi(2, 2, -1)
+	b.Bne(2, 0, "block")
+
+	// Emit the digest to the output region.
+	b.Li(9, hArr)
+	b.Li(10, asm.DefaultOutBase)
+	for i := 0; i < 5; i++ {
+		b.Lw(11, 9, int32(i*4))
+		b.Sw(11, 10, int32(i*4))
+	}
+	b.Li(4, 20)
+	epilogue(b, 4, 15)
+	return b.MustAssemble()
+}

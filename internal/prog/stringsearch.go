@@ -1,0 +1,168 @@
+package prog
+
+import (
+	"avgi/internal/asm"
+	"avgi/internal/isa"
+)
+
+// stringsearch finds the first occurrence of eight patterns in a 2 KiB text
+// using the Boyer-Moore-Horspool algorithm (bad-character shift table),
+// mirroring the MiBench office/stringsearch kernel. Six patterns are drawn
+// from the text (guaranteed hits); two are random (expected misses).
+// Output: eight natural-width match positions (NOT-FOUND encodes as the
+// all-ones word).
+
+const (
+	ssTextLen  = 2048
+	ssSeed     = 0x57A1165E
+	ssPatterns = 8
+	ssPatLen   = 10
+)
+
+func init() {
+	register(Workload{
+		Name:  "stringsearch",
+		Suite: "mibench",
+		Build: buildStringsearch,
+		Ref:   refStringsearch,
+	})
+}
+
+func ssText() []byte { return randBytes(ssSeed, ssTextLen) }
+
+// ssPats returns the eight fixed-length patterns.
+func ssPats() [][]byte {
+	text := ssText()
+	r := xorshift32(ssSeed ^ 0xFACE)
+	pats := make([][]byte, ssPatterns)
+	for i := 0; i < 6; i++ {
+		off := int(r()) % (ssTextLen - ssPatLen)
+		pats[i] = append([]byte(nil), text[off:off+ssPatLen]...)
+	}
+	for i := 6; i < ssPatterns; i++ {
+		pats[i] = randBytes(r(), ssPatLen)
+	}
+	return pats
+}
+
+// horspool mirrors the machine algorithm bit for bit.
+func horspool(text, pat []byte) uint64 {
+	m := len(pat)
+	var tbl [256]int
+	for i := range tbl {
+		tbl[i] = m
+	}
+	for i := 0; i < m-1; i++ {
+		tbl[pat[i]] = m - 1 - i
+	}
+	pos := 0
+	for pos+m <= len(text) {
+		j := m - 1
+		for j >= 0 && text[pos+j] == pat[j] {
+			j--
+		}
+		if j < 0 {
+			return uint64(pos)
+		}
+		pos += tbl[text[pos+m-1]]
+	}
+	return ^uint64(0)
+}
+
+func refStringsearch(v isa.Variant) []byte {
+	text := ssText()
+	wb := wordBytes(v)
+	var out []byte
+	for _, p := range ssPats() {
+		out = putWord(out, horspool(text, p)&v.Mask(), wb)
+	}
+	return out
+}
+
+func buildStringsearch(v isa.Variant) *asm.Program {
+	b := asm.NewBuilder("stringsearch", v)
+	text := b.DataBytes("text", ssText())
+	var patAddrs []uint64
+	for i, p := range ssPats() {
+		patAddrs = append(patAddrs, b.DataBytes("", p))
+		_ = i
+	}
+	b.Align(8)
+	pats := b.DataWords("pats", patAddrs)
+	tbl := b.Reserve("tbl", 256)
+	wb := int32(v.WordBytes())
+	sh := b.WordShift()
+
+	// r1 text, r2 pattern ptr, r3 table, r4 pos, r5 pattern index,
+	// r6 out ptr, r7 m-1, r8..r12,r15 temps.
+	b.Li(1, text)
+	b.Li(3, tbl)
+	b.Li(6, asm.DefaultOutBase)
+	b.Li(5, 0)
+
+	b.Label("patloop")
+	b.Li(9, pats)
+	b.Slli(10, 5, sh)
+	b.Add(9, 9, 10)
+	b.LoadW(2, 9, 0) // pattern address
+
+	// Build the bad-character table: tbl[c]=m, then tbl[pat[i]]=m-1-i
+	// for i<m-1.
+	b.Li(9, 0)
+	b.Li(10, ssPatLen)
+	b.Label("tfill")
+	b.Add(11, 3, 9)
+	b.Sb(10, 11, 0)
+	b.Addi(9, 9, 1)
+	b.Li(11, 256)
+	b.Blt(9, 11, "tfill")
+	b.Li(9, 0)
+	b.Li(7, ssPatLen-1)
+	b.Label("tpat")
+	b.Add(11, 2, 9)
+	b.Lbu(11, 11, 0)
+	b.Add(11, 11, 3)
+	b.Sub(12, 7, 9) // m-1-i
+	b.Sb(12, 11, 0)
+	b.Addi(9, 9, 1)
+	b.Blt(9, 7, "tpat")
+
+	// Horspool scan.
+	b.Li(4, 0) // pos
+	b.Label("scan")
+	b.Li(9, ssTextLen-ssPatLen)
+	b.Blt(9, 4, "notfound")
+	// Compare backwards from j = m-1.
+	b.Mov(10, 7) // j
+	b.Label("cmp")
+	b.Blt(10, 0, "found")
+	b.Add(11, 4, 10)
+	b.Add(11, 11, 1)
+	b.Lbu(11, 11, 0) // text[pos+j]
+	b.Add(12, 2, 10)
+	b.Lbu(12, 12, 0) // pat[j]
+	b.Bne(11, 12, "shift")
+	b.Addi(10, 10, -1)
+	b.Jump("cmp")
+	b.Label("shift")
+	b.Add(11, 4, 7)
+	b.Add(11, 11, 1)
+	b.Lbu(11, 11, 0) // text[pos+m-1]
+	b.Add(11, 11, 3)
+	b.Lbu(11, 11, 0) // tbl lookup
+	b.Add(4, 4, 11)
+	b.Jump("scan")
+
+	b.Label("notfound")
+	b.Li(4, ^uint64(0))
+	b.Label("found")
+	b.StoreW(4, 6, 0)
+	b.Addi(6, 6, wb)
+	b.Addi(5, 5, 1)
+	b.Li(9, ssPatterns)
+	b.Blt(5, 9, "patloop")
+
+	b.Li(4, uint64(ssPatterns)*uint64(wb))
+	epilogue(b, 4, 15)
+	return b.MustAssemble()
+}

@@ -1,0 +1,24 @@
+package report_test
+
+import (
+	"os"
+
+	"avgi/internal/report"
+)
+
+// ExampleTable_Render shows the aligned-ASCII rendering the harness uses.
+func ExampleTable_Render() {
+	t := &report.Table{
+		Title:   "Demo",
+		Columns: []string{"Structure", "AVF"},
+	}
+	t.AddRow("RF", report.Pct(0.125))
+	t.AddRow("L2 (Data)", report.Pct(0.4))
+	t.Render(os.Stdout)
+	// Output:
+	// == Demo ==
+	// Structure  AVF
+	// ---------  -----
+	// RF         12.5%
+	// L2 (Data)  40.0%
+}

@@ -1,0 +1,141 @@
+// Package report renders the experiment harness's tables and figure series
+// as aligned ASCII (for the terminal) and CSV (for plotting).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV writes the table as comma-separated values with the title as a
+// comment line.
+func (t *Table) CSV(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "# %s\n", t.Title)
+	}
+	fmt.Fprintln(w, strings.Join(quoteAll(t.Columns), ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(quoteAll(row), ","))
+	}
+}
+
+func quoteAll(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bars renders a horizontal bar chart: one row per label, bars scaled so
+// the maximum value spans width characters. Values render alongside as
+// percentages. Used by cmd/avgi to visualise distribution figures in the
+// terminal.
+func Bars(w io.Writer, title string, labels []string, values []float64, width int) {
+	if width <= 0 {
+		width = 40
+	}
+	if title != "" {
+		fmt.Fprintf(w, "-- %s --\n", title)
+	}
+	var max float64
+	lw := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > lw {
+			lw = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(v/max*float64(width) + 0.5)
+		}
+		fmt.Fprintf(w, "%s  %s%s %s\n", pad(labels[i], lw),
+			strings.Repeat("#", n), strings.Repeat(".", width-n), Pct(v))
+	}
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// F2 formats a float with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// F1x formats a speedup ("6.2x").
+func F1x(x float64) string { return fmt.Sprintf("%.1fx", x) }
+
+// Cycles formats a cycle count compactly ("1.2M", "50k").
+func Cycles(c uint64) string {
+	switch {
+	case c >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(c)/1e6)
+	case c >= 1_000:
+		return fmt.Sprintf("%.0fk", float64(c)/1e3)
+	default:
+		return fmt.Sprintf("%d", c)
+	}
+}

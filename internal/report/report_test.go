@@ -1,0 +1,90 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{Title: "Demo", Columns: []string{"Structure", "AVF", "Speedup"}}
+	t.AddRow("RF", "12.5%", "330.8x")
+	t.AddRow("L2 (Data)", "40.0%", "0.5x")
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var buf bytes.Buffer
+	sample().Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== Demo ==") {
+		t.Errorf("title line %q", lines[0])
+	}
+	// Column alignment: "AVF" column starts at the same offset in all rows.
+	idx := strings.Index(lines[1], "AVF")
+	for _, l := range lines[3:] {
+		if !strings.Contains(l[idx:], "%") {
+			t.Errorf("misaligned row %q", l)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	tab := sample()
+	tab.AddRow(`tricky,"cell"`, "1", "2")
+	tab.CSV(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "# Demo") {
+		t.Error("missing title comment")
+	}
+	if !strings.Contains(out, `"tricky,""cell"""`) {
+		t.Errorf("quoting broken:\n%s", out)
+	}
+	if !strings.Contains(out, "Structure,AVF,Speedup") {
+		t.Error("missing header")
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "IMM", []string{"OFS", "IRP", "ETE"}, []float64{0.6, 0.3, 0.0}, 10)
+	out := buf.String()
+	if !strings.Contains(out, "-- IMM --") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "##########") {
+		t.Errorf("max bar not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "60.0%") {
+		t.Errorf("value missing: %q", lines[1])
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Errorf("zero bar should be empty: %q", lines[3])
+	}
+	// Degenerate inputs must not panic.
+	Bars(&buf, "", []string{"x"}, []float64{0}, 0)
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.1234) != "12.3%" {
+		t.Errorf("Pct: %s", Pct(0.1234))
+	}
+	if F2(3.14159) != "3.14" {
+		t.Errorf("F2: %s", F2(3.14159))
+	}
+	if F1x(6.25) != "6.2x" {
+		t.Errorf("F1x: %s", F1x(6.25))
+	}
+	if Cycles(1_500_000) != "1.5M" || Cycles(50_000) != "50k" || Cycles(999) != "999" {
+		t.Errorf("Cycles: %s %s %s", Cycles(1_500_000), Cycles(50_000), Cycles(999))
+	}
+}

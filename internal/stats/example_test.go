@@ -1,0 +1,16 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"avgi/internal/stats"
+)
+
+// ExampleSampleSize reproduces the paper's fault-sample calculation: for
+// an effectively unbounded fault population, ~2,000 samples give a 2.88%
+// error margin at 99% confidence (Leveugle et al., DATE 2009).
+func ExampleSampleSize() {
+	n := stats.SampleSize(1<<40, 0.0288, stats.Z99, 0.5)
+	fmt.Println(n)
+	// Output: 2001
+}

@@ -1,0 +1,105 @@
+// Package stats implements the statistical machinery of SFI campaigns: the
+// Leveugle et al. sample-size and error-margin formulas the paper uses to
+// justify its 2,000-fault samples (2.88% error at 99% confidence), plus
+// the mean/standard-deviation summaries behind the uniformity claims of
+// Section III.
+package stats
+
+import "math"
+
+// Z-scores for the confidence levels used in SFI literature.
+const (
+	Z90 = 1.645
+	Z95 = 1.960
+	Z99 = 2.576
+)
+
+// SampleSize returns the number of faults to inject for a population of N
+// possible faults, margin of error e (fraction, e.g. 0.0288), confidence
+// z-score t, and estimated proportion p (0.5 is the conservative maximum).
+// This is equation (1) of Leveugle et al., DATE 2009.
+func SampleSize(n uint64, e, t, p float64) uint64 {
+	N := float64(n)
+	num := N
+	den := 1 + e*e*(N-1)/(t*t*p*(1-p))
+	s := math.Ceil(num / den)
+	if s > N {
+		return n
+	}
+	return uint64(s)
+}
+
+// ErrorMargin returns the margin of error achieved by a sample of size
+// sample drawn from a population of n faults at confidence t with
+// proportion p.
+func ErrorMargin(sample, n uint64, t, p float64) float64 {
+	if sample == 0 || n <= 1 {
+		return 1
+	}
+	N := float64(n)
+	s := float64(sample)
+	if s > N {
+		s = N
+	}
+	return t * math.Sqrt(p*(1-p)/s*(N-s)/(N-1))
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// MaxAbsDiff returns the largest absolute pairwise difference between two
+// equal-length series — used for the accuracy comparisons of Section V.C.
+func MaxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Pearson returns the correlation coefficient between two equal-length
+// series (0 if degenerate) — used for the ESC-prediction accuracy of
+// Fig. 7.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var sab, sa, sb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		sa += da * da
+		sb += db * db
+	}
+	if sa == 0 || sb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(sa*sb)
+}

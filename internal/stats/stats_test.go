@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleSizePaperNumbers(t *testing.T) {
+	// The paper's setting: 2,000 samples give ~2.88% margin at 99%
+	// confidence for a large fault population.
+	n := SampleSize(1<<30, 0.0288, Z99, 0.5)
+	if n < 1900 || n > 2100 {
+		t.Errorf("sample size = %d, expected ~2000", n)
+	}
+	e := ErrorMargin(2000, 1<<30, Z99, 0.5)
+	if e < 0.027 || e > 0.030 {
+		t.Errorf("error margin = %f, expected ~0.0288", e)
+	}
+}
+
+func TestSampleSizeClampsToPopulation(t *testing.T) {
+	if n := SampleSize(50, 0.001, Z99, 0.5); n != 50 {
+		t.Errorf("tiny population: %d", n)
+	}
+}
+
+func TestErrorMarginEdges(t *testing.T) {
+	if ErrorMargin(0, 100, Z95, 0.5) != 1 {
+		t.Error("zero sample should return 1")
+	}
+	if ErrorMargin(100, 1, Z95, 0.5) != 1 {
+		t.Error("degenerate population should return 1")
+	}
+	if e := ErrorMargin(100, 100, Z95, 0.5); e != 0 {
+		t.Errorf("census should have zero margin, got %f", e)
+	}
+}
+
+func TestErrorMarginMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		s1, s2 := uint64(a)%5000+10, uint64(b)%5000+10
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		return ErrorMargin(s2, 1<<30, Z99, 0.5) <= ErrorMargin(s1, 1<<30, Z99, 0.5)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if m := Mean([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("mean = %f", m)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-element stddev")
+	}
+	sd := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(sd-2) > 1e-9 {
+		t.Errorf("stddev = %f, want 2", sd)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if d := MaxAbsDiff([]float64{1, 5, 3}, []float64{1.5, 4, 3}); d != 1 {
+		t.Errorf("MaxAbsDiff = %f", d)
+	}
+	if MaxAbsDiff(nil, nil) != 0 {
+		t.Error("empty diff")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(a, b); math.Abs(r-1) > 1e-9 {
+		t.Errorf("perfect correlation = %f", r)
+	}
+	c := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(a, c); math.Abs(r+1) > 1e-9 {
+		t.Errorf("perfect anticorrelation = %f", r)
+	}
+	if Pearson(a, []float64{1}) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+	if Pearson(a, []float64{3, 3, 3, 3, 3}) != 0 {
+		t.Error("constant series should be 0")
+	}
+}

@@ -1,0 +1,150 @@
+// Package trace defines architectural commit-trace records, golden-trace
+// capture, and the ordered comparison that detects the first deviation
+// between a faulty run and the fault-free run. The first deviation — its
+// position, kind and both records — is the raw material the IMM classifier
+// (package imm) works from.
+package trace
+
+// Record captures the architecturally visible facts of one committed
+// instruction: when it committed, where it came from, what it was, and what
+// it did to architectural state. These are exactly the per-retirement
+// parameters the paper's Fig. 2 classifier inspects: committed cycle,
+// program counter, opcode, operand fields (via the raw instruction word),
+// and register/memory contents.
+type Record struct {
+	Cycle uint64
+	PC    uint64
+	Word  uint32 // raw instruction word as fetched/decoded
+
+	// HasDest marks instructions writing a destination register; Dest
+	// and Value record the architectural register and its new contents.
+	HasDest bool
+	Dest    uint8
+	Value   uint64
+
+	// IsStore marks stores; Addr and Value record the effective address
+	// and stored data (Value is reused for store data).
+	IsStore bool
+	Addr    uint64
+}
+
+// Same reports whether two records are architecturally identical, including
+// their timing.
+func (r Record) Same(o Record) bool {
+	return r == o
+}
+
+// SameIgnoringCycle reports whether two records are architecturally
+// identical apart from the commit cycle (the ETE condition).
+func (r Record) SameIgnoringCycle(o Record) bool {
+	r.Cycle = 0
+	o.Cycle = 0
+	return r == o
+}
+
+// Sink receives commit records during simulation.
+type Sink interface {
+	// OnCommit is called for every committed instruction in order. If it
+	// returns false the machine stops simulating (used by HVF runs that
+	// only need the first deviation).
+	OnCommit(Record) bool
+}
+
+// Capture is a Sink that records the full commit trace (the golden run).
+type Capture struct {
+	Records []Record
+}
+
+// OnCommit implements Sink.
+func (c *Capture) OnCommit(r Record) bool {
+	c.Records = append(c.Records, r)
+	return true
+}
+
+// DeviationKind describes how a faulty record first diverged from golden.
+type DeviationKind uint8
+
+const (
+	// DevNone means no deviation was observed.
+	DevNone DeviationKind = iota
+	// DevRecord means the record differs in PC, instruction word,
+	// destination, value or address.
+	DevRecord
+	// DevCycle means the record matches but committed in a different
+	// cycle.
+	DevCycle
+	// DevExtra means the faulty run committed more instructions than the
+	// golden run (ran past the golden halt).
+	DevExtra
+)
+
+// Deviation describes the first difference between a faulty commit stream
+// and the golden trace.
+type Deviation struct {
+	Kind   DeviationKind
+	Index  int    // commit index at which the deviation occurred
+	Cycle  uint64 // faulty commit cycle of the deviating record
+	Golden Record
+	Faulty Record
+}
+
+// Comparator is a Sink that compares a faulty run's commits against a
+// golden trace on the fly. It records the first deviation; Stop controls
+// whether simulation halts at that point (HVF mode) or continues to the end
+// of the program (AVF mode, where the final output comparison still needs
+// the run to finish).
+type Comparator struct {
+	Golden []Record
+	// StopAtFirst makes OnCommit return false on the first deviation.
+	StopAtFirst bool
+	// StopCycle, when non-zero, stops the run once commit reaches this
+	// cycle with no deviation found (the effective-residency-time stop).
+	StopCycle uint64
+
+	// Dev is the first deviation found, if any.
+	Dev Deviation
+
+	next    int
+	stopped bool
+}
+
+// OnCommit implements Sink.
+func (c *Comparator) OnCommit(r Record) bool {
+	if c.Dev.Kind == DevNone {
+		if c.next >= len(c.Golden) {
+			c.Dev = Deviation{Kind: DevExtra, Index: c.next, Cycle: r.Cycle, Faulty: r}
+		} else {
+			g := c.Golden[c.next]
+			switch {
+			case r.Same(g):
+				// identical
+			case r.SameIgnoringCycle(g):
+				c.Dev = Deviation{Kind: DevCycle, Index: c.next, Cycle: r.Cycle, Golden: g, Faulty: r}
+			default:
+				c.Dev = Deviation{Kind: DevRecord, Index: c.next, Cycle: r.Cycle, Golden: g, Faulty: r}
+			}
+		}
+		if c.Dev.Kind != DevNone && c.StopAtFirst {
+			c.stopped = true
+			return false
+		}
+	}
+	c.next++
+	if c.StopCycle > 0 && r.Cycle >= c.StopCycle && c.Dev.Kind == DevNone {
+		c.stopped = true
+		return false
+	}
+	return true
+}
+
+// StartAt positions the comparator at commit index n. Campaigns use this
+// when a faulty run is forked from a checkpoint that has already committed
+// n instructions: the deterministic pre-injection prefix is known to match
+// the golden trace.
+func (c *Comparator) StartAt(n int) { c.next = n }
+
+// Stopped reports whether the comparator asked the machine to stop early.
+func (c *Comparator) Stopped() bool { return c.stopped }
+
+// Commits returns the number of records observed so far.
+func (c *Comparator) Commits() int { return c.next }

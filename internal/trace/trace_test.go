@@ -1,0 +1,145 @@
+package trace
+
+import "testing"
+
+func r(cycle, pc uint64, word uint32, val uint64) Record {
+	return Record{Cycle: cycle, PC: pc, Word: word, HasDest: true, Dest: 1, Value: val}
+}
+
+func TestRecordSame(t *testing.T) {
+	a := r(1, 0x1000, 7, 42)
+	if !a.Same(a) {
+		t.Error("identical records differ")
+	}
+	b := a
+	b.Cycle = 2
+	if a.Same(b) {
+		t.Error("cycle difference ignored by Same")
+	}
+	if !a.SameIgnoringCycle(b) {
+		t.Error("SameIgnoringCycle should ignore cycle")
+	}
+	c := a
+	c.Value = 43
+	if a.SameIgnoringCycle(c) {
+		t.Error("value difference ignored")
+	}
+}
+
+func TestCaptureCollects(t *testing.T) {
+	var c Capture
+	for i := uint64(0); i < 5; i++ {
+		if !c.OnCommit(r(i, 0x1000+4*i, 1, i)) {
+			t.Fatal("capture stopped")
+		}
+	}
+	if len(c.Records) != 5 {
+		t.Fatalf("len = %d", len(c.Records))
+	}
+}
+
+func golden(n int) []Record {
+	g := make([]Record, n)
+	for i := range g {
+		g[i] = r(uint64(10+i), uint64(0x1000+4*i), uint32(i), uint64(i))
+	}
+	return g
+}
+
+func TestComparatorNoDeviation(t *testing.T) {
+	g := golden(10)
+	c := &Comparator{Golden: g}
+	for _, rec := range g {
+		if !c.OnCommit(rec) {
+			t.Fatal("stopped without deviation")
+		}
+	}
+	if c.Dev.Kind != DevNone || c.Commits() != 10 || c.Stopped() {
+		t.Errorf("dev=%v commits=%d stopped=%v", c.Dev.Kind, c.Commits(), c.Stopped())
+	}
+}
+
+func TestComparatorRecordDeviation(t *testing.T) {
+	g := golden(10)
+	c := &Comparator{Golden: g, StopAtFirst: true}
+	c.OnCommit(g[0])
+	bad := g[1]
+	bad.Value = 999
+	if c.OnCommit(bad) {
+		t.Error("should stop at first deviation")
+	}
+	if c.Dev.Kind != DevRecord || c.Dev.Index != 1 {
+		t.Errorf("dev %+v", c.Dev)
+	}
+	if !c.Stopped() {
+		t.Error("Stopped should be true")
+	}
+}
+
+func TestComparatorCycleDeviation(t *testing.T) {
+	g := golden(10)
+	c := &Comparator{Golden: g}
+	c.OnCommit(g[0])
+	late := g[1]
+	late.Cycle += 7
+	if !c.OnCommit(late) {
+		t.Error("non-stopping comparator should continue")
+	}
+	if c.Dev.Kind != DevCycle {
+		t.Errorf("dev %v", c.Dev.Kind)
+	}
+	// Only the first deviation is recorded.
+	worse := g[2]
+	worse.PC = 0xDEAD
+	c.OnCommit(worse)
+	if c.Dev.Kind != DevCycle || c.Dev.Index != 1 {
+		t.Errorf("first deviation overwritten: %+v", c.Dev)
+	}
+}
+
+func TestComparatorExtraCommits(t *testing.T) {
+	g := golden(2)
+	c := &Comparator{Golden: g}
+	c.OnCommit(g[0])
+	c.OnCommit(g[1])
+	c.OnCommit(r(99, 0x2000, 5, 5))
+	if c.Dev.Kind != DevExtra || c.Dev.Index != 2 {
+		t.Errorf("dev %+v", c.Dev)
+	}
+}
+
+func TestComparatorStopCycle(t *testing.T) {
+	g := golden(100)
+	c := &Comparator{Golden: g, StopCycle: 15}
+	i := 0
+	for ; i < 100; i++ {
+		if !c.OnCommit(g[i]) {
+			break
+		}
+	}
+	if !c.Stopped() {
+		t.Fatal("never stopped")
+	}
+	// Records have cycles 10, 11, ...; stop fires at cycle >= 15.
+	if g[i].Cycle < 15 {
+		t.Errorf("stopped too early at cycle %d", g[i].Cycle)
+	}
+	if c.Dev.Kind != DevNone {
+		t.Error("stop-cycle must not be a deviation")
+	}
+}
+
+func TestComparatorStartAt(t *testing.T) {
+	g := golden(10)
+	c := &Comparator{Golden: g}
+	c.StartAt(4)
+	for _, rec := range g[4:] {
+		c.OnCommit(rec)
+	}
+	if c.Dev.Kind != DevNone {
+		t.Errorf("resumed comparator deviated: %+v", c.Dev)
+	}
+	if c.Commits() != 10 {
+		t.Errorf("commits = %d", c.Commits())
+	}
+}

@@ -1,0 +1,247 @@
+package avgi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"avgi/internal/campaign"
+	"avgi/internal/core"
+	"avgi/internal/imm"
+)
+
+// StudyConfig parameterises a full multi-workload, multi-structure study —
+// the unit of work behind every table and figure of the paper.
+type StudyConfig struct {
+	// Machine is the microarchitecture under study.
+	Machine MachineConfig
+	// Workloads defaults to all thirteen benchmarks.
+	Workloads []Workload
+	// Structures defaults to the twelve Table II structures.
+	Structures []string
+	// FaultsPerStructure is the SFI sample size per (structure,
+	// workload) pair; the paper uses 2,000 (2.88% error at 99%
+	// confidence), the harness default is 400.
+	FaultsPerStructure int
+	// Workers bounds campaign parallelism (0 = all CPUs).
+	Workers int
+	// SeedBase makes the whole study reproducible.
+	SeedBase int64
+}
+
+func (c *StudyConfig) fill() {
+	if len(c.Workloads) == 0 {
+		c.Workloads = Workloads()
+	}
+	if len(c.Structures) == 0 {
+		c.Structures = Structures()
+	}
+	if c.FaultsPerStructure == 0 {
+		c.FaultsPerStructure = 400
+	}
+	if c.SeedBase == 0 {
+		c.SeedBase = 1
+	}
+}
+
+// Study owns golden runs and caches campaign results so each experiment
+// reuses the expensive exhaustive ground truth instead of recomputing it.
+type Study struct {
+	Cfg StudyConfig
+
+	runners map[string]*Runner
+
+	mu         sync.Mutex
+	exhaustive map[string]map[string][]CampaignResult // [structure][workload]
+	hvf        map[string]map[string][]CampaignResult
+	avgi       map[string][]CampaignResult // "structure|workload|window"
+}
+
+// NewStudy performs the golden run of every workload.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	cfg.fill()
+	for _, s := range cfg.Structures {
+		if err := validateStructure(s); err != nil {
+			return nil, err
+		}
+	}
+	st := &Study{
+		Cfg:        cfg,
+		runners:    make(map[string]*Runner),
+		exhaustive: make(map[string]map[string][]CampaignResult),
+		hvf:        make(map[string]map[string][]CampaignResult),
+		avgi:       make(map[string][]CampaignResult),
+	}
+	for _, w := range cfg.Workloads {
+		r, err := campaign.NewRunner(cfg.Machine, w.Build(cfg.Machine.Variant))
+		if err != nil {
+			return nil, fmt.Errorf("study: %s: %w", w.Name, err)
+		}
+		st.runners[w.Name] = r
+	}
+	return st, nil
+}
+
+// Runner returns the campaign runner of one workload.
+func (s *Study) Runner(workload string) *Runner { return s.runners[workload] }
+
+// WorkloadNames returns the study's workloads in sorted order.
+func (s *Study) WorkloadNames() []string {
+	var ns []string
+	for _, w := range s.Cfg.Workloads {
+		ns = append(ns, w.Name)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// faultsFor builds the deterministic fault list for a pair.
+func (s *Study) faultsFor(structure, workload string) []Fault {
+	return s.runners[workload].FaultList(structure, s.Cfg.FaultsPerStructure, s.Cfg.SeedBase)
+}
+
+// Exhaustive returns (running on first use, cached afterwards) the
+// traditional end-to-end SFI results for one pair — the study's ground
+// truth.
+func (s *Study) Exhaustive(structure, workload string) []CampaignResult {
+	return s.cached(s.exhaustive, structure, workload, campaign.ModeExhaustive, 0)
+}
+
+// HVF returns the stop-at-first-deviation results for one pair.
+func (s *Study) HVF(structure, workload string) []CampaignResult {
+	return s.cached(s.hvf, structure, workload, campaign.ModeHVF, 0)
+}
+
+func (s *Study) cached(cache map[string]map[string][]CampaignResult,
+	structure, workload string, mode Mode, ert uint64) []CampaignResult {
+	s.mu.Lock()
+	if perW, ok := cache[structure]; ok {
+		if res, ok := perW[workload]; ok {
+			s.mu.Unlock()
+			return res
+		}
+	}
+	s.mu.Unlock()
+
+	r := s.runners[workload]
+	res := r.Run(s.faultsFor(structure, workload), mode, ert, s.Cfg.Workers)
+
+	s.mu.Lock()
+	if cache[structure] == nil {
+		cache[structure] = make(map[string][]CampaignResult)
+	}
+	cache[structure][workload] = res
+	s.mu.Unlock()
+	return res
+}
+
+// AVGIRun executes the short AVGI-mode campaign for one pair under the
+// estimator's ERT window, cached by window since several experiments
+// revisit the same pair.
+func (s *Study) AVGIRun(est *Estimator, structure, workload string) ([]CampaignResult, uint64) {
+	r := s.runners[workload]
+	window := est.WindowFor(structure, r.Golden.Cycles)
+	key := fmt.Sprintf("%s|%s|%d", structure, workload, window)
+	s.mu.Lock()
+	if res, ok := s.avgi[key]; ok {
+		s.mu.Unlock()
+		return res, window
+	}
+	s.mu.Unlock()
+	res := r.Run(s.faultsFor(structure, workload), campaign.ModeAVGI, window, s.Cfg.Workers)
+	s.mu.Lock()
+	s.avgi[key] = res
+	s.mu.Unlock()
+	return res, window
+}
+
+// TrainingData assembles the estimator's training input from the cached
+// exhaustive campaigns over the given structures, excluding any workloads
+// named in exclude (for leave-one-out evaluation).
+func (s *Study) TrainingData(structures []string, exclude ...string) core.TrainingData {
+	skip := make(map[string]bool, len(exclude))
+	for _, w := range exclude {
+		skip[w] = true
+	}
+	td := core.TrainingData{
+		Results:     make(map[string]map[string][]campaign.Result),
+		OutputSize:  make(map[string]int),
+		TotalCycles: make(map[string]uint64),
+		Exposure:    make(map[string]map[string]float64),
+	}
+	for _, structure := range structures {
+		td.Results[structure] = make(map[string][]campaign.Result)
+		td.Exposure[structure] = make(map[string]float64)
+		for _, w := range s.Cfg.Workloads {
+			if skip[w.Name] {
+				continue
+			}
+			td.Results[structure][w.Name] = s.Exhaustive(structure, w.Name)
+			td.Exposure[structure][w.Name] = s.runners[w.Name].OutputExposure[structure]
+		}
+	}
+	for _, w := range s.Cfg.Workloads {
+		if skip[w.Name] {
+			continue
+		}
+		r := s.runners[w.Name]
+		td.OutputSize[w.Name] = len(r.Golden.Output)
+		td.TotalCycles[w.Name] = r.Golden.Cycles
+	}
+	return td
+}
+
+// TrainEstimator trains the full methodology on the cached exhaustive
+// campaigns of the study's structures, excluding the named workloads.
+func (s *Study) TrainEstimator(exclude ...string) *Estimator {
+	return core.Train(s.TrainingData(s.Cfg.Structures, exclude...))
+}
+
+// GroundTruthAVF returns the exhaustive-SFI AVF for one pair.
+func (s *Study) GroundTruthAVF(structure, workload string) AVF {
+	return core.AVFFromEffects(campaign.Summarize(s.Exhaustive(structure, workload)))
+}
+
+// Summaries returns per-workload exhaustive summaries for a structure.
+func (s *Study) Summaries(structure string) map[string]CampaignSummary {
+	out := make(map[string]CampaignSummary)
+	for _, w := range s.Cfg.Workloads {
+		out[w.Name] = campaign.Summarize(s.Exhaustive(structure, w.Name))
+	}
+	return out
+}
+
+// IMMDistribution returns the Fig. 3 normalised IMM fractions per workload
+// for one structure (over corruptions).
+func (s *Study) IMMDistribution(structure string) map[string]map[IMM]float64 {
+	out := make(map[string]map[IMM]float64)
+	for w, sum := range s.Summaries(structure) {
+		out[w] = sum.IMMFractions()
+	}
+	return out
+}
+
+// EffectPerIMM returns, per workload and IMM class, the conditional final
+// effect distribution from exhaustive runs (Fig. 4).
+func (s *Study) EffectPerIMM(structure string) map[string]map[IMM]core.EffectProbs {
+	out := make(map[string]map[IMM]core.EffectProbs)
+	for _, w := range s.Cfg.Workloads {
+		results := s.Exhaustive(structure, w.Name)
+		per := make(map[IMM]core.EffectProbs)
+		for _, class := range imm.Classes {
+			var counts [3]float64
+			total := 0.0
+			for _, r := range results {
+				if r.IMM == class && r.HasEffect {
+					counts[r.Effect]++
+					total++
+				}
+			}
+			if total > 0 {
+				per[class] = core.EffectProbs{counts[0] / total, counts[1] / total, counts[2] / total}
+			}
+		}
+		out[w.Name] = per
+	}
+	return out
+}
