@@ -28,7 +28,6 @@
 package avgi
 
 import (
-	"fmt"
 	"io"
 
 	"avgi/internal/ace"
@@ -40,6 +39,7 @@ import (
 	"avgi/internal/fault"
 	"avgi/internal/imm"
 	"avgi/internal/isa"
+	"avgi/internal/obs"
 	"avgi/internal/prog"
 	"avgi/internal/report"
 	"avgi/internal/stats"
@@ -89,6 +89,20 @@ type (
 	Table = report.Table
 	// Variant selects the ISA width.
 	Variant = isa.Variant
+
+	// Observer is the telemetry bundle (metrics registry, live progress,
+	// span tracer) a Study or Runner reports into; see docs/OBSERVABILITY.md.
+	Observer = obs.Observer
+	// MetricsRegistry holds counters, gauges and histograms with
+	// Prometheus-text and JSON renderers.
+	MetricsRegistry = obs.Registry
+	// Progress is the live campaign progress reporter.
+	Progress = obs.Progress
+	// ProgressSnapshot is a point-in-time progress view.
+	ProgressSnapshot = obs.ProgressSnapshot
+	// Tracer records study-phase spans for NDJSON / chrome://tracing
+	// export.
+	Tracer = obs.Tracer
 )
 
 // Re-exported constants.
@@ -195,12 +209,14 @@ func SaveEstimator(w io.Writer, est *Estimator) error { return est.Save(w) }
 // LoadEstimator reads an estimator written by SaveEstimator.
 func LoadEstimator(r io.Reader) (*Estimator, error) { return core.LoadEstimator(r) }
 
-// validateStructure returns an error for unknown structure names.
-func validateStructure(name string) error {
-	for _, s := range cpu.StructureNames {
-		if s == name {
-			return nil
-		}
-	}
-	return fmt.Errorf("avgi: unknown structure %q", name)
-}
+// NewObserver returns an Observer with metrics, progress and tracing all
+// enabled; progress log lines go to logw (nil for silent). Attach it via
+// StudyConfig.Obs or Runner.Obs.
+func NewObserver(logw io.Writer) *Observer { return obs.New(logw) }
+
+// ValidateStructure returns a descriptive error for structure names that
+// are not one of the twelve Table II fault targets.
+func ValidateStructure(name string) error { return cpu.ValidateStructure(name) }
+
+// validateStructure keeps the historical internal name.
+func validateStructure(name string) error { return cpu.ValidateStructure(name) }

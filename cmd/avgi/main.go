@@ -39,6 +39,11 @@ var (
 	flagCSV        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	flagBars       = flag.Bool("bars", false, "also render distribution figures as terminal bar charts")
 	flagCores      = flag.Int("cores", 192, "cluster cores for the Table II days model")
+
+	flagProgress    = flag.Bool("progress", false, "print live throughput/ETA progress lines to stderr")
+	flagMetricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /progress.json on this address (e.g. localhost:9090)")
+	flagTraceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON of the study phases to this file (open in chrome://tracing)")
+	flagTraceND     = flag.String("trace-ndjson", "", "write the study-phase spans as NDJSON to this file")
 )
 
 func main() {
@@ -53,10 +58,55 @@ func main() {
 		listWorkloads()
 		return
 	}
-	if err := run(cmd, os.Stdout); err != nil {
+	obsv := avgi.NewObserver(os.Stderr)
+	if *flagProgress {
+		stop := obsv.Progress.StartTicker(2 * time.Second)
+		defer stop()
+	}
+	if *flagMetricsAddr != "" {
+		srv, err := obsv.Serve(*flagMetricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avgi:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		obsv.Logf("telemetry: http://%s/ (/metrics, /progress.json, /trace.json)", srv.Addr())
+	}
+	err := run(cmd, os.Stdout, obsv)
+	if terr := writeTraces(obsv); err == nil {
+		err = terr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "avgi:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTraces exports the recorded spans to the files requested by
+// -trace-out (Chrome trace_event JSON) and -trace-ndjson.
+func writeTraces(obsv *avgi.Observer) error {
+	write := func(path string, render func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		obsv.Logf("trace written to %s", path)
+		return nil
+	}
+	if err := write(*flagTraceOut, obsv.Trace.WriteChromeTrace); err != nil {
+		return err
+	}
+	return write(*flagTraceND, obsv.Trace.WriteNDJSON)
 }
 
 func usage() {
@@ -79,6 +129,12 @@ experiments:
   ertablation ERT safety-margin sweep (cost vs accuracy)
   all     everything above, in order
   list    list workloads and structures
+
+telemetry (see docs/OBSERVABILITY.md):
+  -progress          live faults/s, simcycles/s, speedup and ETA on stderr
+  -metrics-addr A    serve Prometheus /metrics and /progress.json on A
+  -trace-out F       Chrome trace_event JSON of study phases (chrome://tracing)
+  -trace-ndjson F    the same spans as NDJSON
 
 flags:
 `)
@@ -124,8 +180,8 @@ func selectedStructures() []string {
 	return out
 }
 
-func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload) (*avgi.Study, error) {
-	fmt.Fprintf(os.Stderr, "building study: %s, %d workloads, %d structures, %d faults each...\n",
+func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload, obsv *avgi.Observer) (*avgi.Study, error) {
+	obsv.Logf("building study: %s, %d workloads, %d structures, %d faults each...",
 		machine.Name, len(workloads), len(selectedStructures()), *flagFaults)
 	start := time.Now()
 	s, err := avgi.NewStudy(avgi.StudyConfig{
@@ -135,11 +191,12 @@ func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload) (*avgi.St
 		FaultsPerStructure: *flagFaults,
 		Workers:            *flagWorkers,
 		SeedBase:           *flagSeed,
+		Obs:                obsv,
 	})
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "golden runs done in %v\n", time.Since(start))
+	obsv.Logf("golden runs done in %v", time.Since(start))
 	return s, nil
 }
 
@@ -154,7 +211,7 @@ func emit(w io.Writer, tables ...*avgi.Table) {
 	}
 }
 
-func run(cmd string, w io.Writer) error {
+func run(cmd string, w io.Writer, obsv *avgi.Observer) error {
 	workloads, err := selectedWorkloads()
 	if err != nil {
 		return err
@@ -163,7 +220,7 @@ func run(cmd string, w io.Writer) error {
 	var s *avgi.Study
 	study := func() (*avgi.Study, error) {
 		if s == nil {
-			s, err = buildStudy(avgi.ConfigA72(), workloads)
+			s, err = buildStudy(avgi.ConfigA72(), workloads, obsv)
 		}
 		return s, err
 	}
@@ -237,7 +294,7 @@ func run(cmd string, w io.Writer) error {
 		}
 		emit(w, st.Fig11())
 	case "fig12":
-		st, err := caseStudy15()
+		st, err := caseStudy15(obsv)
 		if err != nil {
 			return err
 		}
@@ -278,7 +335,7 @@ func run(cmd string, w io.Writer) error {
 		emit(w, st.Fig11())
 		emit(w, st.Motivation())
 		emit(w, st.MultiBitAblation())
-		st15, err := caseStudy15()
+		st15, err := caseStudy15(obsv)
 		if err != nil {
 			return err
 		}
@@ -289,8 +346,8 @@ func run(cmd string, w io.Writer) error {
 	return nil
 }
 
-func caseStudy15() (*avgi.Study, error) {
-	return buildStudy(avgi.ConfigA15(), avgi.MiBenchWorkloads())
+func caseStudy15(obsv *avgi.Observer) (*avgi.Study, error) {
+	return buildStudy(avgi.ConfigA15(), avgi.MiBenchWorkloads(), obsv)
 }
 
 // measureThroughput times one golden re-run to convert simulated cycles

@@ -21,6 +21,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"avgi"
 	"avgi/internal/asm"
@@ -37,6 +38,9 @@ var (
 	flagTrace   = flag.Int("trace", 0, "print the first N commit-trace records")
 	flagStats   = flag.Bool("stats", false, "print pipeline and memory-system counters")
 	flagRunAsm  = flag.Bool("s", false, "treat the argument as an assembly source file (.s) instead of a workload name")
+
+	flagProgress    = flag.Bool("progress", false, "print live campaign progress lines to stderr")
+	flagMetricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /progress.json on this address for the duration of the run")
 )
 
 func main() {
@@ -45,7 +49,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: avgisim [flags] <workload>   (see -h)")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0)); err != nil {
+	obsv := avgi.NewObserver(os.Stderr)
+	if *flagProgress {
+		stop := obsv.Progress.StartTicker(2 * time.Second)
+		defer stop()
+	}
+	if *flagMetricsAddr != "" {
+		srv, err := obsv.Serve(*flagMetricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avgisim:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		obsv.Logf("telemetry: http://%s/ (/metrics, /progress.json)", srv.Addr())
+	}
+	if err := run(flag.Arg(0), obsv); err != nil {
 		fmt.Fprintln(os.Stderr, "avgisim:", err)
 		os.Exit(1)
 	}
@@ -61,7 +79,7 @@ func machineConfig() (avgi.MachineConfig, error) {
 	return avgi.MachineConfig{}, fmt.Errorf("unknown machine %q", *flagMachine)
 }
 
-func run(name string) error {
+func run(name string, obsv *avgi.Observer) error {
 	cfg, err := machineConfig()
 	if err != nil {
 		return err
@@ -97,6 +115,8 @@ func run(name string) error {
 	if err != nil {
 		return err
 	}
+	r.Obs = obsv
+	r.PublishGolden()
 	fmt.Printf("workload  %s (%s)\n", name, cfg.Name)
 	fmt.Printf("golden    %d cycles, %d commits, IPC %.2f\n",
 		r.Golden.Cycles, r.Golden.Commits,
@@ -137,8 +157,8 @@ func run(name string) error {
 			return fmt.Errorf("bad -inject numbers in %q", *flagInject)
 		}
 		f := fault.Fault{Structure: parts[0], Bit: bit, Cycle: cyc}
-		if _, ok := r.BitCounts[f.Structure]; !ok {
-			return fmt.Errorf("unknown structure %q", f.Structure)
+		if err := cpu.ValidateStructure(f.Structure); err != nil {
+			return err
 		}
 		res := r.Run([]fault.Fault{f}, campaign.ModeExhaustive, 0, 1)[0]
 		fmt.Printf("fault     %s\n", f)

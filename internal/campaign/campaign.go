@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"avgi/internal/asm"
 	"avgi/internal/cpu"
 	"avgi/internal/fault"
 	"avgi/internal/imm"
+	"avgi/internal/obs"
 	"avgi/internal/trace"
 )
 
@@ -103,6 +105,12 @@ type Runner struct {
 	// per ESC-capable cache array — the runtime profile the ESC
 	// predictor consumes (Section IV.D's "fast runtime profiling").
 	OutputExposure map[string]float64
+
+	// Obs, when non-nil, receives telemetry from every campaign run: a
+	// span per campaign, per-fault sim-cycle and wall-time histograms,
+	// machine-stat counters, and live progress events. Nil (the default)
+	// keeps the hot path entirely uninstrumented.
+	Obs *obs.Observer
 }
 
 // NewRunner performs the golden run and prepares the campaign state.
@@ -187,16 +195,34 @@ func (r *Runner) computeExposure(m *cpu.Machine) map[string]float64 {
 	return exposure
 }
 
+// mustStructure panics with a descriptive message for structure names the
+// machine cannot inject into. Before this check, a misspelt name silently
+// produced a zero bit count and therefore an empty fault list.
+func (r *Runner) mustStructure(structure string) {
+	if _, ok := r.BitCounts[structure]; ok {
+		return
+	}
+	if err := cpu.ValidateStructure(structure); err != nil {
+		panic("campaign: " + err.Error())
+	}
+	panic(fmt.Sprintf("campaign: structure %q has no injectable bits on machine %s",
+		structure, r.Cfg.Name))
+}
+
 // FaultList generates the statistical fault list for one structure using
-// the runner's golden cycle count as the temporal population.
+// the runner's golden cycle count as the temporal population. It panics on
+// unknown structure names.
 func (r *Runner) FaultList(structure string, n int, seedBase int64) []fault.Fault {
+	r.mustStructure(structure)
 	return fault.List(structure, n, r.BitCounts[structure], r.Golden.Cycles,
 		fault.Seed(structure, r.Prog.Name, seedBase))
 }
 
 // MultiBitFaultList generates a statistical list of spatial multi-bit
-// faults (width adjacent bits) for one structure.
+// faults (width adjacent bits) for one structure. It panics on unknown
+// structure names.
 func (r *Runner) MultiBitFaultList(structure string, n, width int, seedBase int64) []fault.Fault {
+	r.mustStructure(structure)
 	return fault.ListMultiBit(structure, n, width, r.BitCounts[structure], r.Golden.Cycles,
 		fault.Seed(structure, r.Prog.Name, seedBase))
 }
@@ -216,6 +242,7 @@ func (r *Runner) Run(faults []fault.Fault, mode Mode, ert uint64, workers int) [
 	if len(faults) == 0 {
 		return results
 	}
+	ro := r.newRunObs(faults, mode)
 	// Contiguous chunks keep each worker's mother machine advancing
 	// monotonically through its cycle-sorted slice.
 	chunk := (len(faults) + workers - 1) / workers
@@ -233,22 +260,37 @@ func (r *Runner) Run(faults []fault.Fault, mode Mode, ert uint64, workers int) [
 		go func(lo, hi int) {
 			defer wg.Done()
 			mother := cpu.New(r.Cfg, r.Prog)
-			for i := lo; i < hi; i++ {
-				results[i] = r.runOne(mother, faults[i], mode, ert)
+			if ro == nil {
+				for i := lo; i < hi; i++ {
+					results[i], _ = r.runOne(mother, faults[i], mode, ert)
+				}
+				return
 			}
+			local := make(map[string]*structAgg, 1)
+			for i := lo; i < hi; i++ {
+				t0 := nowFn()
+				res, delta := r.runOne(mother, faults[i], mode, ert)
+				results[i] = res
+				ro.fault(local, faults[i], &res, nowFn().Sub(t0), delta)
+			}
+			ro.merge(local)
 		}(lo, hi)
 	}
 	wg.Wait()
+	ro.finish()
 	return results
 }
 
 // runOne advances the mother machine to the injection cycle, forks a
-// clone, injects the bit flip and observes the outcome under mode.
-func (r *Runner) runOne(mother *cpu.Machine, f fault.Fault, mode Mode, ert uint64) Result {
+// clone, injects the bit flip and observes the outcome under mode. The
+// second return value is the faulty run's own contribution to the machine
+// statistics (post-fork delta), consumed by the telemetry layer.
+func (r *Runner) runOne(mother *cpu.Machine, f fault.Fault, mode Mode, ert uint64) (Result, cpu.Stats) {
 	if mother.Cycle() < f.Cycle && mother.Status() == cpu.StatusRunning {
 		mother.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
 	}
 	m := mother.Clone()
+	statsAtFork := m.Stats
 	tg := m.Target(f.Structure)
 	if tg == nil {
 		panic("campaign: unknown structure " + f.Structure)
@@ -309,7 +351,21 @@ func (r *Runner) runOne(mother *cpu.Machine, f fault.Fault, mode Mode, ert uint6
 		out.Effect = imm.FinalEffect(crashed, produced, matches)
 		out.HasEffect = true
 	}
-	return out
+	return out, statsDelta(m.Stats, statsAtFork)
+}
+
+// statsDelta subtracts the fork-time snapshot from a clone's final stats.
+func statsDelta(after, before cpu.Stats) cpu.Stats {
+	return cpu.Stats{
+		Commits:     after.Commits - before.Commits,
+		Branches:    after.Branches - before.Branches,
+		Mispredicts: after.Mispredicts - before.Mispredicts,
+		Squashed:    after.Squashed - before.Squashed,
+		Loads:       after.Loads - before.Loads,
+		Stores:      after.Stores - before.Stores,
+		FlipsArmed:  after.FlipsArmed - before.FlipsArmed,
+		FlipsMasked: after.FlipsMasked - before.FlipsMasked,
+	}
 }
 
 // Summary aggregates a campaign's results.
@@ -326,6 +382,29 @@ type Summary struct {
 	// Benign counts faults with no commit-trace deviation within the
 	// observed window (including ESC).
 	Benign int
+}
+
+// String renders a compact one-line digest — total, corruptions, benign
+// and the non-zero IMM tallies in Table I order — for progress lines and
+// CLI output.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d faults: %d corruptions, %d benign", s.Total, s.Corruptions, s.Benign)
+	var tallies []string
+	for _, c := range imm.Classes {
+		if n := s.ByIMM[c]; n > 0 {
+			tallies = append(tallies, fmt.Sprintf("%s %d", c, n))
+		}
+	}
+	if len(tallies) > 0 {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(tallies, ", "))
+		b.WriteString(")")
+	}
+	if s.SimCycles > 0 {
+		fmt.Fprintf(&b, ", %d sim cycles", s.SimCycles)
+	}
+	return b.String()
 }
 
 // Summarize folds results into a Summary.

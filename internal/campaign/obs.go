@@ -1,0 +1,213 @@
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"avgi/internal/cpu"
+	"avgi/internal/fault"
+	"avgi/internal/imm"
+	"avgi/internal/obs"
+)
+
+// nowFn is the wall clock used for per-fault timing (a variable so tests
+// can freeze it).
+var nowFn = time.Now
+
+// Histogram bucket bounds. Sim-cycle buckets span the short AVGI windows
+// (~1k cycles) up to full end-to-end runs; wall-time buckets span 10µs to
+// 10s per fault.
+var (
+	simCycleBuckets = []float64{1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8}
+	wallSecBuckets  = []float64{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10}
+)
+
+// structAgg accumulates one worker's per-structure telemetry locally so
+// the hot loop touches no shared state beyond the progress reporter.
+type structAgg struct {
+	faults      uint64
+	corruptions uint64
+	simCycles   uint64
+	exhCycles   uint64
+	stats       cpu.Stats
+}
+
+// runObs is the per-Run instrumentation state. A nil *runObs (observer
+// absent) keeps campaign execution on the exact pre-telemetry code path.
+type runObs struct {
+	o    *obs.Observer
+	r    *Runner
+	mode string
+	span *obs.SpanRef
+
+	simHist  *obs.Histogram
+	wallHist *obs.Histogram
+
+	mu  sync.Mutex
+	agg map[string]*structAgg
+}
+
+// newRunObs builds instrumentation for one Run call, announcing the
+// campaign to the progress reporter and opening its span.
+func (r *Runner) newRunObs(faults []fault.Fault, mode Mode) *runObs {
+	o := r.Obs
+	if !o.Enabled() || len(faults) == 0 {
+		return nil
+	}
+	ro := &runObs{o: o, r: r, mode: mode.String(), agg: make(map[string]*structAgg)}
+	// Fault lists are per-structure in practice, but stay correct for
+	// mixed lists: announce each structure's share.
+	perStructure := make(map[string]int)
+	for _, f := range faults {
+		perStructure[f.Structure]++
+	}
+	if p := o.Progress; p != nil {
+		for s, n := range perStructure {
+			p.StartCampaign(s, r.Prog.Name, ro.mode, n)
+		}
+	}
+	if o.Metrics != nil {
+		lb := map[string]string{"mode": ro.mode}
+		ro.simHist = o.Metrics.Histogram("avgi_campaign_fault_sim_cycles",
+			"post-injection cycles simulated per fault", simCycleBuckets, lb)
+		ro.wallHist = o.Metrics.Histogram("avgi_campaign_fault_wall_seconds",
+			"wall-clock seconds per fault (includes mother-machine advance)", wallSecBuckets, lb)
+	}
+	attrs := map[string]string{
+		"workload": r.Prog.Name,
+		"mode":     ro.mode,
+		"faults":   strconv.Itoa(len(faults)),
+	}
+	if len(perStructure) == 1 {
+		attrs["structure"] = faults[0].Structure
+	} else {
+		attrs["structure"] = fmt.Sprintf("%d structures", len(perStructure))
+	}
+	ro.span = o.Span("campaign "+ro.mode+" "+faults[0].Structure+" "+r.Prog.Name, "campaign", attrs)
+	return ro
+}
+
+// fault records one completed fault into the worker-local aggregate and
+// the live telemetry (histograms + progress). Nil-safe.
+func (ro *runObs) fault(local map[string]*structAgg, f fault.Fault, res *Result, wall time.Duration, delta cpu.Stats) {
+	a := local[f.Structure]
+	if a == nil {
+		a = &structAgg{}
+		local[f.Structure] = a
+	}
+	a.faults++
+	if res.IMM != imm.Benign && res.IMM != imm.ESC {
+		a.corruptions++
+	}
+	a.simCycles += res.SimCycles
+	exh := ro.exhaustiveEstimate(f, res)
+	a.exhCycles += exh
+	addStats(&a.stats, delta)
+
+	if ro.simHist != nil {
+		ro.simHist.Observe(float64(res.SimCycles))
+		ro.wallHist.Observe(wall.Seconds())
+	}
+	if p := ro.o.Progress; p != nil {
+		p.FaultDone(f.Structure, ro.r.Prog.Name, ro.mode, res.SimCycles, exh)
+	}
+}
+
+// exhaustiveEstimate is the simulation cost the same fault would have had
+// under end-to-end SFI: the remaining golden cycles after injection. For
+// exhaustive runs the actual cost is the truth (speedup exactly 1); for
+// the accelerated modes the estimate is floored at the cycles actually
+// simulated so per-fault speedups never drop below 1.
+func (ro *runObs) exhaustiveEstimate(f fault.Fault, res *Result) uint64 {
+	if ro.mode == "exhaustive" {
+		return res.SimCycles
+	}
+	var est uint64
+	if ro.r.Golden.Cycles > f.Cycle {
+		est = ro.r.Golden.Cycles - f.Cycle
+	}
+	if est < res.SimCycles {
+		est = res.SimCycles
+	}
+	return est
+}
+
+func addStats(dst *cpu.Stats, d cpu.Stats) {
+	dst.Commits += d.Commits
+	dst.Branches += d.Branches
+	dst.Mispredicts += d.Mispredicts
+	dst.Squashed += d.Squashed
+	dst.Loads += d.Loads
+	dst.Stores += d.Stores
+	dst.FlipsArmed += d.FlipsArmed
+	dst.FlipsMasked += d.FlipsMasked
+}
+
+// merge folds a worker's local aggregates into the run-wide ones.
+func (ro *runObs) merge(local map[string]*structAgg) {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	for s, a := range local {
+		dst := ro.agg[s]
+		if dst == nil {
+			dst = &structAgg{}
+			ro.agg[s] = dst
+		}
+		dst.faults += a.faults
+		dst.corruptions += a.corruptions
+		dst.simCycles += a.simCycles
+		dst.exhCycles += a.exhCycles
+		addStats(&dst.stats, a.stats)
+	}
+}
+
+// finish flushes the aggregates into the metrics registry and closes the
+// campaign span. Nil-safe.
+func (ro *runObs) finish() {
+	if ro == nil {
+		return
+	}
+	if reg := ro.o.Metrics; reg != nil {
+		for s, a := range ro.agg {
+			lb := map[string]string{"structure": s, "workload": ro.r.Prog.Name, "mode": ro.mode}
+			reg.Counter("avgi_campaign_faults_total",
+				"injected faults simulated", lb).Add(a.faults)
+			reg.Counter("avgi_campaign_corruptions_total",
+				"faults that became architecturally visible", lb).Add(a.corruptions)
+			reg.Counter("avgi_campaign_sim_cycles_total",
+				"post-injection cycles simulated", lb).Add(a.simCycles)
+			reg.Counter("avgi_campaign_exhaustive_cycles_est_total",
+				"estimated end-to-end SFI cost of the same faults", lb).Add(a.exhCycles)
+
+			sl := map[string]string{"structure": s, "mode": ro.mode}
+			reg.Counter("avgi_sim_commits_total", "instructions committed in faulty runs", sl).Add(a.stats.Commits)
+			reg.Counter("avgi_sim_branches_total", "branches committed in faulty runs", sl).Add(a.stats.Branches)
+			reg.Counter("avgi_sim_mispredicts_total", "branch mispredictions in faulty runs", sl).Add(a.stats.Mispredicts)
+			reg.Counter("avgi_sim_squashed_total", "wrong-path instructions squashed in faulty runs", sl).Add(a.stats.Squashed)
+			reg.Counter("avgi_sim_loads_total", "loads committed in faulty runs", sl).Add(a.stats.Loads)
+			reg.Counter("avgi_sim_stores_total", "stores committed in faulty runs", sl).Add(a.stats.Stores)
+
+			fl := map[string]string{"structure": s}
+			reg.Counter("avgi_flips_armed_total",
+				"bit flips that landed on live state", fl).Add(a.stats.FlipsArmed)
+			reg.Counter("avgi_flips_masked_total",
+				"bit flips masked at the injection site (free queue slots)", fl).Add(a.stats.FlipsMasked)
+		}
+	}
+	ro.span.End()
+}
+
+// PublishGolden registers the runner's golden-run characteristics as
+// gauges with the observer's registry; a no-op without an observer.
+func (r *Runner) PublishGolden() {
+	if r.Obs == nil || r.Obs.Metrics == nil {
+		return
+	}
+	reg := r.Obs.Metrics
+	lb := map[string]string{"workload": r.Prog.Name, "machine": r.Cfg.Name}
+	reg.Gauge("avgi_golden_cycles", "golden run length in cycles", lb).Set(float64(r.Golden.Cycles))
+	reg.Gauge("avgi_golden_commits", "golden run committed instructions", lb).Set(float64(r.Golden.Commits))
+	reg.Gauge("avgi_golden_output_bytes", "golden run output size in bytes", lb).Set(float64(len(r.Golden.Output)))
+}

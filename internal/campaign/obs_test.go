@@ -1,0 +1,145 @@
+package campaign
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"avgi/internal/imm"
+	"avgi/internal/obs"
+)
+
+// TestRunWithObserver drives a parallel campaign with full telemetry
+// attached and checks the counters, progress and span agree with the
+// results. Run under -race this is also the registry/progress concurrency
+// test over the real workload path.
+func TestRunWithObserver(t *testing.T) {
+	r := shaRunner(t)
+	o := obs.New(io.Discard)
+	r.Obs = o
+	r.PublishGolden()
+
+	const n = 48
+	faults := r.FaultList("RF", n, 1)
+	results := r.Run(faults, ModeAVGI, 2000, 4)
+	if len(results) != n {
+		t.Fatalf("%d results", len(results))
+	}
+	sum := Summarize(results)
+
+	get := func(name string, labels map[string]string) uint64 {
+		return o.Metrics.Counter(name, "", labels).Value()
+	}
+	lb := map[string]string{"structure": "RF", "workload": "sha", "mode": "avgi"}
+	if got := get("avgi_campaign_faults_total", lb); got != n {
+		t.Errorf("faults_total %d, want %d", got, n)
+	}
+	if got := get("avgi_campaign_corruptions_total", lb); got != uint64(sum.Corruptions) {
+		t.Errorf("corruptions_total %d, want %d", got, sum.Corruptions)
+	}
+	if got := get("avgi_campaign_sim_cycles_total", lb); got != sum.SimCycles {
+		t.Errorf("sim_cycles_total %d, want %d", got, sum.SimCycles)
+	}
+	if exh := get("avgi_campaign_exhaustive_cycles_est_total", lb); exh < sum.SimCycles {
+		t.Errorf("exhaustive estimate %d below actual %d", exh, sum.SimCycles)
+	}
+	// Every PRF flip lands on live state, so all n faults are armed.
+	if got := get("avgi_flips_armed_total", map[string]string{"structure": "RF"}); got != n {
+		t.Errorf("flips_armed_total %d, want %d", got, n)
+	}
+
+	h := o.Metrics.Histogram("avgi_campaign_fault_sim_cycles", "", nil,
+		map[string]string{"mode": "avgi"})
+	if got := h.Count(); got != n {
+		t.Errorf("sim-cycle histogram count %d, want %d", got, n)
+	}
+	if got := uint64(h.Sum()); got != sum.SimCycles {
+		t.Errorf("sim-cycle histogram sum %d, want %d", got, sum.SimCycles)
+	}
+
+	ps := o.Progress.Snapshot()
+	if ps.FaultsDone != n || ps.FaultsTotal != n {
+		t.Errorf("progress %d/%d, want %d/%d", ps.FaultsDone, ps.FaultsTotal, n, n)
+	}
+	if len(ps.Pairs) != 1 || ps.Pairs[0].Done != n || ps.Pairs[0].SimCycles != sum.SimCycles {
+		t.Errorf("pair state %+v", ps.Pairs)
+	}
+	if ps.SpeedupVsExhaustive < 1 {
+		t.Errorf("speedup %v < 1", ps.SpeedupVsExhaustive)
+	}
+
+	var campSpan *obs.Span
+	for _, sp := range o.Trace.Spans() {
+		if sp.Name == "campaign avgi RF sha" {
+			s := sp
+			campSpan = &s
+		}
+	}
+	if campSpan == nil {
+		t.Fatal("campaign span not recorded")
+	}
+	if campSpan.Attrs["faults"] != "48" || campSpan.Attrs["structure"] != "RF" {
+		t.Errorf("span attrs %v", campSpan.Attrs)
+	}
+
+	// Golden gauges from PublishGolden.
+	g := o.Metrics.Gauge("avgi_golden_cycles", "",
+		map[string]string{"workload": "sha", "machine": r.Cfg.Name})
+	if uint64(g.Value()) != r.Golden.Cycles {
+		t.Errorf("golden cycles gauge %v, want %d", g.Value(), r.Golden.Cycles)
+	}
+}
+
+// TestRunObservedMatchesUnobserved checks instrumentation does not change
+// campaign results: the observed path must be bit-identical to the plain
+// one.
+func TestRunObservedMatchesUnobserved(t *testing.T) {
+	r := shaRunner(t)
+	faults := r.FaultList("ROB", 30, 1)
+	plain := r.Run(faults, ModeHVF, 0, 2)
+
+	r.Obs = obs.New(io.Discard)
+	observed := r.Run(faults, ModeHVF, 0, 2)
+	for i := range plain {
+		if plain[i] != observed[i] {
+			t.Fatalf("result %d diverged: %+v vs %+v", i, plain[i], observed[i])
+		}
+	}
+}
+
+func TestFaultListUnknownStructurePanics(t *testing.T) {
+	r := shaRunner(t)
+	for _, fn := range []func(){
+		func() { r.FaultList("L1D", 10, 1) }, // plausible misspelling of "L1D (Data)"
+		func() { r.MultiBitFaultList("rf", 10, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				msg, _ := recover().(string)
+				if msg == "" {
+					t.Fatal("no panic for unknown structure")
+				}
+				if !strings.Contains(msg, "unknown structure") || !strings.Contains(msg, "RF") {
+					t.Errorf("panic message %q does not name the known structures", msg)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{
+		Total: 10, Corruptions: 4, Benign: 6, SimCycles: 1234,
+		ByIMM: map[imm.IMM]int{imm.Benign: 6, imm.IFC: 1, imm.DCR: 3},
+	}
+	want := "10 faults: 4 corruptions, 6 benign (IFC 1, DCR 3), 1234 sim cycles"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+
+	empty := Summary{}
+	if got := empty.String(); got != "0 faults: 0 corruptions, 0 benign" {
+		t.Errorf("empty String() = %q", got)
+	}
+}

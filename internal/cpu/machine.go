@@ -177,6 +177,14 @@ type Stats struct {
 	Squashed    uint64
 	Loads       uint64
 	Stores      uint64
+
+	// Masking-source counters for fault injection: FlipsArmed counts
+	// FlipBit calls that landed on live state (the fault is in play);
+	// FlipsMasked counts flips that hit a free queue slot and were
+	// overwritten at the next allocation — masked at the injection site
+	// before ever reaching the software layer.
+	FlipsArmed  uint64
+	FlipsMasked uint64
 }
 
 // Machine is one simulated CPU attached to a memory hierarchy with a loaded

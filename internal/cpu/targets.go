@@ -1,5 +1,10 @@
 package cpu
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Target is a fault-injectable hardware structure: a named array of bits.
 // The twelve structures of the paper's study all implement it.
 type Target interface {
@@ -39,6 +44,7 @@ func (t *PRFTarget) BitCount() uint64 {
 func (t *PRFTarget) FlipBit(i uint64) {
 	w := uint64(t.m.Cfg.Variant.Width())
 	t.m.prf[i/w] ^= 1 << (i % w)
+	t.m.Stats.FlipsArmed++
 }
 
 // ROBTarget exposes the reorder buffer's control-field surface. A flip on a
@@ -58,6 +64,9 @@ func (t *ROBTarget) FlipBit(i uint64) {
 	e := &t.m.rob[i/robEntryBits]
 	if e.used {
 		e.injected = true
+		t.m.Stats.FlipsArmed++
+	} else {
+		t.m.Stats.FlipsMasked++
 	}
 }
 
@@ -75,6 +84,9 @@ func (t *LQTarget) FlipBit(i uint64) {
 	e := &t.m.lqs[i/lqEntryBits]
 	if e.used {
 		e.injected = true
+		t.m.Stats.FlipsArmed++
+	} else {
+		t.m.Stats.FlipsMasked++
 	}
 }
 
@@ -94,6 +106,9 @@ func (t *SQTarget) FlipBit(i uint64) {
 	e := &t.m.sqs[i/t.m.sqEntryBits()]
 	if e.used {
 		e.injected = true
+		t.m.Stats.FlipsArmed++
+	} else {
+		t.m.Stats.FlipsMasked++
 	}
 }
 
@@ -114,6 +129,20 @@ var StructureNames = []string{
 	"L2 (Data)",
 }
 
+// countingTarget wraps a memory-system target so FlipBit feeds the
+// machine's masking-source counters. SRAM arrays hold live data for the
+// whole run, so every flip counts as armed.
+type countingTarget struct {
+	m *Machine
+	Target
+}
+
+// FlipBit implements Target.
+func (t countingTarget) FlipBit(i uint64) {
+	t.m.Stats.FlipsArmed++
+	t.Target.FlipBit(i)
+}
+
 // Targets returns the machine's twelve fault-injectable structures keyed by
 // name.
 func (m *Machine) Targets() map[string]Target {
@@ -122,18 +151,30 @@ func (m *Machine) Targets() map[string]Target {
 		"ROB":        &ROBTarget{m},
 		"LQ":         &LQTarget{m},
 		"SQ":         &SQTarget{m},
-		"ITLB":       m.Mem.ITLB,
-		"DTLB":       m.Mem.DTLB,
-		"L1I (Tag)":  m.Mem.L1I.TagArray(),
-		"L1I (Data)": m.Mem.L1I.DataArray(),
-		"L1D (Tag)":  m.Mem.L1D.TagArray(),
-		"L1D (Data)": m.Mem.L1D.DataArray(),
-		"L2 (Tag)":   m.Mem.L2.TagArray(),
-		"L2 (Data)":  m.Mem.L2.DataArray(),
+		"ITLB":       countingTarget{m, m.Mem.ITLB},
+		"DTLB":       countingTarget{m, m.Mem.DTLB},
+		"L1I (Tag)":  countingTarget{m, m.Mem.L1I.TagArray()},
+		"L1I (Data)": countingTarget{m, m.Mem.L1I.DataArray()},
+		"L1D (Tag)":  countingTarget{m, m.Mem.L1D.TagArray()},
+		"L1D (Data)": countingTarget{m, m.Mem.L1D.DataArray()},
+		"L2 (Tag)":   countingTarget{m, m.Mem.L2.TagArray()},
+		"L2 (Data)":  countingTarget{m, m.Mem.L2.DataArray()},
 	}
 }
 
 // Target returns one structure by name, or nil if unknown.
 func (m *Machine) Target(name string) Target {
 	return m.Targets()[name]
+}
+
+// ValidateStructure returns a descriptive error for structure names that
+// are not one of the twelve Table II fault targets.
+func ValidateStructure(name string) error {
+	for _, s := range StructureNames {
+		if s == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown structure %q (known: %s)",
+		name, strings.Join(StructureNames, ", "))
 }

@@ -1,0 +1,48 @@
+package obs
+
+import "io"
+
+// Observer bundles the three telemetry components a study threads through
+// the stack. Any field may be nil to disable that component; a nil
+// *Observer disables everything. The helper methods below are nil-safe so
+// instrumented code does not need guard clauses.
+type Observer struct {
+	Metrics  *Registry
+	Progress *Progress
+	Trace    *Tracer
+}
+
+// New returns an Observer with all three components enabled. Progress log
+// lines go to logw (nil for silent).
+func New(logw io.Writer) *Observer {
+	return &Observer{
+		Metrics:  NewRegistry(),
+		Progress: NewProgress(logw),
+		Trace:    NewTracer(),
+	}
+}
+
+// Span opens a trace span and returns its ref; nil-safe (returns a no-op
+// ref when tracing is disabled).
+func (o *Observer) Span(name, cat string, attrs map[string]string) *SpanRef {
+	if o == nil || o.Trace == nil {
+		return nil
+	}
+	return o.Trace.StartSpan(name, cat, attrs)
+}
+
+// Logf writes one line through the progress reporter and records it as a
+// trace instant; nil-safe.
+func (o *Observer) Logf(format string, a ...any) {
+	if o == nil {
+		return
+	}
+	if o.Progress != nil {
+		o.Progress.Logf(format, a...)
+	}
+}
+
+// Enabled reports whether any component is active.
+func (o *Observer) Enabled() bool {
+	return o != nil && (o.Metrics != nil || o.Progress != nil || o.Trace != nil)
+}

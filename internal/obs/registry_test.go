@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// when -update is set.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// All workers hammer the same series as well as per-worker
+			// ones, exercising first-use registration races.
+			shared := r.Counter("shared_total", "shared", nil)
+			own := r.Counter("shared_total", "shared", map[string]string{"w": string(rune('a' + w))})
+			g := r.Gauge("level", "gauge", nil)
+			h := r.Histogram("lat", "hist", []float64{1, 2, 4}, nil)
+			for i := 0; i < perWorker; i++ {
+				shared.Inc()
+				own.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i % 5))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.Counter("shared_total", "", nil).Value(); got != workers*perWorker {
+		t.Errorf("shared counter %d, want %d", got, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		lbl := map[string]string{"w": string(rune('a' + w))}
+		if got := r.Counter("shared_total", "", lbl).Value(); got != perWorker {
+			t.Errorf("worker %d counter %d, want %d", w, got, perWorker)
+		}
+	}
+	if got := r.Gauge("level", "", nil).Value(); got != 0 {
+		t.Errorf("gauge %v, want 0", got)
+	}
+	h := r.Histogram("lat", "", nil, nil)
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count %d, want %d", got, workers*perWorker)
+	}
+	// Each worker observes 0..4 cyclically: mean 2 per observation.
+	if want := 2.0 * workers * perWorker; h.Sum() != want {
+		t.Errorf("histogram sum %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("m", "", nil)
+}
+
+// populate builds a deterministic registry exercising every metric kind,
+// label rendering and the cumulative-bucket math.
+func populate() *Registry {
+	r := NewRegistry()
+	r.Counter("avgi_campaign_faults_total", "injected faults simulated",
+		map[string]string{"structure": "RF", "workload": "sha", "mode": "exhaustive"}).Add(400)
+	r.Counter("avgi_campaign_faults_total", "injected faults simulated",
+		map[string]string{"structure": "ROB", "workload": "sha", "mode": "avgi"}).Add(120)
+	r.Gauge("avgi_golden_cycles", "golden run length in cycles",
+		map[string]string{"workload": "sha", "machine": "A72"}).Set(51234)
+	h := r.Histogram("avgi_campaign_fault_sim_cycles", "cycles per fault",
+		[]float64{1e3, 1e4, 1e5}, map[string]string{"mode": "avgi"})
+	for _, v := range []float64{500, 1500, 2500, 20000, 2e5} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populate().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom", buf.Bytes())
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populate().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.json", buf.Bytes())
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{10, 20})
+	h.Observe(5)  // bucket le=10
+	h.Observe(10) // boundary lands in le=10 (SearchFloat64s: first bound >= v)
+	h.Observe(15) // le=20
+	h.Observe(25) // +Inf
+	want := []uint64{2, 1, 1}
+	for i := range want {
+		if got := h.buckets[i].Load(); got != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got, want[i])
+		}
+	}
+	if h.Count() != 4 || h.Sum() != 55 {
+		t.Errorf("count %d sum %v", h.Count(), h.Sum())
+	}
+}

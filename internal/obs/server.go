@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the observer's state:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   registry snapshot as JSON
+//	/progress.json  live ProgressSnapshot
+//	/trace.json     Chrome trace_event JSON of the spans so far
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>avgi telemetry</h1><ul>
+<li><a href="/metrics">/metrics</a> (Prometheus text)</li>
+<li><a href="/metrics.json">/metrics.json</a></li>
+<li><a href="/progress.json">/progress.json</a></li>
+<li><a href="/trace.json">/trace.json</a> (chrome://tracing)</li>
+</ul></body></html>`)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if o == nil || o.Metrics == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Metrics.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		if o == nil || o.Metrics == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		o.Metrics.WriteJSON(w)
+	})
+	mux.HandleFunc("/progress.json", func(w http.ResponseWriter, r *http.Request) {
+		if o == nil || o.Progress == nil {
+			http.Error(w, "progress disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		o.Progress.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		if o == nil || o.Trace == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		o.Trace.WriteChromeTrace(w)
+	})
+	return mux
+}
+
+// Server is a running telemetry endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts an HTTP server for the observer on addr (e.g.
+// "localhost:9090" or ":0" for an ephemeral port) and returns once the
+// listener is bound; requests are served in a background goroutine.
+func (o *Observer) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}

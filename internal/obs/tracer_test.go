@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for deterministic renders.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// sampleTrace records a study-shaped span sequence: an outer phase with
+// two nested children (forcing extra tracks), then a second phase and an
+// instant.
+func sampleTrace() (*Tracer, *fakeClock) {
+	tr := NewTracer()
+	clk := newFakeClock()
+	tr.SetClock(clk.now)
+
+	golden := tr.StartSpan("golden runs", "golden", map[string]string{"workloads": "2"})
+	sha := tr.StartSpan("golden sha", "golden", nil)
+	clk.advance(5 * time.Millisecond)
+	sha.End()
+	crc := tr.StartSpan("golden crc32", "golden", nil)
+	clk.advance(3 * time.Millisecond)
+	crc.End()
+	golden.End()
+
+	clk.advance(1 * time.Millisecond)
+	camp := tr.StartSpan("campaign exhaustive RF sha", "campaign",
+		map[string]string{"structure": "RF", "faults": "400"})
+	clk.advance(40 * time.Millisecond)
+	camp.End()
+	tr.Instant("estimator trained", "estimator", nil)
+	return tr, clk
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	tr, _ := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The export must be valid JSON of the documented shape regardless of
+	// the golden file.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 6 { // metadata + 4 spans + 1 instant
+		t.Fatalf("%d trace events, want 6", len(doc.TraceEvents))
+	}
+	checkGolden(t, "trace.json", buf.Bytes())
+}
+
+func TestWriteNDJSONGolden(t *testing.T) {
+	tr, _ := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.ndjson", buf.Bytes())
+}
+
+func TestTrackPacking(t *testing.T) {
+	// The outer "golden runs" span overlaps both children, so the children
+	// must land on a second track; the later campaign span reuses track 1.
+	tr, _ := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	tid := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" || ev.Ph == "i" {
+			tid[ev.Name] = ev.TID
+		}
+	}
+	if tid["golden runs"] != 1 {
+		t.Errorf("outer span on track %d, want 1", tid["golden runs"])
+	}
+	if tid["golden sha"] != 2 || tid["golden crc32"] != 2 {
+		t.Errorf("children on tracks %d/%d, want 2/2", tid["golden sha"], tid["golden crc32"])
+	}
+	if tid["campaign exhaustive RF sha"] != 1 {
+		t.Errorf("campaign on track %d, want 1", tid["campaign exhaustive RF sha"])
+	}
+}
+
+func TestOpenSpanExtendsToNow(t *testing.T) {
+	tr := NewTracer()
+	clk := newFakeClock()
+	tr.SetClock(clk.now)
+	tr.StartSpan("open", "", nil)
+	clk.advance(7 * time.Millisecond)
+	sp := tr.Spans()
+	if len(sp) != 1 || sp[0].DurUS != 7000 {
+		t.Fatalf("open span dur %dµs, want 7000", sp[0].DurUS)
+	}
+}
+
+func TestNilSpanRefEnd(t *testing.T) {
+	var s *SpanRef
+	s.End() // must not panic
+}

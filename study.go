@@ -27,6 +27,11 @@ type StudyConfig struct {
 	Workers int
 	// SeedBase makes the whole study reproducible.
 	SeedBase int64
+	// Obs, when non-nil, receives telemetry from the whole study: phase
+	// spans (golden runs, campaigns, estimator training/assessment),
+	// campaign metrics and live progress. See internal/obs and
+	// docs/OBSERVABILITY.md.
+	Obs *Observer
 }
 
 func (c *StudyConfig) fill() {
@@ -72,13 +77,20 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		hvf:        make(map[string]map[string][]CampaignResult),
 		avgi:       make(map[string][]CampaignResult),
 	}
+	allGolden := cfg.Obs.Span("golden runs", "golden",
+		map[string]string{"machine": cfg.Machine.Name, "workloads": fmt.Sprint(len(cfg.Workloads))})
 	for _, w := range cfg.Workloads {
+		sp := cfg.Obs.Span("golden "+w.Name, "golden", map[string]string{"workload": w.Name})
 		r, err := campaign.NewRunner(cfg.Machine, w.Build(cfg.Machine.Variant))
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("study: %s: %w", w.Name, err)
 		}
+		r.Obs = cfg.Obs
+		r.PublishGolden()
 		st.runners[w.Name] = r
 	}
+	allGolden.End()
 	return st, nil
 }
 
@@ -148,7 +160,10 @@ func (s *Study) AVGIRun(est *Estimator, structure, workload string) ([]CampaignR
 		return res, window
 	}
 	s.mu.Unlock()
+	sp := s.Cfg.Obs.Span("assess "+structure+" "+workload, "estimator",
+		map[string]string{"structure": structure, "workload": workload, "window": fmt.Sprint(window)})
 	res := r.Run(s.faultsFor(structure, workload), campaign.ModeAVGI, window, s.Cfg.Workers)
+	sp.End()
 	s.mu.Lock()
 	s.avgi[key] = res
 	s.mu.Unlock()
@@ -193,8 +208,14 @@ func (s *Study) TrainingData(structures []string, exclude ...string) core.Traini
 
 // TrainEstimator trains the full methodology on the cached exhaustive
 // campaigns of the study's structures, excluding the named workloads.
+// (The span covers only the fitting step; the exhaustive training
+// campaigns carry their own spans when run on first use.)
 func (s *Study) TrainEstimator(exclude ...string) *Estimator {
-	return core.Train(s.TrainingData(s.Cfg.Structures, exclude...))
+	td := s.TrainingData(s.Cfg.Structures, exclude...)
+	sp := s.Cfg.Obs.Span("train estimator", "estimator",
+		map[string]string{"exclude": fmt.Sprint(exclude)})
+	defer sp.End()
+	return core.Train(td)
 }
 
 // GroundTruthAVF returns the exhaustive-SFI AVF for one pair.
