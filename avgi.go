@@ -65,6 +65,9 @@ type (
 	CampaignSummary = campaign.Summary
 	// Mode selects how far faulty runs simulate.
 	Mode = campaign.Mode
+	// ForkPolicy selects how per-fault runs fork off the golden prefix
+	// (checkpoint snapshots vs. legacy deep clones).
+	ForkPolicy = campaign.ForkPolicy
 	// Fault is one single-bit transient fault.
 	Fault = fault.Fault
 	// IMM is an ISA Manifestation Model class (Table I).
@@ -110,6 +113,12 @@ const (
 	ModeExhaustive = campaign.ModeExhaustive
 	ModeHVF        = campaign.ModeHVF
 	ModeAVGI       = campaign.ModeAVGI
+
+	// ForkSnapshot (the default) rewinds pooled scratch machines from
+	// shared interval checkpoints; ForkLegacyClone deep-copies a mother
+	// machine per fault. See docs/CHECKPOINTING.md.
+	ForkSnapshot    = campaign.ForkSnapshot
+	ForkLegacyClone = campaign.ForkLegacyClone
 
 	// RawFITPerBit is the raw failure rate used for FIT derating.
 	RawFITPerBit = core.RawFITPerBit

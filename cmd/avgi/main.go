@@ -40,6 +40,9 @@ var (
 	flagBars       = flag.Bool("bars", false, "also render distribution figures as terminal bar charts")
 	flagCores      = flag.Int("cores", 192, "cluster cores for the Table II days model")
 
+	flagFork         = flag.String("fork", "snapshot", "per-fault fork policy: snapshot (checkpoint store) or clone (legacy deep copy)")
+	flagCkptInterval = flag.Uint64("ckpt-interval", 0, "checkpoint spacing in cycles for the snapshot fork policy (0 = derive from golden length)")
+
 	flagProgress    = flag.Bool("progress", false, "print live throughput/ETA progress lines to stderr")
 	flagMetricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /progress.json on this address (e.g. localhost:9090)")
 	flagTraceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON of the study phases to this file (open in chrome://tracing)")
@@ -180,7 +183,22 @@ func selectedStructures() []string {
 	return out
 }
 
+// forkPolicy resolves the -fork flag.
+func forkPolicy() (avgi.ForkPolicy, error) {
+	switch *flagFork {
+	case "snapshot":
+		return avgi.ForkSnapshot, nil
+	case "clone":
+		return avgi.ForkLegacyClone, nil
+	}
+	return 0, fmt.Errorf("unknown -fork policy %q (want snapshot or clone)", *flagFork)
+}
+
 func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload, obsv *avgi.Observer) (*avgi.Study, error) {
+	policy, err := forkPolicy()
+	if err != nil {
+		return nil, err
+	}
 	obsv.Logf("building study: %s, %d workloads, %d structures, %d faults each...",
 		machine.Name, len(workloads), len(selectedStructures()), *flagFaults)
 	start := time.Now()
@@ -192,6 +210,8 @@ func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload, obsv *avg
 		Workers:            *flagWorkers,
 		SeedBase:           *flagSeed,
 		Obs:                obsv,
+		ForkPolicy:         policy,
+		CheckpointInterval: *flagCkptInterval,
 	})
 	if err != nil {
 		return nil, err

@@ -41,6 +41,9 @@ var (
 
 	flagProgress    = flag.Bool("progress", false, "print live campaign progress lines to stderr")
 	flagMetricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /progress.json on this address for the duration of the run")
+
+	flagFork         = flag.String("fork", "snapshot", "per-fault fork policy: snapshot (checkpoint store) or clone (legacy deep copy)")
+	flagCkptInterval = flag.Uint64("ckpt-interval", 0, "checkpoint spacing in cycles for the snapshot fork policy (0 = derive from golden length)")
 )
 
 func main() {
@@ -116,6 +119,15 @@ func run(name string, obsv *avgi.Observer) error {
 		return err
 	}
 	r.Obs = obsv
+	switch *flagFork {
+	case "snapshot":
+		r.ForkPolicy = campaign.ForkSnapshot
+	case "clone":
+		r.ForkPolicy = campaign.ForkLegacyClone
+	default:
+		return fmt.Errorf("unknown -fork policy %q (want snapshot or clone)", *flagFork)
+	}
+	r.CheckpointInterval = *flagCkptInterval
 	r.PublishGolden()
 	fmt.Printf("workload  %s (%s)\n", name, cfg.Name)
 	fmt.Printf("golden    %d cycles, %d commits, IPC %.2f\n",

@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"testing"
+
+	"avgi/internal/cpu"
+)
+
+// The benchmarks below quantify the checkpoint subsystem against the
+// legacy deep-clone fork path it replaced (see docs/CHECKPOINTING.md).
+// The first pair isolates the fork primitive itself — bytes allocated
+// and time per fork — and the second pair measures the end-to-end
+// campaign throughput difference in faults per second:
+//
+//	go test -run=^$ -bench='Fork|CampaignPRF' -benchmem ./internal/campaign/
+//
+// Numbers from this machine are recorded in BENCH_checkpoint.json at the
+// repo root.
+
+// BenchmarkForkLegacyClone measures the old per-fault fork: a full deep
+// copy of a mid-run mother machine, including its RAM image, caches,
+// TLBs and every pipeline structure.
+func BenchmarkForkLegacyClone(b *testing.B) {
+	r := sharedBenchRunner(b)
+	mother := cpu.New(r.Cfg, r.Prog)
+	mother.Run(cpu.RunOptions{StopAtCycle: r.Golden.Cycles / 2, MaxCycles: r.RunawayLimit()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mother.Clone()
+		_ = m
+	}
+}
+
+// BenchmarkForkSnapshot measures the new per-fault fork: rewinding one
+// pooled scratch machine from a shared snapshot. The scratch machine's
+// buffers are reused across restores and the snapshot's RAM pages are
+// shared copy-on-write, so the steady-state fork is nearly allocation
+// free.
+func BenchmarkForkSnapshot(b *testing.B) {
+	r := sharedBenchRunner(b)
+	src := cpu.New(r.Cfg, r.Prog)
+	src.Run(cpu.RunOptions{StopAtCycle: r.Golden.Cycles / 2, MaxCycles: r.RunawayLimit()})
+	snap := src.Snapshot(nil)
+	scratch := cpu.New(r.Cfg, r.Prog)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch.Restore(snap)
+	}
+}
+
+// benchCampaignPRF runs a full register-file campaign under one fork
+// policy and reports end-to-end throughput in faults per second. The
+// checkpoint store is built once per runner (sync.Once), so like real
+// studies the snapshot numbers amortize recording across campaigns.
+func benchCampaignPRF(b *testing.B, policy ForkPolicy) {
+	r := sharedBenchRunner(b)
+	prev := r.ForkPolicy
+	r.ForkPolicy = policy
+	defer func() { r.ForkPolicy = prev }()
+	const perIter = 256
+	faults := r.FaultList("RF", perIter, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(faults, ModeExhaustive, 0, 4)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(perIter*b.N)/b.Elapsed().Seconds(), "faults/s")
+}
+
+func BenchmarkCampaignPRFOld(b *testing.B) { benchCampaignPRF(b, ForkLegacyClone) }
+
+func BenchmarkCampaignPRFNew(b *testing.B) { benchCampaignPRF(b, ForkSnapshot) }

@@ -11,10 +11,15 @@
 //   - ModeAVGI: stop at the first deviation or at the structure's
 //     effective-residency-time window, whichever is first (Insight 3).
 //
-// All modes share the same checkpointing acceleration: a per-worker golden
-// machine advances monotonically through the (cycle-sorted) fault list and
-// each fault runs on a forked clone, so pre-injection simulation is paid
-// once per worker rather than once per fault.
+// All modes share the same checkpointing acceleration, selected by the
+// runner's ForkPolicy. The default (ForkSnapshot) records interval
+// checkpoints along the golden run into a shared read-only ckpt.Store;
+// each worker rewinds a pooled scratch machine to the nearest checkpoint
+// at or before a fault's injection cycle, so pre-injection simulation is
+// amortized across the whole campaign. ForkLegacyClone keeps the previous
+// flow — a per-worker golden "mother" machine advancing monotonically
+// through the (cycle-sorted) fault list with a deep clone per fault — and
+// exists as the differential-testing baseline.
 package campaign
 
 import (
@@ -26,6 +31,7 @@ import (
 	"sync"
 
 	"avgi/internal/asm"
+	"avgi/internal/ckpt"
 	"avgi/internal/cpu"
 	"avgi/internal/fault"
 	"avgi/internal/imm"
@@ -56,6 +62,46 @@ func (m Mode) String() string {
 	}
 	return fmt.Sprintf("mode(%d)", uint8(m))
 }
+
+// ForkPolicy selects how a faulty run is forked off the golden prefix.
+type ForkPolicy uint8
+
+const (
+	// ForkSnapshot (the default) seeks a shared interval checkpoint and
+	// rewinds a pooled scratch machine in place.
+	ForkSnapshot ForkPolicy = iota
+	// ForkLegacyClone deep-copies a per-worker mother machine per fault
+	// (the pre-checkpoint-subsystem flow, kept as a baseline).
+	ForkLegacyClone
+)
+
+func (p ForkPolicy) String() string {
+	switch p {
+	case ForkSnapshot:
+		return "snapshot"
+	case ForkLegacyClone:
+		return "clone"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Runaway guard for faulty runs: a corrupted machine can livelock (e.g. a
+// clobbered loop counter that never reaches its bound), so every faulty
+// run carries an absolute cycle budget of
+//
+//	RunawayFactor × golden cycles + RunawayGraceCycles.
+//
+// The factor covers slowdowns proportional to program length (extra
+// misses, mispredicted paths); the additive grace covers short programs
+// whose doubled golden length would still be tiny. Runs that hit the
+// budget are classified as crashes (StatusCycleLimit), matching the
+// hang/timeout detector of real injection rigs.
+const (
+	// DefaultRunawayFactor multiplies the golden cycle count.
+	DefaultRunawayFactor = 2
+	// RunawayGraceCycles is the additive slack on top of the factor.
+	RunawayGraceCycles = 100_000
+)
 
 // Golden holds the fault-free reference run.
 type Golden struct {
@@ -111,6 +157,55 @@ type Runner struct {
 	// machine-stat counters, and live progress events. Nil (the default)
 	// keeps the hot path entirely uninstrumented.
 	Obs *obs.Observer
+
+	// ForkPolicy selects the fork mechanism (default ForkSnapshot).
+	ForkPolicy ForkPolicy
+
+	// CheckpointInterval is the spacing in cycles between golden-run
+	// checkpoints under ForkSnapshot; 0 derives it from the golden length
+	// (ckpt.DefaultInterval).
+	CheckpointInterval uint64
+
+	// RunawayFactor overrides DefaultRunawayFactor for the faulty-run
+	// cycle budget; 0 uses the default.
+	RunawayFactor uint64
+
+	// ckptOnce lazily records the checkpoint store on first snapshot-mode
+	// Run, so legacy-only and fault-list-only uses never pay for it.
+	ckptOnce sync.Once
+	store    *ckpt.Store
+	pool     *ckpt.Pool
+}
+
+// RunawayLimit returns the absolute cycle budget for faulty runs (see
+// DefaultRunawayFactor).
+func (r *Runner) RunawayLimit() uint64 {
+	factor := r.RunawayFactor
+	if factor == 0 {
+		factor = DefaultRunawayFactor
+	}
+	return r.Golden.Cycles*factor + RunawayGraceCycles
+}
+
+// checkpoints lazily records the shared checkpoint store and fork pool.
+func (r *Runner) checkpoints() (*ckpt.Store, *ckpt.Pool) {
+	r.ckptOnce.Do(func() {
+		r.store = ckpt.Record(r.Cfg, r.Prog, r.Golden.Cycles, r.CheckpointInterval)
+		r.pool = ckpt.NewPool(r.Cfg, r.Prog)
+		if r.Obs.Enabled() && r.Obs.Metrics != nil {
+			lb := map[string]string{"workload": r.Prog.Name, "machine": r.Cfg.Name}
+			r.Obs.Metrics.Gauge("avgi_ckpt_checkpoints",
+				"interval checkpoints recorded along the golden run", lb).
+				Set(float64(r.store.Count()))
+			r.Obs.Metrics.Gauge("avgi_ckpt_snapshot_bytes",
+				"total bytes captured across the checkpoint store", lb).
+				Set(float64(r.store.Bytes()))
+			r.Obs.Metrics.Gauge("avgi_ckpt_interval_cycles",
+				"checkpoint spacing in cycles", lb).
+				Set(float64(r.store.Interval()))
+		}
+	})
+	return r.store, r.pool
 }
 
 // NewRunner performs the golden run and prepares the campaign state.
@@ -214,8 +309,10 @@ func (r *Runner) mustStructure(structure string) {
 // unknown structure names.
 func (r *Runner) FaultList(structure string, n int, seedBase int64) []fault.Fault {
 	r.mustStructure(structure)
-	return fault.List(structure, n, r.BitCounts[structure], r.Golden.Cycles,
+	faults := fault.List(structure, n, r.BitCounts[structure], r.Golden.Cycles,
 		fault.Seed(structure, r.Prog.Name, seedBase))
+	r.assertTemporal(faults)
+	return faults
 }
 
 // MultiBitFaultList generates a statistical list of spatial multi-bit
@@ -223,8 +320,23 @@ func (r *Runner) FaultList(structure string, n int, seedBase int64) []fault.Faul
 // structure names.
 func (r *Runner) MultiBitFaultList(structure string, n, width int, seedBase int64) []fault.Fault {
 	r.mustStructure(structure)
-	return fault.ListMultiBit(structure, n, width, r.BitCounts[structure], r.Golden.Cycles,
+	faults := fault.ListMultiBit(structure, n, width, r.BitCounts[structure], r.Golden.Cycles,
 		fault.Seed(structure, r.Prog.Name, seedBase))
+	r.assertTemporal(faults)
+	return faults
+}
+
+// assertTemporal enforces the temporal-sampling invariant: every injection
+// cycle lies in [1, golden cycles]. A cycle outside the population would
+// silently inject into a halted (or never-reached) machine state and bias
+// the campaign, so it is a programming error, not a recoverable condition.
+func (r *Runner) assertTemporal(faults []fault.Fault) {
+	for _, f := range faults {
+		if f.Cycle < 1 || f.Cycle > r.Golden.Cycles {
+			panic(fmt.Sprintf("campaign: fault %d cycle %d outside golden population [1, %d]",
+				f.ID, f.Cycle, r.Golden.Cycles))
+		}
+	}
 }
 
 // Run executes a fault list in the given mode. ert is the
@@ -243,8 +355,14 @@ func (r *Runner) Run(faults []fault.Fault, mode Mode, ert uint64, workers int) [
 		return results
 	}
 	ro := r.newRunObs(faults, mode)
-	// Contiguous chunks keep each worker's mother machine advancing
-	// monotonically through its cycle-sorted slice.
+	var store *ckpt.Store
+	var pool *ckpt.Pool
+	if r.ForkPolicy == ForkSnapshot {
+		store, pool = r.checkpoints()
+	}
+	// Contiguous chunks keep each worker's forks advancing monotonically
+	// through its cycle-sorted slice (and, under ForkLegacyClone, its
+	// mother machine strictly forward).
 	chunk := (len(faults) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -259,19 +377,25 @@ func (r *Runner) Run(faults []fault.Fault, mode Mode, ert uint64, workers int) [
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			mother := cpu.New(r.Cfg, r.Prog)
+			runOne := r.cloneWorker()
+			if r.ForkPolicy == ForkSnapshot {
+				m, reused := pool.Get()
+				defer pool.Put(m)
+				ro.poolGet(reused)
+				runOne = r.snapshotWorker(m, store)
+			}
 			if ro == nil {
 				for i := lo; i < hi; i++ {
-					results[i], _ = r.runOne(mother, faults[i], mode, ert)
+					results[i], _, _ = runOne(faults[i], mode, ert)
 				}
 				return
 			}
 			local := make(map[string]*structAgg, 1)
 			for i := lo; i < hi; i++ {
 				t0 := nowFn()
-				res, delta := r.runOne(mother, faults[i], mode, ert)
+				res, delta, fm := runOne(faults[i], mode, ert)
 				results[i] = res
-				ro.fault(local, faults[i], &res, nowFn().Sub(t0), delta)
+				ro.fault(local, faults[i], &res, nowFn().Sub(t0), delta, fm)
 			}
 			ro.merge(local)
 		}(lo, hi)
@@ -281,15 +405,59 @@ func (r *Runner) Run(faults []fault.Fault, mode Mode, ert uint64, workers int) [
 	return results
 }
 
-// runOne advances the mother machine to the injection cycle, forks a
-// clone, injects the bit flip and observes the outcome under mode. The
-// second return value is the faulty run's own contribution to the machine
-// statistics (post-fork delta), consumed by the telemetry layer.
-func (r *Runner) runOne(mother *cpu.Machine, f fault.Fault, mode Mode, ert uint64) (Result, cpu.Stats) {
-	if mother.Cycle() < f.Cycle && mother.Status() == cpu.StatusRunning {
-		mother.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
+// forkMeta is the per-fault checkpoint telemetry: how far the worker had
+// to re-simulate from the seeked checkpoint and how many RAM pages the
+// fork privatized by copy-on-write. Zero under ForkLegacyClone.
+type forkMeta struct {
+	restored   bool
+	seekCycles uint64
+	cowPages   uint64
+}
+
+// workerFn runs one fault and returns its result, the faulty run's own
+// machine-stat delta, and the fork telemetry.
+type workerFn func(f fault.Fault, mode Mode, ert uint64) (Result, cpu.Stats, forkMeta)
+
+// cloneWorker builds the legacy per-worker flow: a private mother machine
+// advances to each injection cycle and is deep-cloned per fault.
+func (r *Runner) cloneWorker() workerFn {
+	mother := cpu.New(r.Cfg, r.Prog)
+	return func(f fault.Fault, mode Mode, ert uint64) (Result, cpu.Stats, forkMeta) {
+		if mother.Cycle() < f.Cycle && mother.Status() == cpu.StatusRunning {
+			mother.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
+		}
+		m := mother.Clone()
+		res, delta := r.injectAndObserve(m, f, mode, ert)
+		return res, delta, forkMeta{}
 	}
-	m := mother.Clone()
+}
+
+// snapshotWorker builds the checkpoint flow: per fault, seek the nearest
+// checkpoint at or before the injection cycle, rewind the pooled scratch
+// machine in place, and re-simulate at most one interval.
+func (r *Runner) snapshotWorker(m *cpu.Machine, store *ckpt.Store) workerFn {
+	return func(f fault.Fault, mode Mode, ert uint64) (Result, cpu.Stats, forkMeta) {
+		snap, dist := store.Seek(f.Cycle)
+		m.Restore(snap)
+		cowBase := m.Mem.RAM.CowPrivatized()
+		if dist > 0 && m.Status() == cpu.StatusRunning {
+			m.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
+		}
+		res, delta := r.injectAndObserve(m, f, mode, ert)
+		return res, delta, forkMeta{
+			restored:   true,
+			seekCycles: dist,
+			cowPages:   m.Mem.RAM.CowPrivatized() - cowBase,
+		}
+	}
+}
+
+// injectAndObserve flips the fault's bits on a machine positioned at the
+// injection cycle and observes the outcome under mode — the half of the
+// per-fault flow shared by both fork policies. The second return value is
+// the faulty run's own contribution to the machine statistics (post-fork
+// delta), consumed by the telemetry layer.
+func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert uint64) (Result, cpu.Stats) {
 	statsAtFork := m.Stats
 	tg := m.Target(f.Structure)
 	if tg == nil {
@@ -311,7 +479,7 @@ func (r *Runner) runOne(mother *cpu.Machine, f fault.Fault, mode Mode, ert uint6
 		cmp.StopCycle = f.Cycle + ert
 	}
 	m.SetSink(cmp)
-	res := m.Run(cpu.RunOptions{MaxCycles: r.Golden.Cycles*2 + 100_000})
+	res := m.Run(cpu.RunOptions{MaxCycles: r.RunawayLimit()})
 
 	crashed := res.Status == cpu.StatusCrashed || res.Status == cpu.StatusCycleLimit
 	produced := res.Status == cpu.StatusHalted

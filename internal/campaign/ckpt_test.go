@@ -1,0 +1,234 @@
+package campaign
+
+import (
+	"io"
+	"testing"
+
+	"avgi/internal/asm"
+	"avgi/internal/cpu"
+	"avgi/internal/fault"
+	"avgi/internal/imm"
+	"avgi/internal/obs"
+	"avgi/internal/prog"
+)
+
+// TestForkPolicyDifferential is the correctness bar of the checkpoint
+// subsystem at the campaign level: the same fault lists run through the
+// snapshot path and the legacy clone path must produce bit-identical
+// results — IMM labels, final effects, manifestation latencies, simulated
+// cycles and crash kinds — on a ≥500-fault RF+L1D campaign, on both
+// machine variants.
+func TestForkPolicyDifferential(t *testing.T) {
+	perStructure := 256
+	if testing.Short() {
+		perStructure = 40
+	}
+	for _, cfg := range []cpu.Config{cpu.ConfigA72(), cpu.ConfigA15()} {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			w, err := prog.ByName("sha")
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := NewRunner(cfg, w.Build(cfg.Variant))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, structure := range []string{"RF", "L1D (Data)"} {
+				faults := r.FaultList(structure, perStructure, 7)
+				snap := r.Run(faults, ModeExhaustive, 0, 4)
+
+				r.ForkPolicy = ForkLegacyClone
+				legacy := r.Run(faults, ModeExhaustive, 0, 4)
+				r.ForkPolicy = ForkSnapshot
+
+				for i := range snap {
+					if snap[i] != legacy[i] {
+						t.Fatalf("%s fault %d diverged across fork policies:\n snapshot %+v\n   legacy %+v",
+							structure, i, snap[i], legacy[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForkPolicyDifferentialAVGIMode repeats the differential check under
+// the windowed AVGI mode, whose early stops are the most timing-sensitive
+// consumers of the restored state.
+func TestForkPolicyDifferentialAVGIMode(t *testing.T) {
+	r := shaRunner(t)
+	faults := r.FaultList("RF", 60, 3)
+	snap := r.Run(faults, ModeAVGI, 2000, 4)
+	r.ForkPolicy = ForkLegacyClone
+	legacy := r.Run(faults, ModeAVGI, 2000, 4)
+	for i := range snap {
+		if snap[i] != legacy[i] {
+			t.Fatalf("fault %d diverged: %+v vs %+v", i, snap[i], legacy[i])
+		}
+	}
+}
+
+// livelockSrc counts to a bound held in a register: corrupting the bound
+// upward makes the loop effectively infinite, which is exactly the hang
+// class the runaway guard exists for.
+const livelockSrc = `
+	li r1, 0
+	li r2, 64
+loop:
+	addi r1, r1, 1
+	blt r1, r2, loop
+	li r7, 0x40000
+	storew r1, 0(r7)
+	li r8, 0x3FFF8
+	li r9, 8
+	storew r9, 0(r8)
+	halt
+`
+
+// TestRunawayLivelockTerminates proves the runaway guard bounds faulty
+// runs: a register-file flip that raises the loop bound to ~2^62 livelocks
+// the program, and the campaign still terminates, classifying the run as a
+// crash after exactly RunawayLimit cycles.
+func TestRunawayLivelockTerminates(t *testing.T) {
+	cfg := cpu.ConfigA72()
+	p, err := asm.Parse("livelock", livelockSrc, cfg.Variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Renaming decides which physical register holds the loop bound, so
+	// sweep all of them, flipping a high-but-positive value bit. The
+	// injection cycle matters too — the early cycles are cold-start fetch
+	// misses with nothing renamed yet — so sweep several points across
+	// the back half of the run, where the loop is in flight. Whichever
+	// (cycle, register) combinations catch the live bound make it ~2^62,
+	// and that run can only end via the runaway guard.
+	width := r.BitCounts["RF"] / uint64(cfg.PhysRegs)
+	var faults []fault.Fault
+	for i, frac := range []uint64{2, 4, 8, 16} {
+		cycle := r.Golden.Cycles - r.Golden.Cycles/frac
+		for reg := 0; reg < cfg.PhysRegs; reg++ {
+			faults = append(faults, fault.Fault{
+				ID:        i*cfg.PhysRegs + reg,
+				Structure: "RF",
+				Bit:       uint64(reg)*width + width - 2,
+				Cycle:     cycle,
+			})
+		}
+	}
+	results := r.Run(faults, ModeExhaustive, 0, 4)
+
+	livelocked := 0
+	for _, res := range results {
+		budget := r.RunawayLimit() - res.Fault.Cycle
+		if res.SimCycles > budget {
+			t.Fatalf("fault %d ran %d cycles, past its %d budget", res.Fault.ID, res.SimCycles, budget)
+		}
+		if res.SimCycles == budget {
+			livelocked++
+			if res.Effect != imm.Crash {
+				t.Errorf("runaway run classified %v, want crash", res.Effect)
+			}
+		}
+	}
+	if livelocked == 0 {
+		t.Fatal("no fault livelocked; the guard was never exercised")
+	}
+}
+
+func TestRunawayLimit(t *testing.T) {
+	r := &Runner{Golden: Golden{Cycles: 1000}}
+	if got := r.RunawayLimit(); got != 1000*DefaultRunawayFactor+RunawayGraceCycles {
+		t.Errorf("default limit = %d", got)
+	}
+	r.RunawayFactor = 5
+	if got := r.RunawayLimit(); got != 5000+RunawayGraceCycles {
+		t.Errorf("factor-5 limit = %d", got)
+	}
+}
+
+func TestAssertTemporalRejectsOutOfPopulation(t *testing.T) {
+	r := &Runner{Golden: Golden{Cycles: 100}}
+	for _, bad := range []uint64{0, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("cycle %d outside [1, 100] not rejected", bad)
+				}
+			}()
+			r.assertTemporal([]fault.Fault{{ID: 1, Structure: "RF", Cycle: bad}})
+		}()
+	}
+	// The boundary cycles are part of the population.
+	r.assertTemporal([]fault.Fault{{Cycle: 1}, {Cycle: 100}})
+}
+
+func TestCheckpointIntervalConfig(t *testing.T) {
+	r := shaRunner(t)
+	r.CheckpointInterval = 2000
+	faults := r.FaultList("RF", 8, 1)
+	r.Run(faults, ModeHVF, 0, 2)
+	if r.store == nil || r.store.Interval() != 2000 {
+		t.Fatalf("store interval = %v, want 2000", r.store.Interval())
+	}
+	want := int(r.Golden.Cycles/2000) + 1
+	if r.store.Count() != want {
+		t.Errorf("checkpoints = %d, want %d", r.store.Count(), want)
+	}
+}
+
+// TestCkptMetricsPublished drives an observed snapshot-mode campaign and
+// checks the checkpoint telemetry lands in the registry.
+func TestCkptMetricsPublished(t *testing.T) {
+	r := shaRunner(t)
+	r.Obs = obs.New(io.Discard)
+
+	const n = 32
+	faults := r.FaultList("RF", n, 1)
+	r.Run(faults, ModeExhaustive, 0, 4)
+
+	lb := map[string]string{"structure": "RF", "workload": "sha", "mode": "exhaustive"}
+	restores := r.Obs.Metrics.Counter("avgi_ckpt_restores_total", "", lb).Value()
+	if restores != n {
+		t.Errorf("restores_total = %d, want %d", restores, n)
+	}
+	var wantSeek uint64
+	for _, f := range faults {
+		_, dist := r.store.Seek(f.Cycle)
+		wantSeek += dist
+	}
+	if got := r.Obs.Metrics.Counter("avgi_ckpt_seek_cycles_total", "", lb).Value(); got != wantSeek {
+		t.Errorf("seek_cycles_total = %d, want %d", got, wantSeek)
+	}
+	if got := r.Obs.Metrics.Counter("avgi_ckpt_cow_pages_total", "", lb).Value(); got == 0 {
+		t.Error("cow_pages_total = 0; faulty runs never privatized a page")
+	}
+
+	pl := map[string]string{"workload": "sha", "mode": "exhaustive"}
+	gets := r.Obs.Metrics.Counter("avgi_ckpt_pool_gets_total", "", pl).Value()
+	if gets == 0 {
+		t.Error("pool_gets_total = 0")
+	}
+
+	gl := map[string]string{"workload": "sha", "machine": r.Cfg.Name}
+	if v := r.Obs.Metrics.Gauge("avgi_ckpt_checkpoints", "", gl).Value(); int(v) != r.store.Count() {
+		t.Errorf("checkpoints gauge = %v, want %d", v, r.store.Count())
+	}
+	if v := r.Obs.Metrics.Gauge("avgi_ckpt_snapshot_bytes", "", gl).Value(); uint64(v) != r.store.Bytes() {
+		t.Errorf("snapshot_bytes gauge = %v, want %d", v, r.store.Bytes())
+	}
+
+	// Pool reuse across campaigns: a second Run on the same runner checks
+	// machines back out of the pool.
+	r.Run(faults, ModeExhaustive, 0, 4)
+	reuse := r.Obs.Metrics.Counter("avgi_ckpt_pool_reuse_total", "", pl).Value()
+	if reuse == 0 {
+		t.Error("pool_reuse_total = 0 after second campaign")
+	}
+}

@@ -32,6 +32,11 @@ type structAgg struct {
 	simCycles   uint64
 	exhCycles   uint64
 	stats       cpu.Stats
+
+	// Checkpoint telemetry (ForkSnapshot runs only).
+	restores   uint64
+	seekCycles uint64
+	cowPages   uint64
 }
 
 // runObs is the per-Run instrumentation state. A nil *runObs (observer
@@ -47,6 +52,24 @@ type runObs struct {
 
 	mu  sync.Mutex
 	agg map[string]*structAgg
+
+	// Fork-pool accounting: one Get per worker, so contention is nil.
+	poolGets   uint64
+	poolReuses uint64
+}
+
+// poolGet records one pool checkout and whether it recycled a machine.
+// Nil-safe.
+func (ro *runObs) poolGet(reused bool) {
+	if ro == nil {
+		return
+	}
+	ro.mu.Lock()
+	ro.poolGets++
+	if reused {
+		ro.poolReuses++
+	}
+	ro.mu.Unlock()
 }
 
 // newRunObs builds instrumentation for one Run call, announcing the
@@ -91,7 +114,7 @@ func (r *Runner) newRunObs(faults []fault.Fault, mode Mode) *runObs {
 
 // fault records one completed fault into the worker-local aggregate and
 // the live telemetry (histograms + progress). Nil-safe.
-func (ro *runObs) fault(local map[string]*structAgg, f fault.Fault, res *Result, wall time.Duration, delta cpu.Stats) {
+func (ro *runObs) fault(local map[string]*structAgg, f fault.Fault, res *Result, wall time.Duration, delta cpu.Stats, fm forkMeta) {
 	a := local[f.Structure]
 	if a == nil {
 		a = &structAgg{}
@@ -105,6 +128,11 @@ func (ro *runObs) fault(local map[string]*structAgg, f fault.Fault, res *Result,
 	exh := ro.exhaustiveEstimate(f, res)
 	a.exhCycles += exh
 	addStats(&a.stats, delta)
+	if fm.restored {
+		a.restores++
+		a.seekCycles += fm.seekCycles
+		a.cowPages += fm.cowPages
+	}
 
 	if ro.simHist != nil {
 		ro.simHist.Observe(float64(res.SimCycles))
@@ -160,6 +188,9 @@ func (ro *runObs) merge(local map[string]*structAgg) {
 		dst.simCycles += a.simCycles
 		dst.exhCycles += a.exhCycles
 		addStats(&dst.stats, a.stats)
+		dst.restores += a.restores
+		dst.seekCycles += a.seekCycles
+		dst.cowPages += a.cowPages
 	}
 }
 
@@ -194,6 +225,22 @@ func (ro *runObs) finish() {
 				"bit flips that landed on live state", fl).Add(a.stats.FlipsArmed)
 			reg.Counter("avgi_flips_masked_total",
 				"bit flips masked at the injection site (free queue slots)", fl).Add(a.stats.FlipsMasked)
+
+			if a.restores > 0 {
+				reg.Counter("avgi_ckpt_restores_total",
+					"scratch-machine rewinds from checkpoint snapshots", lb).Add(a.restores)
+				reg.Counter("avgi_ckpt_seek_cycles_total",
+					"cycles re-simulated between seeked checkpoint and injection", lb).Add(a.seekCycles)
+				reg.Counter("avgi_ckpt_cow_pages_total",
+					"RAM pages privatized copy-on-write by forked runs", lb).Add(a.cowPages)
+			}
+		}
+		if ro.poolGets > 0 {
+			pl := map[string]string{"workload": ro.r.Prog.Name, "mode": ro.mode}
+			reg.Counter("avgi_ckpt_pool_gets_total",
+				"scratch machines checked out of the fork pool", pl).Add(ro.poolGets)
+			reg.Counter("avgi_ckpt_pool_reuse_total",
+				"fork-pool checkouts satisfied by a recycled machine", pl).Add(ro.poolReuses)
 		}
 	}
 	ro.span.End()

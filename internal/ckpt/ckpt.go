@@ -1,0 +1,134 @@
+// Package ckpt is the checkpoint subsystem of the fault-injection campaign:
+// a read-only Store of interval snapshots recorded along the golden run,
+// and a Pool of reusable scratch machines that workers rewind per fault.
+//
+// Together they replace the clone-everything fork model: instead of every
+// worker advancing a private "mother" machine from cycle 0 and deep-copying
+// it per fault, the golden prefix is simulated once while recording a
+// snapshot every Interval cycles; each worker then seeks to the nearest
+// checkpoint at or before a fault's injection cycle, restores a pooled
+// scratch machine in place, and re-simulates at most Interval-1 cycles.
+// This is the checkpoint-accelerated flow of the paper's Section IV.B,
+// where campaign throughput comes from cheap fork/restore rather than
+// faithful per-fault machine construction.
+package ckpt
+
+import (
+	"sort"
+	"sync"
+
+	"avgi/internal/asm"
+	"avgi/internal/cpu"
+)
+
+// MinInterval is the floor on the checkpoint interval: below this the
+// store's memory footprint grows faster than the re-simulation it saves.
+const MinInterval = 512
+
+// intervalDivisor bounds the number of checkpoints per golden run (at most
+// goldenCycles/DefaultInterval ≈ 64 plus the cycle-0 snapshot).
+const intervalDivisor = 64
+
+// DefaultInterval derives the checkpoint interval from the golden run
+// length: goldenCycles/64, floored at MinInterval. Short programs get a
+// single cycle-0 checkpoint; long ones get at most ~64 evenly spaced ones,
+// capping both store memory and the worst-case re-simulation distance.
+func DefaultInterval(goldenCycles uint64) uint64 {
+	if v := goldenCycles / intervalDivisor; v > MinInterval {
+		return v
+	}
+	return MinInterval
+}
+
+// Store is an immutable sequence of machine snapshots taken every Interval
+// cycles along the golden run, starting at cycle 0. After Record returns
+// the store is read-only and safe for concurrent Seek/Restore from any
+// number of workers.
+type Store struct {
+	interval uint64
+	cycles   []uint64 // capture cycles, ascending; cycles[0] == 0
+	snaps    []*cpu.Snapshot
+	bytes    uint64
+}
+
+// Record replays the golden run from cycle 0 and captures a snapshot at
+// cycle 0 and then every interval cycles until the machine halts or
+// goldenCycles is reached. An interval of 0 selects
+// DefaultInterval(goldenCycles).
+func Record(cfg cpu.Config, p *asm.Program, goldenCycles, interval uint64) *Store {
+	if interval == 0 {
+		interval = DefaultInterval(goldenCycles)
+	}
+	s := &Store{interval: interval}
+	m := cpu.New(cfg, p)
+	s.add(m)
+	for m.Cycle()+interval <= goldenCycles && m.Status() == cpu.StatusRunning {
+		m.Run(cpu.RunOptions{
+			StopAtCycle: m.Cycle() + interval,
+			MaxCycles:   goldenCycles + 1,
+		})
+		if m.Status() != cpu.StatusRunning {
+			break // halted (or crashed) before the next boundary
+		}
+		s.add(m)
+	}
+	return s
+}
+
+func (s *Store) add(m *cpu.Machine) {
+	snap := m.Snapshot(nil)
+	s.cycles = append(s.cycles, snap.Cycle())
+	s.snaps = append(s.snaps, snap)
+	s.bytes += snap.Bytes()
+}
+
+// Seek returns the latest snapshot captured at or before cycle, plus the
+// re-simulation distance (cycle minus the snapshot's cycle). The cycle-0
+// snapshot guarantees a result for any cycle.
+func (s *Store) Seek(cycle uint64) (snap *cpu.Snapshot, distance uint64) {
+	// First index with cycles[i] > cycle; the predecessor is the answer.
+	i := sort.Search(len(s.cycles), func(i int) bool { return s.cycles[i] > cycle })
+	snap = s.snaps[i-1]
+	return snap, cycle - s.cycles[i-1]
+}
+
+// Interval returns the checkpoint spacing in cycles.
+func (s *Store) Interval() uint64 { return s.interval }
+
+// Count returns the number of checkpoints held.
+func (s *Store) Count() int { return len(s.snaps) }
+
+// Bytes returns the total captured bytes across all checkpoints, as
+// reported by each snapshot's own accounting.
+func (s *Store) Bytes() uint64 { return s.bytes }
+
+// Pool hands out scratch machines for fault runs and recycles them, so a
+// campaign allocates roughly one machine per concurrently active worker
+// rather than one per fault. Machines come back from Get positioned
+// wherever their previous fault run left them; the caller must Restore a
+// snapshot before use.
+type Pool struct {
+	cfg  cpu.Config
+	prog *asm.Program
+	pool sync.Pool
+}
+
+// NewPool builds a pool producing machines for cfg and prog.
+func NewPool(cfg cpu.Config, p *asm.Program) *Pool {
+	return &Pool{cfg: cfg, prog: p}
+}
+
+// Get returns a scratch machine, reporting whether it was recycled from a
+// previous Put (reused=false means a fresh machine was allocated).
+func (p *Pool) Get() (m *cpu.Machine, reused bool) {
+	if v := p.pool.Get(); v != nil {
+		return v.(*cpu.Machine), true
+	}
+	return cpu.New(p.cfg, p.prog), false
+}
+
+// Put returns a machine to the pool for reuse.
+func (p *Pool) Put(m *cpu.Machine) {
+	m.SetSink(nil)
+	p.pool.Put(m)
+}

@@ -1,0 +1,159 @@
+package ckpt
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"avgi/internal/cpu"
+	"avgi/internal/prog"
+)
+
+func TestDefaultInterval(t *testing.T) {
+	if got := DefaultInterval(1000); got != MinInterval {
+		t.Errorf("short golden interval = %d, want %d", got, MinInterval)
+	}
+	if got := DefaultInterval(640_000); got != 10_000 {
+		t.Errorf("long golden interval = %d, want 10000", got)
+	}
+}
+
+func goldenFor(t *testing.T, cfg cpu.Config, name string) (p cpu.Result, w prog.Workload) {
+	t.Helper()
+	wl, err := prog.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cpu.New(cfg, wl.Build(cfg.Variant))
+	res := m.Run(cpu.RunOptions{})
+	if res.Status != cpu.StatusHalted {
+		t.Fatalf("golden run ended %v", res.Status)
+	}
+	return res, wl
+}
+
+func TestStoreRecordAndSeek(t *testing.T) {
+	cfg := cpu.ConfigA72()
+	golden, wl := goldenFor(t, cfg, "sha")
+	interval := uint64(1000)
+	st := Record(cfg, wl.Build(cfg.Variant), golden.Cycles, interval)
+
+	if st.Interval() != interval {
+		t.Errorf("interval = %d", st.Interval())
+	}
+	want := int(golden.Cycles/interval) + 1
+	if st.Count() != want {
+		t.Errorf("count = %d, want %d", st.Count(), want)
+	}
+	if st.Bytes() == 0 {
+		t.Error("store reports zero bytes")
+	}
+
+	// cycles are 0, K, 2K, ... and Seek lands on the floor checkpoint.
+	for _, tc := range []struct{ cycle, wantSnap, wantDist uint64 }{
+		{0, 0, 0},
+		{1, 0, 1},
+		{999, 0, 999},
+		{1000, 1000, 0},
+		{1001, 1000, 1},
+		{2500, 2000, 500},
+		{golden.Cycles, golden.Cycles / interval * interval, golden.Cycles % interval},
+	} {
+		snap, dist := st.Seek(tc.cycle)
+		if snap.Cycle() != tc.wantSnap || dist != tc.wantDist {
+			t.Errorf("Seek(%d) = snap@%d dist %d, want snap@%d dist %d",
+				tc.cycle, snap.Cycle(), dist, tc.wantSnap, tc.wantDist)
+		}
+	}
+}
+
+func TestStoreZeroIntervalUsesDefault(t *testing.T) {
+	cfg := cpu.ConfigA72()
+	golden, wl := goldenFor(t, cfg, "bitcount")
+	st := Record(cfg, wl.Build(cfg.Variant), golden.Cycles, 0)
+	if st.Interval() != DefaultInterval(golden.Cycles) {
+		t.Errorf("interval = %d, want %d", st.Interval(), DefaultInterval(golden.Cycles))
+	}
+}
+
+// TestStoreRestoreMatchesFreshRun proves a checkpoint seek+restore+advance
+// reaches exactly the state a fresh machine run from cycle 0 reaches.
+func TestStoreRestoreMatchesFreshRun(t *testing.T) {
+	cfg := cpu.ConfigA72()
+	golden, wl := goldenFor(t, cfg, "crc32")
+	p := wl.Build(cfg.Variant)
+	st := Record(cfg, p, golden.Cycles, 1000)
+
+	pool := NewPool(cfg, p)
+	for _, cycle := range []uint64{1, 777, 1000, 2421, golden.Cycles - 1} {
+		snap, dist := st.Seek(cycle)
+		m, _ := pool.Get()
+		m.Restore(snap)
+		if dist > 0 {
+			m.Run(cpu.RunOptions{StopAtCycle: cycle, MaxCycles: golden.Cycles + 1})
+		}
+		if m.Cycle() != cycle {
+			t.Fatalf("seek+advance to %d landed at %d", cycle, m.Cycle())
+		}
+		res := m.Run(cpu.RunOptions{})
+		if res.Status != cpu.StatusHalted || res.Cycles != golden.Cycles {
+			t.Errorf("run from checkpoint@%d: %v after %d cycles, want halt at %d",
+				cycle, res.Status, res.Cycles, golden.Cycles)
+		}
+		if !bytes.Equal(res.Output, golden.Output) {
+			t.Errorf("output from checkpoint@%d diverged", cycle)
+		}
+		pool.Put(m)
+	}
+}
+
+// TestStoreConcurrentWorkers exercises the shared-store contract under the
+// race detector: many workers seeking and restoring from one store.
+func TestStoreConcurrentWorkers(t *testing.T) {
+	cfg := cpu.ConfigA72()
+	golden, wl := goldenFor(t, cfg, "sha")
+	p := wl.Build(cfg.Variant)
+	st := Record(cfg, p, golden.Cycles, 1000)
+	pool := NewPool(cfg, p)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				cycle := uint64(w*1500 + i*700 + 1)
+				if cycle > golden.Cycles {
+					cycle = golden.Cycles
+				}
+				snap, _ := st.Seek(cycle)
+				m, _ := pool.Get()
+				m.Restore(snap)
+				res := m.Run(cpu.RunOptions{})
+				if !bytes.Equal(res.Output, golden.Output) {
+					t.Errorf("worker %d fault %d diverged", w, i)
+				}
+				pool.Put(m)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestPoolReuse(t *testing.T) {
+	cfg := cpu.ConfigA72()
+	wl, err := prog.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(cfg, wl.Build(cfg.Variant))
+	m1, reused := pool.Get()
+	if reused {
+		t.Error("first Get reported reuse")
+	}
+	pool.Put(m1)
+	m2, reused := pool.Get()
+	if !reused || m2 != m1 {
+		t.Error("Put machine was not recycled")
+	}
+}

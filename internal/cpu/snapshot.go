@@ -1,0 +1,140 @@
+package cpu
+
+import (
+	"unsafe"
+
+	"avgi/internal/mem"
+)
+
+// In-memory entry sizes, for snapshot byte accounting only.
+const (
+	robEntrySize = unsafe.Sizeof(robEntry{})
+	lqEntrySize  = unsafe.Sizeof(lqEntry{})
+	sqEntrySize  = unsafe.Sizeof(sqEntry{})
+	fqEntrySize  = unsafe.Sizeof(fqEntry{})
+)
+
+// Snapshot is an immutable capture of a machine's complete state, the cheap
+// half of the fork primitive the campaign layer builds checkpoints from.
+// Where Clone allocates a whole independent machine per fork, a Snapshot
+// captures core state into reusable buffers and RAM as a copy-on-write
+// fork, and Restore rewinds an existing scratch machine in place — so a
+// worker allocates one machine and reuses it for every fault.
+//
+// A snapshot is never mutated after Snapshot returns; any number of
+// machines may Restore from it concurrently.
+type Snapshot struct {
+	// m is a value copy of the source machine with every slice field
+	// replaced by a private deep copy and the Mem/sink/profile pointers
+	// cleared. Holding the whole struct means scalar fields added to
+	// Machine later are captured automatically.
+	m   Machine
+	mem mem.HierarchySnap
+}
+
+// Snapshot captures the machine into s, reusing its buffers when non-nil,
+// and returns it. The machine keeps running afterwards; its RAM privatizes
+// pages copy-on-write as it diverges from the capture.
+func (m *Machine) Snapshot(s *Snapshot) *Snapshot {
+	if s == nil {
+		s = &Snapshot{}
+	}
+	m.Mem.Snapshot(&s.mem)
+
+	// Preserve the snapshot's existing slice buffers across the struct
+	// copy so repeated captures into the same Snapshot do not allocate.
+	prf := append(s.m.prf[:0], m.prf...)
+	prfReadyAt := append(s.m.prfReadyAt[:0], m.prfReadyAt...)
+	renameMap := append(s.m.renameMap[:0], m.renameMap...)
+	committedMap := append(s.m.committedMap[:0], m.committedMap...)
+	freeList := append(s.m.freeList[:0], m.freeList...)
+	rob := append(s.m.rob[:0], m.rob...)
+	iq := append(s.m.iq[:0], m.iq...)
+	lqs := append(s.m.lqs[:0], m.lqs...)
+	sqs := append(s.m.sqs[:0], m.sqs...)
+	fq := append(s.m.fq[:0], m.fq...)
+	bimodal := append(s.m.bimodal[:0], m.bimodal...)
+	btb := append(s.m.btb[:0], m.btb...)
+	output := append(s.m.output[:0], m.output...)
+
+	s.m = *m
+	s.m.Mem = nil
+	s.m.sink = nil
+	s.m.profile = nil // exposure profiling is a golden-run concern
+
+	s.m.prf = prf
+	s.m.prfReadyAt = prfReadyAt
+	s.m.renameMap = renameMap
+	s.m.committedMap = committedMap
+	s.m.freeList = freeList
+	s.m.rob = rob
+	s.m.iq = iq
+	s.m.lqs = lqs
+	s.m.sqs = sqs
+	s.m.fq = fq
+	s.m.bimodal = bimodal
+	s.m.btb = btb
+	s.m.output = output
+	return s
+}
+
+// Restore rewinds the machine to a snapshot in place. The machine must
+// share the snapshot's configuration (same geometry and program); memory
+// restore panics otherwise. Object identity — the Mem hierarchy and the
+// core's slice buffers — is preserved, so a restore allocates nothing
+// beyond the rare fq regrowth. The trace sink and output profile are
+// cleared; the caller installs fresh ones as needed.
+func (m *Machine) Restore(s *Snapshot) {
+	memSys := m.Mem
+
+	prf := append(m.prf[:0], s.m.prf...)
+	prfReadyAt := append(m.prfReadyAt[:0], s.m.prfReadyAt...)
+	renameMap := append(m.renameMap[:0], s.m.renameMap...)
+	committedMap := append(m.committedMap[:0], s.m.committedMap...)
+	freeList := append(m.freeList[:0], s.m.freeList...)
+	rob := append(m.rob[:0], s.m.rob...)
+	iq := append(m.iq[:0], s.m.iq...)
+	lqs := append(m.lqs[:0], s.m.lqs...)
+	sqs := append(m.sqs[:0], s.m.sqs...)
+	fq := append(m.fq[:0], s.m.fq...)
+	bimodal := append(m.bimodal[:0], s.m.bimodal...)
+	btb := append(m.btb[:0], s.m.btb...)
+	output := append(m.output[:0], s.m.output...)
+
+	*m = s.m
+	m.Mem = memSys
+	m.Mem.Restore(&s.mem)
+
+	m.prf = prf
+	m.prfReadyAt = prfReadyAt
+	m.renameMap = renameMap
+	m.committedMap = committedMap
+	m.freeList = freeList
+	m.rob = rob
+	m.iq = iq
+	m.lqs = lqs
+	m.sqs = sqs
+	m.fq = fq
+	m.bimodal = bimodal
+	m.btb = btb
+	m.output = output
+}
+
+// Cycle returns the machine cycle at which the snapshot was captured.
+func (s *Snapshot) Cycle() uint64 { return s.m.cycle }
+
+// Bytes returns the captured state size in bytes — the core's copied
+// arrays plus the memory snapshot's accounting — for checkpoint telemetry.
+func (s *Snapshot) Bytes() uint64 {
+	core := uint64(len(s.m.prf))*8 + uint64(len(s.m.prfReadyAt))*8 +
+		uint64(len(s.m.renameMap))*2 + uint64(len(s.m.committedMap))*2 +
+		uint64(len(s.m.freeList))*2 +
+		uint64(len(s.m.rob))*uint64(robEntrySize) +
+		uint64(len(s.m.iq))*8 +
+		uint64(len(s.m.lqs))*uint64(lqEntrySize) +
+		uint64(len(s.m.sqs))*uint64(sqEntrySize) +
+		uint64(len(s.m.fq))*uint64(fqEntrySize) +
+		uint64(len(s.m.bimodal)) + uint64(len(s.m.btb))*8 +
+		uint64(len(s.m.output))
+	return core + s.mem.Bytes()
+}

@@ -1,0 +1,138 @@
+package cpu
+
+import (
+	"bytes"
+	"testing"
+
+	"avgi/internal/prog"
+	"avgi/internal/trace"
+)
+
+const snapTestMaxCycles = 50_000_000
+
+// TestSnapshotRestoreBitIdentical is the correctness bar for the checkpoint
+// subsystem: capturing a machine mid-run, dirtying an unrelated scratch
+// machine, restoring the snapshot into it and running to completion must
+// produce a commit trace (including cycle numbers), output, statistics and
+// final status byte-identical to the uninterrupted reference run — across
+// all 13 workloads on both ISA variants.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	workloads := prog.All()
+	if testing.Short() {
+		workloads = workloads[:3]
+	}
+	for _, cfg := range []Config{ConfigA72(), ConfigA15()} {
+		for _, w := range workloads {
+			w := w
+			cfg := cfg
+			t.Run(w.Name+"/"+cfg.Variant.String(), func(t *testing.T) {
+				t.Parallel()
+				p := w.Build(cfg.Variant)
+
+				// Reference: one uninterrupted run.
+				ref := New(cfg, p)
+				var refTrace trace.Capture
+				ref.SetSink(&refTrace)
+				ref.Run(RunOptions{MaxCycles: snapTestMaxCycles})
+				if ref.Status() != StatusHalted {
+					t.Fatalf("reference run ended %v", ref.Status())
+				}
+
+				// Snapshot a second machine halfway through.
+				mid := ref.Cycle() / 2
+				m := New(cfg, p)
+				var mTrace trace.Capture
+				m.SetSink(&mTrace)
+				m.Run(RunOptions{StopAtCycle: mid, MaxCycles: snapTestMaxCycles})
+				snap := m.Snapshot(nil)
+				if snap.Cycle() != m.Cycle() {
+					t.Fatalf("snap cycle %d, machine at %d", snap.Cycle(), m.Cycle())
+				}
+				if snap.Bytes() == 0 {
+					t.Error("snapshot reports zero bytes")
+				}
+				prefix := len(mTrace.Records)
+
+				// The source machine keeps running after the capture and
+				// must still match the reference (COW must not corrupt it).
+				m.Run(RunOptions{MaxCycles: snapTestMaxCycles})
+				if !bytes.Equal(m.Output(), ref.Output()) {
+					t.Error("source output diverged after snapshot")
+				}
+
+				// Dirty an unrelated scratch machine, then rewind it.
+				scratch := New(cfg, p)
+				scratch.Run(RunOptions{StopAtCycle: ref.Cycle() / 3, MaxCycles: snapTestMaxCycles})
+				scratch.Restore(snap)
+				if scratch.Cycle() != mid && scratch.Cycle() != snap.Cycle() {
+					t.Fatalf("restored cycle %d", scratch.Cycle())
+				}
+				var sTrace trace.Capture
+				scratch.SetSink(&sTrace)
+				scratch.Run(RunOptions{MaxCycles: snapTestMaxCycles})
+
+				if scratch.Status() != ref.Status() || scratch.Crash() != ref.Crash() {
+					t.Errorf("status %v/%v, want %v/%v",
+						scratch.Status(), scratch.Crash(), ref.Status(), ref.Crash())
+				}
+				if scratch.Cycle() != ref.Cycle() {
+					t.Errorf("final cycle %d, want %d", scratch.Cycle(), ref.Cycle())
+				}
+				if scratch.Stats != ref.Stats {
+					t.Errorf("stats diverged:\n got %+v\nwant %+v", scratch.Stats, ref.Stats)
+				}
+				if !bytes.Equal(scratch.Output(), ref.Output()) {
+					t.Errorf("output diverged (%d vs %d bytes)",
+						len(scratch.Output()), len(ref.Output()))
+				}
+
+				// Full trace = source prefix up to the capture + the
+				// restored machine's tail, bit-identical to the reference.
+				got := append(append([]trace.Record(nil), mTrace.Records[:prefix]...), sTrace.Records...)
+				if len(got) != len(refTrace.Records) {
+					t.Fatalf("trace length %d, want %d", len(got), len(refTrace.Records))
+				}
+				for i := range got {
+					if !got[i].Same(refTrace.Records[i]) {
+						t.Fatalf("trace record %d differs:\n got %+v\nwant %+v",
+							i, got[i], refTrace.Records[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotReuseAcrossCaptures verifies that re-capturing into the same
+// Snapshot buffers yields correct state each time.
+func TestSnapshotReuseAcrossCaptures(t *testing.T) {
+	cfg := ConfigA72()
+	w, err := prog.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(cfg.Variant)
+
+	ref := New(cfg, p)
+	ref.Run(RunOptions{MaxCycles: snapTestMaxCycles})
+
+	m := New(cfg, p)
+	scratch := New(cfg, p)
+	var snap *Snapshot
+	for _, frac := range []uint64{4, 2} {
+		m.Run(RunOptions{StopAtCycle: ref.Cycle() / frac, MaxCycles: snapTestMaxCycles})
+		snap = m.Snapshot(snap)
+		scratch.Restore(snap)
+		scratch.Run(RunOptions{MaxCycles: snapTestMaxCycles})
+		if !bytes.Equal(scratch.Output(), ref.Output()) {
+			t.Fatalf("restore from reused snapshot at 1/%d diverged", frac)
+		}
+	}
+	// Restoring again from the final snapshot still works: the snapshot
+	// must not have been perturbed by the previous restore-and-run.
+	scratch.Restore(snap)
+	scratch.Run(RunOptions{MaxCycles: snapTestMaxCycles})
+	if !bytes.Equal(scratch.Output(), ref.Output()) {
+		t.Fatal("second restore from same snapshot diverged")
+	}
+}

@@ -41,11 +41,14 @@ func (f Fault) String() string {
 	return fmt.Sprintf("#%d %s bit %d @ cycle %d", f.ID, f.Structure, f.Bit, f.Cycle)
 }
 
-// List generates n faults for a structure with bitCount injectable bits on
-// a workload executing for totalCycles cycles. Bits and cycles are sampled
+// List generates n faults for a structure with bitCount injectable bits.
+// The temporal population is the *golden* (fault-free) run: totalCycles
+// must be the golden cycle count, and every sampled injection cycle lies
+// in [1, totalCycles] — a fault can only be injected into machine state
+// the fault-free execution actually reaches. Bits and cycles are sampled
 // uniformly and independently; the list is sorted by injection cycle so a
-// campaign can walk a single golden execution forward, forking a checkpoint
-// clone at each injection point.
+// campaign can walk the golden execution forward, forking at each
+// injection point.
 //
 // The generator is deterministic in seed.
 func List(structure string, n int, bitCount, totalCycles uint64, seed int64) []Fault {

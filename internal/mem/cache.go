@@ -246,6 +246,58 @@ func (c *Cache) Clone() *Cache {
 	return &cl
 }
 
+// CacheSnap is an immutable capture of one cache's complete state (tag,
+// data and replacement arrays plus statistics). Its buffers are reused
+// across Snapshot calls so interval checkpointing does not allocate per
+// capture after the first.
+type CacheSnap struct {
+	tags []uint64
+	data []byte
+	lru  []uint64
+	tick uint64
+
+	accesses   uint64
+	misses     uint64
+	writebacks uint64
+}
+
+// Snapshot copies the cache state into snap, reusing its buffers (a nil
+// snap allocates fresh ones), and returns it.
+func (c *Cache) Snapshot(snap *CacheSnap) *CacheSnap {
+	if snap == nil {
+		snap = &CacheSnap{}
+	}
+	snap.tags = append(snap.tags[:0], c.tags...)
+	snap.data = append(snap.data[:0], c.data...)
+	snap.lru = append(snap.lru[:0], c.lru...)
+	snap.tick = c.tick
+	snap.accesses = c.Accesses
+	snap.misses = c.Misses
+	snap.writebacks = c.Writebacks
+	return snap
+}
+
+// Restore rewinds the cache to a snapshot by copying into its existing
+// arrays — no allocation. The snapshot is only read, so any number of
+// caches may restore from it concurrently. The geometry must match.
+func (c *Cache) Restore(snap *CacheSnap) {
+	if len(snap.tags) != len(c.tags) || len(snap.data) != len(c.data) {
+		panic(fmt.Sprintf("mem: %s: restore across geometries", c.cfg.Name))
+	}
+	copy(c.tags, snap.tags)
+	copy(c.data, snap.data)
+	copy(c.lru, snap.lru)
+	c.tick = snap.tick
+	c.Accesses = snap.accesses
+	c.Misses = snap.misses
+	c.Writebacks = snap.writebacks
+}
+
+// Bytes returns the captured state size, for checkpoint accounting.
+func (s *CacheSnap) Bytes() uint64 {
+	return uint64(len(s.tags))*8 + uint64(len(s.data)) + uint64(len(s.lru))*8
+}
+
 // SetLower rebinds the lower level after cloning.
 func (c *Cache) SetLower(l Level) { c.lower = l }
 

@@ -118,7 +118,8 @@ func (h *Hierarchy) TranslateData(vaddr uint64) (paddr uint64, lat uint64, fault
 //
 // outLenAddr holds the output byte count (stored by the program as a
 // natural-width word); outBase is the start of the output region. The
-// returned slice aliases RAM.
+// returned slice is freshly allocated (page-granular RAM has no stable
+// contiguous backing to alias).
 func (h *Hierarchy) DrainOutput(outBase, outLenAddr uint64, lenBytes uint64) []byte {
 	h.L1D.Flush()
 	h.L2.Flush()
@@ -133,7 +134,60 @@ func (h *Hierarchy) DrainOutput(outBase, outLenAddr uint64, lenBytes uint64) []b
 	if max := h.RAM.Size() - outBase; n > max {
 		n = max
 	}
-	return h.RAM.Bytes()[outBase : outBase+n]
+	out := make([]byte, n)
+	h.RAM.ReadBlock(outBase, out)
+	return out
+}
+
+// HierarchySnap is an immutable capture of the entire memory system. The
+// cache and TLB arrays are copied (they are small); RAM is captured as a
+// copy-on-write fork, so the capture cost is pointer-sized per page rather
+// than the full RAM image. A snapshot is never mutated after Snapshot
+// returns and may be restored from by any number of machines concurrently.
+type HierarchySnap struct {
+	ram        *RAM
+	itlb, dtlb TLBSnap
+	l1i, l1d   CacheSnap
+	l2         CacheSnap
+}
+
+// Snapshot captures the memory system into snap, reusing its buffers (nil
+// allocates fresh ones), and returns it. The source hierarchy keeps
+// running afterwards: its RAM privatizes pages on subsequent writes.
+func (h *Hierarchy) Snapshot(snap *HierarchySnap) *HierarchySnap {
+	if snap == nil {
+		snap = &HierarchySnap{}
+	}
+	snap.ram = h.RAM.Snapshot(snap.ram)
+	h.ITLB.Snapshot(&snap.itlb)
+	h.DTLB.Snapshot(&snap.dtlb)
+	h.L1I.Snapshot(&snap.l1i)
+	h.L1D.Snapshot(&snap.l1d)
+	h.L2.Snapshot(&snap.l2)
+	return snap
+}
+
+// Restore rewinds the hierarchy to a snapshot in place: cache and TLB
+// contents are copied into the existing arrays and RAM adopts the
+// snapshot's pages copy-on-write. No allocation, and object identity
+// (RAM, cache and level pointers) is preserved. The geometry must match
+// the snapshot's.
+func (h *Hierarchy) Restore(snap *HierarchySnap) {
+	h.RAM.RestoreFrom(snap.ram)
+	h.ITLB.Restore(&snap.itlb)
+	h.DTLB.Restore(&snap.dtlb)
+	h.L1I.Restore(&snap.l1i)
+	h.L1D.Restore(&snap.l1d)
+	h.L2.Restore(&snap.l2)
+}
+
+// Bytes returns the captured state size in bytes: the copied arrays plus
+// the page-pointer table of the RAM fork (the shared page contents are
+// not owned by the snapshot and are not counted).
+func (s *HierarchySnap) Bytes() uint64 {
+	ramPtrs := uint64(len(s.ram.pages)) * 9 // 8-byte pointer + owned flag
+	return ramPtrs + s.itlb.Bytes() + s.dtlb.Bytes() +
+		s.l1i.Bytes() + s.l1d.Bytes() + s.l2.Bytes()
 }
 
 // Clone deep-copies the entire memory system.

@@ -98,3 +98,37 @@ func (t *TLB) Clone() *TLB {
 	c.entries = append([]uint64(nil), t.entries...)
 	return &c
 }
+
+// TLBSnap is an immutable capture of a TLB's entry array, replacement
+// cursor and statistics; buffers are reused across Snapshot calls.
+type TLBSnap struct {
+	entries []uint64
+	rr      int
+
+	accesses uint64
+	misses   uint64
+}
+
+// Snapshot copies the TLB state into snap (nil allocates) and returns it.
+func (t *TLB) Snapshot(snap *TLBSnap) *TLBSnap {
+	if snap == nil {
+		snap = &TLBSnap{}
+	}
+	snap.entries = append(snap.entries[:0], t.entries...)
+	snap.rr = t.rr
+	snap.accesses = t.Accesses
+	snap.misses = t.Misses
+	return snap
+}
+
+// Restore rewinds the TLB to a snapshot without allocating; the snapshot
+// is only read and may be restored from concurrently.
+func (t *TLB) Restore(snap *TLBSnap) {
+	copy(t.entries, snap.entries)
+	t.rr = snap.rr
+	t.Accesses = snap.accesses
+	t.Misses = snap.misses
+}
+
+// Bytes returns the captured state size, for checkpoint accounting.
+func (s *TLBSnap) Bytes() uint64 { return uint64(len(s.entries)) * 8 }

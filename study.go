@@ -32,6 +32,14 @@ type StudyConfig struct {
 	// campaign metrics and live progress. See internal/obs and
 	// docs/OBSERVABILITY.md.
 	Obs *Observer
+
+	// ForkPolicy selects the per-fault fork mechanism for every campaign
+	// in the study (default ForkSnapshot; see docs/CHECKPOINTING.md).
+	ForkPolicy ForkPolicy
+
+	// CheckpointInterval is the golden-run checkpoint spacing in cycles
+	// under ForkSnapshot; 0 derives it from each workload's golden length.
+	CheckpointInterval uint64
 }
 
 func (c *StudyConfig) fill() {
@@ -87,6 +95,8 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 			return nil, fmt.Errorf("study: %s: %w", w.Name, err)
 		}
 		r.Obs = cfg.Obs
+		r.ForkPolicy = cfg.ForkPolicy
+		r.CheckpointInterval = cfg.CheckpointInterval
 		r.PublishGolden()
 		st.runners[w.Name] = r
 	}
