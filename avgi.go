@@ -106,7 +106,17 @@ type (
 	// Tracer records study-phase spans for NDJSON / chrome://tracing
 	// export.
 	Tracer = obs.Tracer
+
+	// Budget is a study-wide worker pool shared by all concurrently
+	// executing campaigns; see docs/SCHEDULING.md. Runner.RunBudget draws
+	// workers from one, and Study.Budget exposes the study's own.
+	Budget = campaign.Budget
 )
+
+// NewBudget returns a worker budget of the given size (0 = all CPUs), for
+// running ad-hoc campaigns under a shared concurrency cap via
+// Runner.RunBudget.
+func NewBudget(workers int) *Budget { return campaign.NewBudget(workers) }
 
 // Re-exported constants.
 const (

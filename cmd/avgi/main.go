@@ -35,7 +35,7 @@ var (
 	flagWorkloads  = flag.String("workloads", "", "comma-separated workload subset (default: all 13)")
 	flagStructures = flag.String("structures", "", "comma-separated structure subset (default: all 12)")
 	flagSeed       = flag.Int64("seed", 1, "seed base for fault sampling")
-	flagWorkers    = flag.Int("workers", 0, "campaign parallelism (0 = all CPUs)")
+	flagWorkers    = flag.Int("workers", 0, "study-wide worker budget shared by all concurrent campaigns (0 = all CPUs; see docs/SCHEDULING.md)")
 	flagCSV        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	flagBars       = flag.Bool("bars", false, "also render distribution figures as terminal bar charts")
 	flagCores      = flag.Int("cores", 192, "cluster cores for the Table II days model")
@@ -138,6 +138,12 @@ telemetry (see docs/OBSERVABILITY.md):
   -metrics-addr A    serve Prometheus /metrics and /progress.json on A
   -trace-out F       Chrome trace_event JSON of study phases (chrome://tracing)
   -trace-ndjson F    the same spans as NDJSON
+
+scheduling (see docs/SCHEDULING.md):
+  -workers N         global worker budget; campaigns of one experiment
+                     overlap across (structure, workload) pairs and share
+                     these N workers, so one campaign's tail is filled
+                     with the next campaign's head
 
 flags:
 `)

@@ -44,6 +44,7 @@ var (
 
 	flagFork         = flag.String("fork", "snapshot", "per-fault fork policy: snapshot (checkpoint store) or clone (legacy deep copy)")
 	flagCkptInterval = flag.Uint64("ckpt-interval", 0, "checkpoint spacing in cycles for the snapshot fork policy (0 = derive from golden length)")
+	flagWorkers      = flag.Int("workers", 1, "worker budget for the injection run (0 = all CPUs; see docs/SCHEDULING.md)")
 )
 
 func main() {
@@ -172,7 +173,7 @@ func run(name string, obsv *avgi.Observer) error {
 		if err := cpu.ValidateStructure(f.Structure); err != nil {
 			return err
 		}
-		res := r.Run([]fault.Fault{f}, campaign.ModeExhaustive, 0, 1)[0]
+		res := r.Run([]fault.Fault{f}, campaign.ModeExhaustive, 0, *flagWorkers)[0]
 		fmt.Printf("fault     %s\n", f)
 		fmt.Printf("IMM       %s\n", res.IMM)
 		fmt.Printf("effect    %s", res.Effect)

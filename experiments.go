@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"avgi/internal/campaign"
 	"avgi/internal/core"
@@ -27,6 +28,7 @@ func (s *Study) Fig1() *Table {
 		Title:   "Fig. 1 — RF AVF: exhaustive SFI vs ACE analysis",
 		Columns: []string{"Workload", "SFI AVF", "ACE AVF", "ACE/SFI"},
 	}
+	s.Prefetch([]string{"RF"}, s.WorkloadNames(), campaign.ModeExhaustive)
 	for _, w := range s.WorkloadNames() {
 		sfi := s.GroundTruthAVF("RF", w).Total()
 		aceAVF := ACEAnalyzeRF(s.Runner(w))
@@ -206,6 +208,8 @@ func (s *Study) Fig8(est *Estimator) *Table {
 		Title:   "Fig. 8 — L1I (Data) IMM distribution: inclusive vs exclusive (ERT stop)",
 		Columns: append([]string{"Workload", "Mode"}, immNames()...),
 	}
+	s.Prefetch([]string{structure}, s.WorkloadNames(), campaign.ModeExhaustive)
+	s.PrefetchAVGI(est, []string{structure}, s.WorkloadNames())
 	for _, w := range s.WorkloadNames() {
 		inc := campaign.Summarize(s.Exhaustive(structure, w)).IMMFractions()
 		avgiResults, _ := s.AVGIRun(est, structure, w)
@@ -230,6 +234,7 @@ func (s *Study) Fig9(est *Estimator) *Table {
 		Title:   "Fig. 9 — manifestation latency after injection (cycles) and derived ERT window",
 		Columns: []string{"Structure", "p50", "p90", "p99", "max", "ERT window"},
 	}
+	s.RunAll(campaign.ModeExhaustive)
 	for _, structure := range s.Cfg.Structures {
 		var all []CampaignResult
 		for _, w := range s.WorkloadNames() {
@@ -293,8 +298,17 @@ func ratio64(a, b uint64) float64 {
 }
 
 // TimingRows computes the per-structure Table II cost rows (in simulated
-// cycles), sorted by descending full speedup as in the paper.
+// cycles), sorted by descending full speedup as in the paper. All three
+// flows are dispatched together up front so the short HVF/AVGI campaigns
+// fill worker slots the long exhaustive campaigns leave idle in their
+// tails.
 func (s *Study) TimingRows(est *Estimator) []core.TimingRow {
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { defer wg.Done(); s.RunAll(campaign.ModeExhaustive) }()
+	go func() { defer wg.Done(); s.RunAll(campaign.ModeHVF) }()
+	go func() { defer wg.Done(); s.PrefetchAVGI(est, s.Cfg.Structures, s.WorkloadNames()) }()
+	wg.Wait()
 	var rows []core.TimingRow
 	for _, structure := range s.Cfg.Structures {
 		row := core.TimingRow{Structure: structure}
@@ -326,6 +340,9 @@ func (s *Study) Fig10(structures ...string) []*Table {
 	if len(structures) == 0 {
 		structures = s.Cfg.Structures
 	}
+	// The leave-one-out loop below revisits the exhaustive grid once per
+	// assessed workload; dispatch the whole grid concurrently first.
+	s.Prefetch(s.Cfg.Structures, s.WorkloadNames(), campaign.ModeExhaustive)
 	var out []*Table
 	for _, structure := range structures {
 		t := &Table{
@@ -358,6 +375,7 @@ func (s *Study) Fig11() *Table {
 		Columns: []string{"Structure", "Bits", "Real FIT", "AVGI FIT", "diff"},
 	}
 	est := s.TrainEstimator()
+	s.PrefetchAVGI(est, s.Cfg.Structures, s.WorkloadNames())
 	var chipReal, chipAVGI core.FIT
 	anyRunner := s.Runner(s.WorkloadNames()[0])
 	for _, structure := range s.Cfg.Structures {
@@ -430,11 +448,24 @@ func (s *Study) MultiBitAblation(widths ...int) *Table {
 		Columns: []string{"Width", "Corruption rate", "AVF (SDC+Crash)"},
 	}
 	for _, width := range widths {
+		// These campaigns are not study-cached (the width varies), but
+		// they still draw from the study's worker budget and overlap
+		// across workloads like any scheduled campaign.
+		names := s.WorkloadNames()
+		sums := make([]campaign.Summary, len(names))
+		var wg sync.WaitGroup
+		for i, w := range names {
+			wg.Add(1)
+			go func(i int, w string) {
+				defer wg.Done()
+				r := s.Runner(w)
+				faults := r.MultiBitFaultList("RF", s.Cfg.FaultsPerStructure, width, s.Cfg.SeedBase)
+				sums[i] = campaign.Summarize(r.RunBudget(faults, campaign.ModeExhaustive, 0, s.budget))
+			}(i, w)
+		}
+		wg.Wait()
 		var corr, avf []float64
-		for _, w := range s.WorkloadNames() {
-			r := s.Runner(w)
-			faults := r.MultiBitFaultList("RF", s.Cfg.FaultsPerStructure, width, s.Cfg.SeedBase)
-			sum := campaign.Summarize(r.Run(faults, campaign.ModeExhaustive, 0, s.Cfg.Workers))
+		for _, sum := range sums {
 			corr = append(corr, float64(sum.Corruptions)/float64(sum.Total))
 			avf = append(avf, core.AVFFromEffects(sum).Total())
 		}
@@ -460,6 +491,7 @@ func (s *Study) ERTMarginAblation(margins ...float64) *Table {
 	td := s.TrainingData(s.Cfg.Structures)
 	for _, margin := range margins {
 		est := core.TrainWithMargin(td, margin)
+		s.PrefetchAVGI(est, []string{"RF"}, s.WorkloadNames())
 		var cost uint64
 		var worst float64
 		for _, w := range s.WorkloadNames() {

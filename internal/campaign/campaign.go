@@ -25,7 +25,6 @@ package campaign
 import (
 	"bytes"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -344,15 +343,25 @@ func (r *Runner) assertTemporal(faults []fault.Fault) {
 // otherwise). workers <= 0 uses all CPUs. Results are returned in fault
 // list order and are deterministic regardless of worker count.
 func (r *Runner) Run(faults []fault.Fault, mode Mode, ert uint64, workers int) []Result {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(faults) {
-		workers = len(faults)
-	}
+	return r.RunBudget(faults, mode, ert, NewBudget(workers))
+}
+
+// RunBudget executes a fault list like Run, but draws its workers from a
+// shared Budget instead of a private per-call count. Concurrent campaigns
+// handed the same budget interleave at chunk granularity: a campaign whose
+// tail is draining releases slots that the next campaign's dispatch loop
+// (blocked in Acquire) claims immediately. Results are identical to Run
+// with workers = budget.Cap() — each chunk is a fixed contiguous slice of
+// the (deterministic) fault list, so only scheduling changes, never
+// outcomes.
+func (r *Runner) RunBudget(faults []fault.Fault, mode Mode, ert uint64, budget *Budget) []Result {
 	results := make([]Result, len(faults))
 	if len(faults) == 0 {
 		return results
+	}
+	workers := budget.Cap()
+	if workers > len(faults) {
+		workers = len(faults)
 	}
 	ro := r.newRunObs(faults, mode)
 	var store *ckpt.Store
@@ -362,21 +371,21 @@ func (r *Runner) Run(faults []fault.Fault, mode Mode, ert uint64, workers int) [
 	}
 	// Contiguous chunks keep each worker's forks advancing monotonically
 	// through its cycle-sorted slice (and, under ForkLegacyClone, its
-	// mother machine strictly forward).
+	// mother machine strictly forward). Chunk geometry depends only on the
+	// list length and the budget capacity — never on timing — which is
+	// what keeps results byte-identical under any interleaving.
 	chunk := (len(faults) + workers - 1) / workers
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
+	for lo := 0; lo < len(faults); lo += chunk {
 		hi := lo + chunk
 		if hi > len(faults) {
 			hi = len(faults)
 		}
-		if lo >= hi {
-			break
-		}
+		budget.Acquire()
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer budget.Release()
 			runOne := r.cloneWorker()
 			if r.ForkPolicy == ForkSnapshot {
 				m, reused := pool.Get()
@@ -464,9 +473,17 @@ func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert 
 		panic("campaign: unknown structure " + f.Structure)
 	}
 	// Width > 1 models a spatial multi-bit upset: adjacent bits of the
-	// same array flip together (Section VII.A).
-	for i := uint64(0); i < uint64(f.Bits()); i++ {
-		tg.FlipBit((f.Bit + i) % tg.BitCount())
+	// same array flip together (Section VII.A). The range must lie inside
+	// the array — wrapping to bit 0 would flip a non-neighbour, so a
+	// fault list that allows it is a programming error (fault.ListMultiBit
+	// caps start bits at bitCount-width).
+	width := uint64(f.Bits())
+	if f.Bit+width > tg.BitCount() {
+		panic(fmt.Sprintf("campaign: fault %s wraps past the end of %s (%d bits)",
+			f, f.Structure, tg.BitCount()))
+	}
+	for i := uint64(0); i < width; i++ {
+		tg.FlipBit(f.Bit + i)
 	}
 
 	cmp := &trace.Comparator{Golden: r.Golden.Trace}

@@ -103,12 +103,15 @@ func (r *Runner) newRunObs(faults []fault.Fault, mode Mode) *runObs {
 		"mode":     ro.mode,
 		"faults":   strconv.Itoa(len(faults)),
 	}
+	// The span title and the "structure" attr must agree: for a
+	// mixed-structure list the title names the structure count, not
+	// whichever structure happens to sort first in the fault list.
 	if len(perStructure) == 1 {
 		attrs["structure"] = faults[0].Structure
 	} else {
 		attrs["structure"] = fmt.Sprintf("%d structures", len(perStructure))
 	}
-	ro.span = o.Span("campaign "+ro.mode+" "+faults[0].Structure+" "+r.Prog.Name, "campaign", attrs)
+	ro.span = o.Span("campaign "+ro.mode+" "+attrs["structure"]+" "+r.Prog.Name, "campaign", attrs)
 	return ro
 }
 

@@ -1,0 +1,67 @@
+package campaign
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"avgi/internal/obs"
+)
+
+// Budget is a study-wide worker pool: a counting semaphore shared by every
+// campaign executing under one Study, so the number of live campaign
+// workers across all concurrent campaigns never exceeds the machine's
+// capacity. A campaign draining its tail releases slots that a queued
+// campaign's head picks up immediately — that cross-campaign handoff is
+// what keeps every core busy over a multi-pair study instead of idling
+// between pairs (the paper's 726k-injection evaluation is throughput-bound
+// on exactly this).
+//
+// A Budget is safe for concurrent use. Acquisition order between campaigns
+// is not deterministic, but campaign results never depend on it: each
+// worker owns a fixed contiguous chunk of the fault list, so results are
+// byte-identical to a serial run regardless of scheduling.
+type Budget struct {
+	slots chan struct{}
+	inUse atomic.Int64
+
+	// busy, when non-nil, tracks live occupancy as a gauge (set by the
+	// owning study; see Study scheduler metrics in docs/SCHEDULING.md).
+	busy *obs.Gauge
+}
+
+// NewBudget returns a budget of the given worker count; workers <= 0 uses
+// all CPUs.
+func NewBudget(workers int) *Budget {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Budget{slots: make(chan struct{}, workers)}
+}
+
+// Cap returns the budget's total worker count.
+func (b *Budget) Cap() int { return cap(b.slots) }
+
+// InUse returns the number of currently acquired workers.
+func (b *Budget) InUse() int { return int(b.inUse.Load()) }
+
+// SetGauge attaches an occupancy gauge updated on every acquire/release.
+// Call before the budget is shared between goroutines.
+func (b *Budget) SetGauge(g *obs.Gauge) { b.busy = g }
+
+// Acquire blocks until a worker slot is free and claims it.
+func (b *Budget) Acquire() {
+	b.slots <- struct{}{}
+	n := b.inUse.Add(1)
+	if b.busy != nil {
+		b.busy.Set(float64(n))
+	}
+}
+
+// Release returns a worker slot to the pool.
+func (b *Budget) Release() {
+	<-b.slots
+	n := b.inUse.Add(-1)
+	if b.busy != nil {
+		b.busy.Set(float64(n))
+	}
+}

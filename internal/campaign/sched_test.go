@@ -1,0 +1,124 @@
+package campaign
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"avgi/internal/cpu"
+	"avgi/internal/fault"
+	"avgi/internal/prog"
+)
+
+func newTestRunner(t *testing.T, cfg cpu.Config, workload string) *Runner {
+	t.Helper()
+	w, err := prog.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(cfg, w.Build(cfg.Variant))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestBudgetCapAndOccupancy(t *testing.T) {
+	b := NewBudget(3)
+	if b.Cap() != 3 || b.InUse() != 0 {
+		t.Fatalf("fresh budget: cap %d inUse %d", b.Cap(), b.InUse())
+	}
+	b.Acquire()
+	b.Acquire()
+	if b.InUse() != 2 {
+		t.Fatalf("inUse = %d after two acquires", b.InUse())
+	}
+	b.Release()
+	b.Release()
+	if b.InUse() != 0 {
+		t.Fatalf("inUse = %d after release", b.InUse())
+	}
+	if NewBudget(0).Cap() < 1 {
+		t.Error("workers <= 0 must default to at least one CPU")
+	}
+}
+
+// TestRunBudgetSharedAcrossCampaigns drives two campaigns of one runner
+// concurrently through a single shared budget and checks both that the
+// combined worker count never exceeds the budget and that results are
+// byte-identical to plain serial Run calls — the determinism guarantee the
+// study scheduler relies on.
+func TestRunBudgetSharedAcrossCampaigns(t *testing.T) {
+	cfg := cpu.ConfigA72()
+	r := newTestRunner(t, cfg, "sha")
+	rf := r.FaultList("RF", 40, 3)
+	rob := r.FaultList("ROB", 40, 3)
+
+	serialRF := r.Run(rf, ModeHVF, 0, 2)
+	serialROB := r.Run(rob, ModeHVF, 0, 2)
+
+	b := NewBudget(2)
+	var concRF, concROB []Result
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); concRF = r.RunBudget(rf, ModeHVF, 0, b) }()
+	go func() { defer wg.Done(); concROB = r.RunBudget(rob, ModeHVF, 0, b) }()
+	wg.Wait()
+
+	if b.InUse() != 0 {
+		t.Errorf("budget not drained: %d in use", b.InUse())
+	}
+	if !reflect.DeepEqual(serialRF, concRF) {
+		t.Error("RF results diverge between serial Run and shared-budget RunBudget")
+	}
+	if !reflect.DeepEqual(serialROB, concROB) {
+		t.Error("ROB results diverge between serial Run and shared-budget RunBudget")
+	}
+}
+
+// TestMultiBitBoundaryNoWrap is the regression test for the wrap-around
+// injection bug: a multi-bit fault whose start bit sits at the very top of
+// the array must flip only in-array neighbours (never bit 0), on both the
+// 64-bit and 32-bit machine models.
+func TestMultiBitBoundaryNoWrap(t *testing.T) {
+	for _, cfg := range []cpu.Config{cpu.ConfigA72(), cpu.ConfigA15()} {
+		r := newTestRunner(t, cfg, "bitcount")
+		for _, structure := range []string{"RF", "ROB", "L1D (Data)"} {
+			const width = 4
+			bits := r.BitCounts[structure]
+			// Generated lists must respect the cap...
+			for _, f := range r.MultiBitFaultList(structure, 200, width, 11) {
+				if f.Bit+uint64(f.Bits()) > bits {
+					t.Fatalf("%s/%s: generated fault %s wraps (array %d bits)",
+						cfg.Name, structure, f, bits)
+				}
+			}
+			// ...and the extreme legal placement must inject cleanly.
+			top := fault.Fault{
+				Structure: structure,
+				Bit:       bits - width,
+				Cycle:     r.Golden.Cycles / 2,
+				Width:     width,
+			}
+			res := r.Run([]fault.Fault{top}, ModeHVF, 0, 1)
+			if len(res) != 1 {
+				t.Fatalf("%s/%s: boundary fault produced %d results", cfg.Name, structure, len(res))
+			}
+		}
+	}
+}
+
+func TestInjectWrappingFaultPanics(t *testing.T) {
+	r := newTestRunner(t, cpu.ConfigA72(), "bitcount")
+	bits := r.BitCounts["RF"]
+	wrap := fault.Fault{Structure: "RF", Bit: bits - 1, Cycle: 100, Width: 2}
+	// Call the injection half directly (not via Run, whose worker
+	// goroutine would turn the panic into a process abort).
+	m := cpu.New(r.Cfg, r.Prog)
+	defer func() {
+		if recover() == nil {
+			t.Error("injecting a wrapping multi-bit fault must panic")
+		}
+	}()
+	r.injectAndObserve(m, wrap, ModeHVF, 0)
+}

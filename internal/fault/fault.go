@@ -77,8 +77,20 @@ func List(structure string, n int, bitCount, totalCycles uint64, seed int64) []F
 // ListMultiBit generates n spatial multi-bit faults of the given width
 // (adjacent bits), sampled like List. Used for the Section VII.A
 // multi-bit-upset analysis.
+//
+// Start bits are sampled from [0, bitCount-width] so the flipped range
+// [Bit, Bit+width) never runs past the end of the array: a fault sampled
+// near the top must not wrap around and "adjacently" flip bit 0, which is
+// not a spatial neighbour of the last cell. Widths larger than the array
+// yield no faults.
 func ListMultiBit(structure string, n, width int, bitCount, totalCycles uint64, seed int64) []Fault {
-	faults := List(structure, n, bitCount, totalCycles, seed)
+	if width < 1 {
+		width = 1
+	}
+	if uint64(width) > bitCount {
+		return nil
+	}
+	faults := List(structure, n, bitCount-uint64(width)+1, totalCycles, seed)
 	for i := range faults {
 		faults[i].Width = width
 	}

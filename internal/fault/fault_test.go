@@ -72,6 +72,58 @@ func TestListEmptyInputs(t *testing.T) {
 	}
 }
 
+func TestListMultiBitNoWrap(t *testing.T) {
+	// Start bits must be capped at bitCount-width: a multi-bit fault near
+	// the top of the array must never wrap around to bit 0 (wrapped bits
+	// are not spatial neighbours, Section VII.A).
+	for _, width := range []int{2, 4, 8} {
+		const bitCount = 64
+		fs := ListMultiBit("RF", 5000, width, bitCount, 1000, 42)
+		if len(fs) != 5000 {
+			t.Fatalf("width %d: len = %d", width, len(fs))
+		}
+		top := uint64(0)
+		for _, f := range fs {
+			if f.Bits() != width {
+				t.Fatalf("width %d: Bits() = %d", width, f.Bits())
+			}
+			last := f.Bit + uint64(f.Bits()) - 1
+			if last >= bitCount {
+				t.Fatalf("width %d: fault %s wraps past bit %d", width, f, bitCount-1)
+			}
+			if last > top {
+				top = last
+			}
+		}
+		// The cap must not truncate the population: with 5000 samples over
+		// 64-width+1 start bits, the very last bit should still be hit.
+		if top != bitCount-1 {
+			t.Errorf("width %d: top flipped bit %d, want %d reachable", width, top, bitCount-1)
+		}
+	}
+}
+
+func TestListMultiBitDegenerateWidths(t *testing.T) {
+	// Width <= 1 must behave exactly like the single-bit generator.
+	a := List("RF", 50, 128, 1000, 9)
+	b := ListMultiBit("RF", 50, 1, 128, 1000, 9)
+	for i := range a {
+		if a[i].Bit != b[i].Bit || a[i].Cycle != b[i].Cycle {
+			t.Fatal("width-1 multi-bit list diverges from single-bit list")
+		}
+	}
+	// Width wider than the array has no valid placement.
+	if fs := ListMultiBit("RF", 10, 9, 8, 1000, 1); fs != nil {
+		t.Errorf("width > bitCount should yield nil, got %d faults", len(fs))
+	}
+	// Width == bitCount has exactly one placement: bit 0.
+	for _, f := range ListMultiBit("RF", 10, 8, 8, 1000, 1) {
+		if f.Bit != 0 {
+			t.Errorf("width == bitCount must pin start bit to 0, got %d", f.Bit)
+		}
+	}
+}
+
 func TestSeedStable(t *testing.T) {
 	a := Seed("RF", "sha", 1)
 	if a != Seed("RF", "sha", 1) {

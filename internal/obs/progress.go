@@ -40,6 +40,11 @@ type ProgressSnapshot struct {
 	// (negative when no campaign has been announced yet).
 	ETASec float64 `json:"eta_sec"`
 
+	// DupAnnounces counts StartCampaign calls dropped because the same
+	// (structure, workload, mode) triple was already in flight — always 0
+	// once the study-level single-flight executor is doing its job.
+	DupAnnounces int64 `json:"dup_announces,omitempty"`
+
 	Pairs []PairProgress `json:"pairs"`
 }
 
@@ -55,10 +60,11 @@ type Progress struct {
 	pairs map[string]*PairProgress
 	order []string
 
-	faultsDone  int64
-	faultsTotal int64
-	simCycles   uint64
-	exhCycles   uint64
+	faultsDone   int64
+	faultsTotal  int64
+	simCycles    uint64
+	exhCycles    uint64
+	dupAnnounces int64
 }
 
 // NewProgress returns a reporter whose Logf lines and ticker output go to
@@ -81,11 +87,21 @@ func (p *Progress) SetClock(now func() time.Time) {
 }
 
 // StartCampaign announces a campaign of total faults for one
-// (structure, workload, mode) triple; repeated announcements accumulate.
+// (structure, workload, mode) triple. Announcements are idempotent while a
+// previous campaign on the same triple is still draining: a duplicate
+// announcement arriving before the outstanding total completes is dropped
+// (and counted in DupAnnounces), so concurrent re-runs of one pair can
+// never inflate its total beyond the fault-list size. Once a pair has
+// fully drained, a new announcement accumulates as a genuine re-run (e.g.
+// the multi-bit ablation revisits the same triple with fresh fault lists).
 func (p *Progress) StartCampaign(structure, workload, mode string, total int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	pp := p.pair(structure, workload, mode)
+	if pp.Done < pp.Total {
+		p.dupAnnounces++
+		return
+	}
 	pp.Total += total
 	p.faultsTotal += int64(total)
 }
@@ -114,6 +130,13 @@ func (p *Progress) FaultDone(structure, workload, mode string, simCycles, exhaus
 	p.faultsDone++
 	p.simCycles += simCycles
 	p.exhCycles += exhaustiveCycles
+	// A dropped duplicate announcement can leave completions outrunning
+	// the announced total (two genuinely distinct campaigns racing on one
+	// triple); grow the total so the pair never reads above 100%.
+	if pp.Done > pp.Total {
+		pp.Total = pp.Done
+		p.faultsTotal++
+	}
 }
 
 // Snapshot returns the current progress state.
@@ -122,9 +145,10 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 	defer p.mu.Unlock()
 	el := p.now().Sub(p.start).Seconds()
 	s := ProgressSnapshot{
-		ElapsedSec:  el,
-		FaultsDone:  p.faultsDone,
-		FaultsTotal: p.faultsTotal,
+		ElapsedSec:   el,
+		FaultsDone:   p.faultsDone,
+		FaultsTotal:  p.faultsTotal,
+		DupAnnounces: p.dupAnnounces,
 	}
 	if el > 0 {
 		s.FaultsPerSec = float64(p.faultsDone) / el

@@ -56,6 +56,53 @@ func TestProgressSnapshot(t *testing.T) {
 	}
 }
 
+func TestStartCampaignIdempotentWhileInFlight(t *testing.T) {
+	p := NewProgress(io.Discard)
+	const n = 80 // the fault-list size
+	p.StartCampaign("RF", "sha", "exhaustive", n)
+	// Duplicate announcements for an in-flight pair (the old cache race)
+	// must be dropped: the total never exceeds the fault-list size.
+	p.StartCampaign("RF", "sha", "exhaustive", n)
+	p.StartCampaign("RF", "sha", "exhaustive", n)
+	for i := 0; i < n; i++ {
+		p.FaultDone("RF", "sha", "exhaustive", 10, 10)
+		if s := p.Snapshot(); s.FaultsTotal > n || s.Pairs[0].Total > n {
+			t.Fatalf("total inflated beyond fault-list size: %d/%d (pair %d)",
+				s.FaultsDone, s.FaultsTotal, s.Pairs[0].Total)
+		}
+	}
+	s := p.Snapshot()
+	if s.FaultsDone != n || s.FaultsTotal != n || s.Pairs[0].Total != n {
+		t.Fatalf("done/total %d/%d pair total %d, want all %d", s.FaultsDone, s.FaultsTotal, s.Pairs[0].Total, n)
+	}
+	if s.DupAnnounces != 2 {
+		t.Errorf("DupAnnounces = %d, want 2", s.DupAnnounces)
+	}
+
+	// Once the pair has drained, a genuine re-run (same triple, fresh
+	// fault list — e.g. the multi-bit ablation) accumulates again.
+	p.StartCampaign("RF", "sha", "exhaustive", n)
+	if s := p.Snapshot(); s.FaultsTotal != 2*n {
+		t.Errorf("post-drain announcement: total %d, want %d", s.FaultsTotal, 2*n)
+	}
+}
+
+func TestFaultDoneGrowsTotalWhenOutrun(t *testing.T) {
+	// Two distinct campaigns racing on one triple can leave completions
+	// outrunning the announced total after the duplicate announcement was
+	// dropped; the pair must clamp to 100%, never read above it.
+	p := NewProgress(io.Discard)
+	p.StartCampaign("RF", "sha", "exhaustive", 2)
+	p.StartCampaign("RF", "sha", "exhaustive", 2) // dropped
+	for i := 0; i < 4; i++ {
+		p.FaultDone("RF", "sha", "exhaustive", 1, 1)
+	}
+	s := p.Snapshot()
+	if s.Pairs[0].Done != 4 || s.Pairs[0].Total != 4 || s.FaultsTotal != 4 {
+		t.Fatalf("pair %d/%d total %d, want 4/4 total 4", s.Pairs[0].Done, s.Pairs[0].Total, s.FaultsTotal)
+	}
+}
+
 func TestProgressConcurrent(t *testing.T) {
 	p := NewProgress(io.Discard)
 	const workers = 8

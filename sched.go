@@ -1,0 +1,169 @@
+package avgi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"avgi/internal/campaign"
+	"avgi/internal/obs"
+)
+
+// This file is the study-level campaign scheduler: a single-flight
+// executor keyed by (structure, workload, mode, window) in front of a
+// global worker budget shared by every campaign of the study.
+//
+// Two problems it solves (see docs/SCHEDULING.md):
+//
+//  1. The old per-map caching had a check-then-act race: two concurrent
+//     callers could both miss the cache and silently run the same
+//     multi-thousand-fault campaign twice, double-announcing progress
+//     totals. Single-flight makes the second caller block on the first
+//     caller's in-flight result instead.
+//
+//  2. Experiments used to walk (structure, workload) pairs serially, so
+//     each campaign's tail drained the worker pool to idle before the
+//     next pair started. With all campaigns drawing from one
+//     campaign.Budget, Prefetch overlaps pairs: one campaign's tail is
+//     filled with the next campaign's head, keeping every core busy
+//     across the whole grid — how the paper's 726k-injection evaluation
+//     saturates its 192-core servers.
+//
+// Determinism: results are byte-identical to serial execution. Fault
+// lists are deterministic per (structure, workload, seed), and each
+// campaign worker owns a fixed contiguous chunk of its list, so only
+// scheduling order changes — never outcomes.
+
+// campaignKey identifies one deduplicated campaign execution. The window
+// is part of the key because AVGI-mode campaigns with different ERT
+// windows simulate different amounts of the program (exhaustive and HVF
+// runs use window 0).
+type campaignKey struct {
+	structure, workload string
+	mode                campaign.Mode
+	window              uint64
+}
+
+// flight is one in-flight (or completed) campaign execution. done is
+// closed when res is valid; late callers block on it instead of
+// recomputing.
+type flight struct {
+	done chan struct{}
+	res  []CampaignResult
+}
+
+// schedObs holds the scheduler's telemetry instruments; the zero value
+// (observer absent) disables everything.
+type schedObs struct {
+	inflight *obs.Gauge   // campaigns currently executing
+	dedup    *obs.Counter // callers served by an existing flight
+	live     atomic.Int64
+}
+
+// initSched wires the scheduler state into a freshly built study.
+func (s *Study) initSched() {
+	s.flights = make(map[campaignKey]*flight)
+	s.budget = campaign.NewBudget(s.Cfg.Workers)
+	if o := s.Cfg.Obs; o != nil && o.Metrics != nil {
+		reg := o.Metrics
+		lb := map[string]string{"machine": s.Cfg.Machine.Name}
+		reg.Gauge("avgi_sched_budget_capacity",
+			"study-wide worker budget shared by all concurrent campaigns", lb).
+			Set(float64(s.budget.Cap()))
+		s.budget.SetGauge(reg.Gauge("avgi_sched_budget_busy",
+			"campaign workers currently drawing from the study budget", lb))
+		s.sched.inflight = reg.Gauge("avgi_sched_inflight_campaigns",
+			"campaigns currently executing under the scheduler", lb)
+		s.sched.dedup = reg.Counter("avgi_sched_dedup_hits_total",
+			"campaign requests coalesced onto an already in-flight or completed execution", lb)
+	}
+}
+
+// Budget returns the study's global worker budget, for callers that run
+// ad-hoc campaigns (e.g. the multi-bit ablation) and want them to share
+// the study's capacity instead of oversubscribing it.
+func (s *Study) Budget() *campaign.Budget { return s.budget }
+
+// runCampaign is the single-flight campaign executor: exactly one
+// execution per key, concurrent callers coalesce onto it, results are
+// cached for the study's lifetime.
+func (s *Study) runCampaign(structure, workload string, mode Mode, window uint64) []CampaignResult {
+	key := campaignKey{structure, workload, mode, window}
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		if s.sched.dedup != nil {
+			s.sched.dedup.Inc()
+		}
+		<-f.done
+		return f.res
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	// Close even if the campaign panics, so coalesced waiters unblock
+	// (with a nil result) instead of hanging while the panic propagates.
+	defer close(f.done)
+	if s.sched.inflight != nil {
+		s.sched.inflight.Set(float64(s.sched.live.Add(1)))
+		defer func() { s.sched.inflight.Set(float64(s.sched.live.Add(-1))) }()
+	}
+
+	r := s.runners[workload]
+	var sp *obs.SpanRef
+	if mode == campaign.ModeAVGI {
+		sp = s.Cfg.Obs.Span("assess "+structure+" "+workload, "estimator",
+			map[string]string{"structure": structure, "workload": workload, "window": fmt.Sprint(window)})
+	}
+	f.res = r.RunBudget(s.faultsFor(structure, workload), mode, window, s.budget)
+	sp.End()
+	return f.res
+}
+
+// Prefetch dispatches the campaigns of every (structure, workload) pair in
+// the given mode concurrently under the study's worker budget and blocks
+// until all have completed. Pairs already cached (or in flight) coalesce
+// for free, so prefetching is always safe to layer in front of a serial
+// consumption loop. mode must be ModeExhaustive or ModeHVF — AVGI-mode
+// campaigns need per-structure windows; use PrefetchAVGI.
+func (s *Study) Prefetch(structures, workloads []string, mode Mode) {
+	if mode == campaign.ModeAVGI {
+		panic("avgi: Prefetch cannot derive AVGI windows; use PrefetchAVGI")
+	}
+	var wg sync.WaitGroup
+	for _, structure := range structures {
+		for _, w := range workloads {
+			wg.Add(1)
+			go func(structure, w string) {
+				defer wg.Done()
+				s.runCampaign(structure, w, mode, 0)
+			}(structure, w)
+		}
+	}
+	wg.Wait()
+}
+
+// PrefetchAVGI overlaps AVGI-mode campaigns across pairs, deriving each
+// structure's ERT stop window from the estimator exactly as AVGIRun does.
+func (s *Study) PrefetchAVGI(est *Estimator, structures, workloads []string) {
+	var wg sync.WaitGroup
+	for _, structure := range structures {
+		for _, w := range workloads {
+			wg.Add(1)
+			go func(structure, w string) {
+				defer wg.Done()
+				window := est.WindowFor(structure, s.runners[w].Golden.Cycles)
+				s.runCampaign(structure, w, campaign.ModeAVGI, window)
+			}(structure, w)
+		}
+	}
+	wg.Wait()
+}
+
+// RunAll prefetches the full (structure × workload) grid of the study in
+// the given mode — the bulk-dispatch entry point for experiments that
+// consume every pair (Table II, Fig. 9, Fig. 10).
+func (s *Study) RunAll(mode Mode) {
+	s.Prefetch(s.Cfg.Structures, s.WorkloadNames(), mode)
+}

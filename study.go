@@ -23,7 +23,9 @@ type StudyConfig struct {
 	// workload) pair; the paper uses 2,000 (2.88% error at 99%
 	// confidence), the harness default is 400.
 	FaultsPerStructure int
-	// Workers bounds campaign parallelism (0 = all CPUs).
+	// Workers is the study-wide worker budget (0 = all CPUs): the total
+	// campaign parallelism shared by every concurrent campaign of the
+	// study, not a per-campaign count. See docs/SCHEDULING.md.
 	Workers int
 	// SeedBase makes the whole study reproducible.
 	SeedBase int64
@@ -57,17 +59,22 @@ func (c *StudyConfig) fill() {
 	}
 }
 
-// Study owns golden runs and caches campaign results so each experiment
-// reuses the expensive exhaustive ground truth instead of recomputing it.
+// Study owns golden runs and schedules campaigns: a single-flight
+// executor deduplicates concurrent requests for the same
+// (structure, workload, mode, window) campaign and caches its results for
+// the study's lifetime, and a global worker budget shared by all in-flight
+// campaigns keeps the whole (structure × workload) grid saturated (see
+// docs/SCHEDULING.md and Prefetch/RunAll in sched.go).
 type Study struct {
 	Cfg StudyConfig
 
 	runners map[string]*Runner
+	budget  *campaign.Budget
 
-	mu         sync.Mutex
-	exhaustive map[string]map[string][]CampaignResult // [structure][workload]
-	hvf        map[string]map[string][]CampaignResult
-	avgi       map[string][]CampaignResult // "structure|workload|window"
+	mu      sync.Mutex
+	flights map[campaignKey]*flight
+
+	sched schedObs
 }
 
 // NewStudy performs the golden run of every workload.
@@ -79,12 +86,10 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		}
 	}
 	st := &Study{
-		Cfg:        cfg,
-		runners:    make(map[string]*Runner),
-		exhaustive: make(map[string]map[string][]CampaignResult),
-		hvf:        make(map[string]map[string][]CampaignResult),
-		avgi:       make(map[string][]CampaignResult),
+		Cfg:     cfg,
+		runners: make(map[string]*Runner),
 	}
+	st.initSched()
 	allGolden := cfg.Obs.Span("golden runs", "golden",
 		map[string]string{"machine": cfg.Machine.Name, "workloads": fmt.Sprint(len(cfg.Workloads))})
 	for _, w := range cfg.Workloads {
@@ -124,60 +129,23 @@ func (s *Study) faultsFor(structure, workload string) []Fault {
 
 // Exhaustive returns (running on first use, cached afterwards) the
 // traditional end-to-end SFI results for one pair — the study's ground
-// truth.
+// truth. Concurrent callers of the same pair coalesce onto a single
+// execution (see runCampaign in sched.go).
 func (s *Study) Exhaustive(structure, workload string) []CampaignResult {
-	return s.cached(s.exhaustive, structure, workload, campaign.ModeExhaustive, 0)
+	return s.runCampaign(structure, workload, campaign.ModeExhaustive, 0)
 }
 
 // HVF returns the stop-at-first-deviation results for one pair.
 func (s *Study) HVF(structure, workload string) []CampaignResult {
-	return s.cached(s.hvf, structure, workload, campaign.ModeHVF, 0)
-}
-
-func (s *Study) cached(cache map[string]map[string][]CampaignResult,
-	structure, workload string, mode Mode, ert uint64) []CampaignResult {
-	s.mu.Lock()
-	if perW, ok := cache[structure]; ok {
-		if res, ok := perW[workload]; ok {
-			s.mu.Unlock()
-			return res
-		}
-	}
-	s.mu.Unlock()
-
-	r := s.runners[workload]
-	res := r.Run(s.faultsFor(structure, workload), mode, ert, s.Cfg.Workers)
-
-	s.mu.Lock()
-	if cache[structure] == nil {
-		cache[structure] = make(map[string][]CampaignResult)
-	}
-	cache[structure][workload] = res
-	s.mu.Unlock()
-	return res
+	return s.runCampaign(structure, workload, campaign.ModeHVF, 0)
 }
 
 // AVGIRun executes the short AVGI-mode campaign for one pair under the
 // estimator's ERT window, cached by window since several experiments
 // revisit the same pair.
 func (s *Study) AVGIRun(est *Estimator, structure, workload string) ([]CampaignResult, uint64) {
-	r := s.runners[workload]
-	window := est.WindowFor(structure, r.Golden.Cycles)
-	key := fmt.Sprintf("%s|%s|%d", structure, workload, window)
-	s.mu.Lock()
-	if res, ok := s.avgi[key]; ok {
-		s.mu.Unlock()
-		return res, window
-	}
-	s.mu.Unlock()
-	sp := s.Cfg.Obs.Span("assess "+structure+" "+workload, "estimator",
-		map[string]string{"structure": structure, "workload": workload, "window": fmt.Sprint(window)})
-	res := r.Run(s.faultsFor(structure, workload), campaign.ModeAVGI, window, s.Cfg.Workers)
-	sp.End()
-	s.mu.Lock()
-	s.avgi[key] = res
-	s.mu.Unlock()
-	return res, window
+	window := est.WindowFor(structure, s.runners[workload].Golden.Cycles)
+	return s.runCampaign(structure, workload, campaign.ModeAVGI, window), window
 }
 
 // TrainingData assembles the estimator's training input from the cached
@@ -194,6 +162,15 @@ func (s *Study) TrainingData(structures []string, exclude ...string) core.Traini
 		TotalCycles: make(map[string]uint64),
 		Exposure:    make(map[string]map[string]float64),
 	}
+	var wls []string
+	for _, w := range s.Cfg.Workloads {
+		if !skip[w.Name] {
+			wls = append(wls, w.Name)
+		}
+	}
+	// Overlap the training campaigns across the whole grid; the serial
+	// loop below then only reads cached results.
+	s.Prefetch(structures, wls, campaign.ModeExhaustive)
 	for _, structure := range structures {
 		td.Results[structure] = make(map[string][]campaign.Result)
 		td.Exposure[structure] = make(map[string]float64)
@@ -233,8 +210,10 @@ func (s *Study) GroundTruthAVF(structure, workload string) AVF {
 	return core.AVFFromEffects(campaign.Summarize(s.Exhaustive(structure, workload)))
 }
 
-// Summaries returns per-workload exhaustive summaries for a structure.
+// Summaries returns per-workload exhaustive summaries for a structure,
+// overlapping the structure's campaigns across workloads.
 func (s *Study) Summaries(structure string) map[string]CampaignSummary {
+	s.Prefetch([]string{structure}, s.WorkloadNames(), campaign.ModeExhaustive)
 	out := make(map[string]CampaignSummary)
 	for _, w := range s.Cfg.Workloads {
 		out[w.Name] = campaign.Summarize(s.Exhaustive(structure, w.Name))
@@ -255,6 +234,7 @@ func (s *Study) IMMDistribution(structure string) map[string]map[IMM]float64 {
 // EffectPerIMM returns, per workload and IMM class, the conditional final
 // effect distribution from exhaustive runs (Fig. 4).
 func (s *Study) EffectPerIMM(structure string) map[string]map[IMM]core.EffectProbs {
+	s.Prefetch([]string{structure}, s.WorkloadNames(), campaign.ModeExhaustive)
 	out := make(map[string]map[IMM]core.EffectProbs)
 	for _, w := range s.Cfg.Workloads {
 		results := s.Exhaustive(structure, w.Name)

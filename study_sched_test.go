@@ -1,0 +1,232 @@
+package avgi
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"avgi/internal/campaign"
+)
+
+// schedTestConfig is the small overlapping-pair grid the scheduler tests
+// drive: every goroutine walks all four pairs, so single-flight coalescing
+// is exercised on every campaign.
+var (
+	schedWorkloads  = []string{"sha", "crc32"}
+	schedStructures = []string{"RF", "ROB"}
+)
+
+const schedFaults = 16
+
+func newSchedStudy(t *testing.T, obsv *Observer) *Study {
+	t.Helper()
+	s, err := NewStudy(StudyConfig{
+		Machine:            ConfigA72(),
+		Workloads:          pick(t, schedWorkloads...),
+		Structures:         schedStructures,
+		FaultsPerStructure: schedFaults,
+		Workers:            4,
+		SeedBase:           7,
+		Obs:                obsv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// counterValue finds one labelled counter series in the registry.
+func counterValue(t *testing.T, reg *MetricsRegistry, name string, labels map[string]string) uint64 {
+	t.Helper()
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != name {
+			continue
+		}
+		for _, s := range fam.Series {
+			match := true
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s.Value
+			}
+		}
+	}
+	t.Fatalf("metric %s%v not found", name, labels)
+	return 0
+}
+
+func gaugeValue(t *testing.T, reg *MetricsRegistry, name string) float64 {
+	t.Helper()
+	for _, fam := range reg.Snapshot() {
+		if fam.Name == name && len(fam.Series) > 0 {
+			return fam.Series[0].GaugeValue
+		}
+	}
+	t.Fatalf("gauge %s not found", name)
+	return 0
+}
+
+// TestConcurrentStudySingleFlight drives one Study from eight concurrent
+// goroutines over overlapping (structure, workload) pairs in two modes and
+// proves, under -race:
+//
+//   - each (structure, workload, mode, window) campaign executed exactly
+//     once (obs fault counters equal the fault-list size, never a multiple),
+//   - every other caller coalesced onto the in-flight execution (dedup
+//     counter accounts for all remaining calls),
+//   - per-pair progress totals never exceeded the fault-list size, and
+//   - results are byte-identical to a serial run of the same study config.
+func TestConcurrentStudySingleFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent + serial campaign grids in -short mode")
+	}
+	obsv := NewObserver(nil)
+	s := newSchedStudy(t, obsv)
+
+	const goroutines = 8
+	type key struct{ structure, workload, mode string }
+	results := make([]map[key][]CampaignResult, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mine := make(map[key][]CampaignResult)
+			// Rotate the pair order per goroutine so callers collide on
+			// different campaigns at different times.
+			for i := 0; i < len(schedStructures)*len(schedWorkloads); i++ {
+				j := (i + g) % (len(schedStructures) * len(schedWorkloads))
+				structure := schedStructures[j%len(schedStructures)]
+				workload := schedWorkloads[j/len(schedStructures)]
+				mine[key{structure, workload, "exhaustive"}] = s.Exhaustive(structure, workload)
+				mine[key{structure, workload, "hvf"}] = s.HVF(structure, workload)
+			}
+			results[g] = mine
+		}(g)
+	}
+	wg.Wait()
+
+	// All goroutines must have observed the same slices.
+	for g := 1; g < goroutines; g++ {
+		for k, res := range results[0] {
+			got := results[g][k]
+			if len(got) != len(res) || &got[0] != &res[0] {
+				t.Fatalf("goroutine %d got a different result slice for %v", g, k)
+			}
+		}
+	}
+
+	// Exactly-once execution: the campaign layer counted each fault once.
+	reg := obsv.Metrics
+	for _, structure := range schedStructures {
+		for _, workload := range schedWorkloads {
+			for _, mode := range []string{"exhaustive", "hvf"} {
+				n := counterValue(t, reg, "avgi_campaign_faults_total",
+					map[string]string{"structure": structure, "workload": workload, "mode": mode})
+				if n != schedFaults {
+					t.Errorf("%s/%s/%s executed %d faults, want exactly %d (ran %.1fx)",
+						structure, workload, mode, n, schedFaults, float64(n)/schedFaults)
+				}
+			}
+		}
+	}
+
+	// The other 7 callers of each of the 8 campaigns coalesced.
+	campaigns := uint64(len(schedStructures) * len(schedWorkloads) * 2)
+	calls := uint64(goroutines) * campaigns
+	if hits := counterValue(t, reg, "avgi_sched_dedup_hits_total", nil); hits != calls-campaigns {
+		t.Errorf("dedup hits = %d, want %d", hits, calls-campaigns)
+	}
+
+	// Per-pair progress totals never inflated past the fault-list size.
+	snap := obsv.Progress.Snapshot()
+	if snap.DupAnnounces != 0 {
+		t.Errorf("%d duplicate StartCampaign announcements reached Progress", snap.DupAnnounces)
+	}
+	for _, pp := range snap.Pairs {
+		if pp.Total != schedFaults || pp.Done != schedFaults {
+			t.Errorf("pair %s/%s/%s progress %d/%d, want %d/%d",
+				pp.Structure, pp.Workload, pp.Mode, pp.Done, pp.Total, schedFaults, schedFaults)
+		}
+	}
+	if want := int64(campaigns) * schedFaults; snap.FaultsDone != want || snap.FaultsTotal != want {
+		t.Errorf("study progress %d/%d, want %d/%d", snap.FaultsDone, snap.FaultsTotal, want, want)
+	}
+
+	// Scheduler gauges drained.
+	if v := gaugeValue(t, reg, "avgi_sched_inflight_campaigns"); v != 0 {
+		t.Errorf("inflight gauge = %v at rest", v)
+	}
+	if v := gaugeValue(t, reg, "avgi_sched_budget_busy"); v != 0 {
+		t.Errorf("budget busy gauge = %v at rest", v)
+	}
+	if v := gaugeValue(t, reg, "avgi_sched_budget_capacity"); v != 4 {
+		t.Errorf("budget capacity gauge = %v, want 4", v)
+	}
+
+	// Determinism: a serial run of the same study config produces
+	// byte-identical results and summaries.
+	serial := newSchedStudy(t, nil)
+	for _, structure := range schedStructures {
+		for _, workload := range schedWorkloads {
+			k := key{structure, workload, "exhaustive"}
+			want := serial.Exhaustive(structure, workload)
+			if !reflect.DeepEqual(results[0][k], want) {
+				t.Errorf("%s/%s exhaustive results diverge from serial execution", structure, workload)
+			}
+			k = key{structure, workload, "hvf"}
+			if !reflect.DeepEqual(results[0][k], serial.HVF(structure, workload)) {
+				t.Errorf("%s/%s hvf results diverge from serial execution", structure, workload)
+			}
+			a := campaign.Summarize(results[0][key{structure, workload, "exhaustive"}])
+			b := campaign.Summarize(want)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s/%s summaries diverge: %v vs %v", structure, workload, a, b)
+			}
+		}
+	}
+}
+
+// TestPrefetchCoalescesWithSerialConsumers checks that layering Prefetch
+// in front of the usual serial accessors is free: the prefetched grid is
+// reused, nothing runs twice, and RunAll after the fact is a no-op.
+func TestPrefetchCoalescesWithSerialConsumers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign grid in -short mode")
+	}
+	obsv := NewObserver(nil)
+	s := newSchedStudy(t, obsv)
+	s.RunAll(ModeExhaustive)
+	for _, structure := range schedStructures {
+		for _, workload := range schedWorkloads {
+			s.Exhaustive(structure, workload) // cached
+		}
+	}
+	s.RunAll(ModeExhaustive) // fully coalesced
+	for _, structure := range schedStructures {
+		for _, workload := range schedWorkloads {
+			n := counterValue(t, obsv.Metrics, "avgi_campaign_faults_total",
+				map[string]string{"structure": structure, "workload": workload, "mode": "exhaustive"})
+			if n != schedFaults {
+				t.Errorf("%s/%s ran %d faults, want exactly %d", structure, workload, n, schedFaults)
+			}
+		}
+	}
+	if s.Budget().InUse() != 0 {
+		t.Errorf("budget not drained: %d", s.Budget().InUse())
+	}
+}
+
+func TestPrefetchAVGIModePanics(t *testing.T) {
+	s := getStudy(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Prefetch with ModeAVGI must panic (windows need an estimator)")
+		}
+	}()
+	s.Prefetch([]string{"RF"}, []string{"sha"}, ModeAVGI)
+}
