@@ -43,6 +43,9 @@ var (
 	flagFork         = flag.String("fork", "snapshot", "per-fault fork policy: snapshot (checkpoint store) or clone (legacy deep copy)")
 	flagCkptInterval = flag.Uint64("ckpt-interval", 0, "checkpoint spacing in cycles for the snapshot fork policy (0 = derive from golden length)")
 
+	flagJournal = flag.String("journal", "", "append completed per-fault results as NDJSON shards under this directory (see docs/ROBUSTNESS.md)")
+	flagResume  = flag.Bool("resume", false, "with -journal: load fully journalled campaigns and resume partial ones instead of re-simulating")
+
 	flagProgress    = flag.Bool("progress", false, "print live throughput/ETA progress lines to stderr")
 	flagMetricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /progress.json on this address (e.g. localhost:9090)")
 	flagTraceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON of the study phases to this file (open in chrome://tracing)")
@@ -145,6 +148,13 @@ scheduling (see docs/SCHEDULING.md):
                      these N workers, so one campaign's tail is filled
                      with the next campaign's head
 
+fault tolerance (see docs/ROBUSTNESS.md):
+  -journal DIR       append completed per-fault results as durable NDJSON
+                     shards (fsynced per chunk), one shard per campaign
+  -resume            consult the journal before simulating: fully
+                     journalled campaigns load, partial ones resume from
+                     the first missing fault — byte-identical results
+
 flags:
 `)
 	flag.PrintDefaults()
@@ -205,6 +215,9 @@ func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload, obsv *avg
 	if err != nil {
 		return nil, err
 	}
+	if *flagResume && *flagJournal == "" {
+		return nil, fmt.Errorf("-resume requires -journal DIR")
+	}
 	obsv.Logf("building study: %s, %d workloads, %d structures, %d faults each...",
 		machine.Name, len(workloads), len(selectedStructures()), *flagFaults)
 	start := time.Now()
@@ -218,6 +231,8 @@ func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload, obsv *avg
 		Obs:                obsv,
 		ForkPolicy:         policy,
 		CheckpointInterval: *flagCkptInterval,
+		JournalDir:         *flagJournal,
+		Resume:             *flagResume,
 	})
 	if err != nil {
 		return nil, err

@@ -29,6 +29,7 @@ import (
 	"avgi/internal/cpu"
 	"avgi/internal/fault"
 	"avgi/internal/isa"
+	"avgi/internal/journal"
 )
 
 var (
@@ -45,6 +46,9 @@ var (
 	flagFork         = flag.String("fork", "snapshot", "per-fault fork policy: snapshot (checkpoint store) or clone (legacy deep copy)")
 	flagCkptInterval = flag.Uint64("ckpt-interval", 0, "checkpoint spacing in cycles for the snapshot fork policy (0 = derive from golden length)")
 	flagWorkers      = flag.Int("workers", 1, "worker budget for the injection run (0 = all CPUs; see docs/SCHEDULING.md)")
+
+	flagJournal = flag.String("journal", "", "journal the -inject result as an NDJSON shard under this directory (see docs/ROBUSTNESS.md)")
+	flagResume  = flag.Bool("resume", false, "with -journal: reuse a journalled result for the same fault instead of re-simulating")
 )
 
 func main() {
@@ -173,7 +177,10 @@ func run(name string, obsv *avgi.Observer) error {
 		if err := cpu.ValidateStructure(f.Structure); err != nil {
 			return err
 		}
-		res := r.Run([]fault.Fault{f}, campaign.ModeExhaustive, 0, *flagWorkers)[0]
+		res, err := injectJournalled(r, f, name, cfg)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("fault     %s\n", f)
 		fmt.Printf("IMM       %s\n", res.IMM)
 		fmt.Printf("effect    %s", res.Effect)
@@ -190,6 +197,62 @@ func run(name string, obsv *avgi.Observer) error {
 	}
 
 	// Plain golden run: show a digest of the output.
+	return goldenDigest(r, ref)
+}
+
+// injectJournalled runs one targeted injection through the durable journal
+// when -journal is set: with -resume a journalled result for the exact
+// same fault is reused, otherwise the fresh result is appended. The shard
+// is keyed like a one-fault exhaustive campaign of the study scheduler.
+func injectJournalled(r *avgi.Runner, f fault.Fault, workload string, cfg avgi.MachineConfig) (campaign.Result, error) {
+	run := func() campaign.Result {
+		return r.Run([]fault.Fault{f}, campaign.ModeExhaustive, 0, *flagWorkers)[0]
+	}
+	if *flagJournal == "" {
+		if *flagResume {
+			return campaign.Result{}, fmt.Errorf("-resume requires -journal DIR")
+		}
+		return run(), nil
+	}
+	j, err := journal.Open(*flagJournal)
+	if err != nil {
+		return campaign.Result{}, err
+	}
+	key := journal.Key{Structure: f.Structure, Workload: workload, Mode: campaign.ModeExhaustive.String(), Window: 0}
+	bind := journal.Binding{
+		Machine:     cfg.Name,
+		Variant:     cfg.Variant.String(),
+		ProgramHash: journal.HashProgram(r.Prog),
+		Seed:        0, // targeted injection: no sampled list
+		Faults:      1,
+	}
+	if *flagResume {
+		prior, err := j.Load(key, bind)
+		if err == nil {
+			// The shard is keyed by (structure, workload); the record
+			// must also carry the exact same fault, or a previous
+			// -inject with different BIT:CYCLE would be replayed.
+			if pr, ok := prior[0]; ok && pr.Fault == f {
+				fmt.Printf("journal   hit (result loaded from %s)\n", j.Dir())
+				return pr, nil
+			}
+		}
+	}
+	res := run()
+	w, err := j.Writer(key, bind, false)
+	if err != nil {
+		return res, nil // journal is best-effort; the result stands
+	}
+	w.Append(0, res)
+	if err := w.Close(); err == nil {
+		fmt.Printf("journal   result appended under %s\n", j.Dir())
+	}
+	return res, nil
+}
+
+// goldenDigest prints the golden-output head and verifies it against the
+// reference model.
+func goldenDigest(r *avgi.Runner, ref []byte) error {
 	out := r.Golden.Output
 	if len(out) > 32 {
 		out = out[:32]

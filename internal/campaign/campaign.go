@@ -102,6 +102,20 @@ const (
 	RunawayGraceCycles = 100_000
 )
 
+// Quarantine guard: a panicking injection (a simulator invariant trip on a
+// corrupted machine, a malformed fault) is isolated to its own Result
+// instead of killing the process — at the paper's scale (~726k injections
+// over days of wall clock) partial failure is the normal case and one
+// poisoned fault must not take down every in-flight campaign. A campaign
+// whose freshly simulated faults exceed the limit fraction of quarantined
+// results fails loudly with an aggregated error: at that rate the problem
+// is systemic (bad config, broken build), not a stray corrupted state.
+const (
+	// DefaultQuarantineLimit is the tolerated fraction of quarantined
+	// faults per campaign before it aborts with an aggregated error.
+	DefaultQuarantineLimit = 0.25
+)
+
 // Golden holds the fault-free reference run.
 type Golden struct {
 	Trace   []trace.Record
@@ -134,6 +148,22 @@ type Result struct {
 
 	// Crash records how a crashed run died.
 	Crash cpu.CrashKind
+
+	// Runaway reports that the run died by exhausting the runaway cycle
+	// budget (livelock) rather than a real machine crash event. The IMM
+	// and final-effect classification treat both identically (a hang is a
+	// crash to the injection rig), but summaries and the journal keep the
+	// distinction.
+	Runaway bool
+
+	// Quarantined reports that simulating this fault panicked; the panic
+	// was recovered, the worker's machine state discarded, and Err holds
+	// the panic message. A quarantined Result carries no classification
+	// and is excluded from every Summary tally except Quarantined.
+	Quarantined bool
+
+	// Err is the recovered panic message of a quarantined fault.
+	Err string
 }
 
 // Runner executes campaigns for one (machine config, workload) pair.
@@ -168,6 +198,12 @@ type Runner struct {
 	// RunawayFactor overrides DefaultRunawayFactor for the faulty-run
 	// cycle budget; 0 uses the default.
 	RunawayFactor uint64
+
+	// QuarantineLimit overrides DefaultQuarantineLimit, the tolerated
+	// fraction of quarantined (panicked) faults per campaign before the
+	// campaign aborts with an aggregated error. 0 uses the default;
+	// negative disables the limit entirely.
+	QuarantineLimit float64
 
 	// ckptOnce lazily records the checkpoint store on first snapshot-mode
 	// Run, so legacy-only and fault-list-only uses never pay for it.
@@ -355,6 +391,35 @@ func (r *Runner) Run(faults []fault.Fault, mode Mode, ert uint64, workers int) [
 // the (deterministic) fault list, so only scheduling changes, never
 // outcomes.
 func (r *Runner) RunBudget(faults []fault.Fault, mode Mode, ert uint64, budget *Budget) []Result {
+	return r.RunBudgetResume(faults, mode, ert, budget, nil, nil)
+}
+
+// ChunkSink receives freshly completed result chunks while a campaign is
+// still running — the hook the durable journal appends (and fsyncs)
+// through, so a crash mid-campaign loses at most the in-flight chunks.
+// ChunkDone is called concurrently from worker goroutines; implementations
+// must synchronize internally and must only read results[lo:hi].
+type ChunkSink interface {
+	ChunkDone(lo, hi int, results []Result)
+}
+
+// RunBudgetResume executes a fault list like RunBudget, resuming a
+// partially completed campaign: prior maps fault-list indices to already
+// known Results (loaded from a journal), which are copied into the output
+// instead of re-simulated. sink, when non-nil, is notified after each
+// chunk of fresh simulation completes. Chunk geometry is identical to a
+// from-scratch run — it depends only on the list length and the budget
+// capacity — so a resumed campaign's results are byte-identical to an
+// uninterrupted one.
+//
+// Each fault is simulated under a panic guard: a panicking injection
+// yields a quarantined Result (Quarantined, Err) instead of killing the
+// process, and the panicking worker discards its possibly corrupted
+// machine state — a pooled snapshot machine is dropped rather than
+// recycled, a legacy mother machine is rebuilt from cycle 0. If more than
+// QuarantineLimit of the freshly simulated faults quarantine, the campaign
+// itself panics with an aggregated error (see DefaultQuarantineLimit).
+func (r *Runner) RunBudgetResume(faults []fault.Fault, mode Mode, ert uint64, budget *Budget, prior map[int]Result, sink ChunkSink) []Result {
 	results := make([]Result, len(faults))
 	if len(faults) == 0 {
 		return results
@@ -363,7 +428,7 @@ func (r *Runner) RunBudget(faults []fault.Fault, mode Mode, ert uint64, budget *
 	if workers > len(faults) {
 		workers = len(faults)
 	}
-	ro := r.newRunObs(faults, mode)
+	ro := r.newRunObs(faults, mode, prior)
 	var store *ckpt.Store
 	var pool *ckpt.Pool
 	if r.ForkPolicy == ForkSnapshot {
@@ -373,7 +438,8 @@ func (r *Runner) RunBudget(faults []fault.Fault, mode Mode, ert uint64, budget *
 	// through its cycle-sorted slice (and, under ForkLegacyClone, its
 	// mother machine strictly forward). Chunk geometry depends only on the
 	// list length and the budget capacity — never on timing — which is
-	// what keeps results byte-identical under any interleaving.
+	// what keeps results byte-identical under any interleaving (and across
+	// resumed runs).
 	chunk := (len(faults) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for lo := 0; lo < len(faults); lo += chunk {
@@ -381,37 +447,99 @@ func (r *Runner) RunBudget(faults []fault.Fault, mode Mode, ert uint64, budget *
 		if hi > len(faults) {
 			hi = len(faults)
 		}
+		// A chunk fully covered by prior results needs no worker, no
+		// budget slot and no sink notification (its results are already
+		// durable).
+		if allPrior(prior, lo, hi) {
+			for i := lo; i < hi; i++ {
+				results[i] = prior[i]
+			}
+			continue
+		}
 		budget.Acquire()
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
 			defer budget.Release()
-			runOne := r.cloneWorker()
-			if r.ForkPolicy == ForkSnapshot {
-				m, reused := pool.Get()
-				defer pool.Put(m)
-				ro.poolGet(reused)
-				runOne = r.snapshotWorker(m, store)
-			}
+			w := r.newWorker(mode, ert, store, pool, ro)
+			defer w.close()
 			if ro == nil {
 				for i := lo; i < hi; i++ {
-					results[i], _, _ = runOne(faults[i], mode, ert)
+					if pr, ok := prior[i]; ok {
+						results[i] = pr
+						continue
+					}
+					results[i], _, _ = w.runGuarded(faults[i])
 				}
-				return
+			} else {
+				local := make(map[string]*structAgg, 1)
+				for i := lo; i < hi; i++ {
+					if pr, ok := prior[i]; ok {
+						results[i] = pr
+						continue
+					}
+					t0 := nowFn()
+					res, delta, fm := w.runGuarded(faults[i])
+					results[i] = res
+					ro.fault(local, faults[i], &res, nowFn().Sub(t0), delta, fm)
+				}
+				ro.merge(local)
 			}
-			local := make(map[string]*structAgg, 1)
-			for i := lo; i < hi; i++ {
-				t0 := nowFn()
-				res, delta, fm := runOne(faults[i], mode, ert)
-				results[i] = res
-				ro.fault(local, faults[i], &res, nowFn().Sub(t0), delta, fm)
+			if sink != nil {
+				sink.ChunkDone(lo, hi, results)
 			}
-			ro.merge(local)
 		}(lo, hi)
 	}
 	wg.Wait()
 	ro.finish()
+	r.checkQuarantine(results, prior)
 	return results
+}
+
+// allPrior reports whether every index in [lo, hi) has a prior result.
+func allPrior(prior map[int]Result, lo, hi int) bool {
+	if len(prior) == 0 {
+		return false
+	}
+	for i := lo; i < hi; i++ {
+		if _, ok := prior[i]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// checkQuarantine fails the campaign loudly when the quarantined fraction
+// of freshly simulated faults exceeds the runner's limit: isolated panics
+// are survivable noise, but a systemic rate means the campaign's numbers
+// would be statistically meaningless.
+func (r *Runner) checkQuarantine(results []Result, prior map[int]Result) {
+	limit := r.QuarantineLimit
+	if limit == 0 {
+		limit = DefaultQuarantineLimit
+	}
+	if limit < 0 {
+		return
+	}
+	var fresh, q int
+	var sample []string
+	for i, res := range results {
+		if _, ok := prior[i]; ok {
+			continue
+		}
+		fresh++
+		if res.Quarantined {
+			q++
+			if len(sample) < 3 {
+				sample = append(sample, fmt.Sprintf("%s: %s", res.Fault, res.Err))
+			}
+		}
+	}
+	if fresh == 0 || float64(q)/float64(fresh) <= limit {
+		return
+	}
+	panic(fmt.Sprintf("campaign: %d of %d simulated faults quarantined (limit %.0f%%); first errors: %s",
+		q, fresh, limit*100, strings.Join(sample, "; ")))
 }
 
 // forkMeta is the per-fault checkpoint telemetry: how far the worker had
@@ -423,42 +551,99 @@ type forkMeta struct {
 	cowPages   uint64
 }
 
-// workerFn runs one fault and returns its result, the faulty run's own
-// machine-stat delta, and the fork telemetry.
-type workerFn func(f fault.Fault, mode Mode, ert uint64) (Result, cpu.Stats, forkMeta)
+// worker is one dispatch goroutine's simulation state: under ForkSnapshot
+// a pooled scratch machine rewound per fault, under ForkLegacyClone a
+// golden "mother" machine advancing monotonically and deep-cloned per
+// fault. Machines are acquired lazily so a quarantined worker can discard
+// its poisoned state and transparently pick up a fresh machine for the
+// next fault.
+type worker struct {
+	r     *Runner
+	mode  Mode
+	ert   uint64
+	ro    *runObs
+	store *ckpt.Store
+	pool  *ckpt.Pool
 
-// cloneWorker builds the legacy per-worker flow: a private mother machine
-// advances to each injection cycle and is deep-cloned per fault.
-func (r *Runner) cloneWorker() workerFn {
-	mother := cpu.New(r.Cfg, r.Prog)
-	return func(f fault.Fault, mode Mode, ert uint64) (Result, cpu.Stats, forkMeta) {
-		if mother.Cycle() < f.Cycle && mother.Status() == cpu.StatusRunning {
-			mother.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
-		}
-		m := mother.Clone()
-		res, delta := r.injectAndObserve(m, f, mode, ert)
-		return res, delta, forkMeta{}
+	m      *cpu.Machine // ForkSnapshot: pooled scratch machine
+	mother *cpu.Machine // ForkLegacyClone: golden-prefix machine
+}
+
+func (r *Runner) newWorker(mode Mode, ert uint64, store *ckpt.Store, pool *ckpt.Pool, ro *runObs) *worker {
+	return &worker{r: r, mode: mode, ert: ert, ro: ro, store: store, pool: pool}
+}
+
+// close recycles the worker's scratch machine. A machine discarded by
+// quarantine is nil here and never re-enters the pool.
+func (w *worker) close() {
+	if w.m != nil {
+		w.pool.Put(w.m)
+		w.m = nil
 	}
 }
 
-// snapshotWorker builds the checkpoint flow: per fault, seek the nearest
-// checkpoint at or before the injection cycle, rewind the pooled scratch
-// machine in place, and re-simulate at most one interval.
-func (r *Runner) snapshotWorker(m *cpu.Machine, store *ckpt.Store) workerFn {
-	return func(f fault.Fault, mode Mode, ert uint64) (Result, cpu.Stats, forkMeta) {
-		snap, dist := store.Seek(f.Cycle)
+// discard drops all machine state after a recovered panic: the pooled
+// scratch machine must not be recycled (its invariants may be violated in
+// ways a Restore cannot repair — Restore trusts buffer geometry), and the
+// legacy mother is rebuilt from cycle 0 on the next fault.
+func (w *worker) discard() {
+	w.m = nil
+	w.mother = nil
+}
+
+// runGuarded simulates one fault under the panic guard, converting a panic
+// into a quarantined Result.
+func (w *worker) runGuarded(f fault.Fault) (res Result, delta cpu.Stats, fm forkMeta) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = Result{Fault: f, Quarantined: true, Err: fmt.Sprint(p)}
+			delta = cpu.Stats{}
+			fm = forkMeta{}
+			w.discard()
+		}
+	}()
+	res, delta, fm = w.run(f)
+	return
+}
+
+// run simulates one fault under the runner's fork policy.
+func (w *worker) run(f fault.Fault) (Result, cpu.Stats, forkMeta) {
+	r := w.r
+	if r.ForkPolicy == ForkSnapshot {
+		// Checkpoint flow: seek the nearest checkpoint at or before the
+		// injection cycle, rewind the pooled scratch machine in place,
+		// and re-simulate at most one interval.
+		if w.m == nil {
+			m, reused := w.pool.Get()
+			w.m = m
+			w.ro.poolGet(reused)
+		}
+		m := w.m
+		snap, dist := w.store.Seek(f.Cycle)
 		m.Restore(snap)
 		cowBase := m.Mem.RAM.CowPrivatized()
 		if dist > 0 && m.Status() == cpu.StatusRunning {
 			m.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
 		}
-		res, delta := r.injectAndObserve(m, f, mode, ert)
+		res, delta := r.injectAndObserve(m, f, w.mode, w.ert)
 		return res, delta, forkMeta{
 			restored:   true,
 			seekCycles: dist,
 			cowPages:   m.Mem.RAM.CowPrivatized() - cowBase,
 		}
 	}
+	// Legacy flow: a private mother machine advances to each injection
+	// cycle and is deep-cloned per fault.
+	if w.mother == nil {
+		w.mother = cpu.New(r.Cfg, r.Prog)
+	}
+	mother := w.mother
+	if mother.Cycle() < f.Cycle && mother.Status() == cpu.StatusRunning {
+		mother.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
+	}
+	m := mother.Clone()
+	res, delta := r.injectAndObserve(m, f, w.mode, w.ert)
+	return res, delta, forkMeta{}
 }
 
 // injectAndObserve flips the fault's bits on a machine positioned at the
@@ -506,6 +691,11 @@ func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert 
 		Fault:     f,
 		SimCycles: res.Cycles - f.Cycle,
 		Crash:     res.Crash,
+		// A run that exhausts the runaway budget is classified exactly
+		// like a real crash (a hang is a crash to the injection rig),
+		// but keeps the livelock/crash distinction for summaries and
+		// the journal.
+		Runaway: res.Status == cpu.StatusCycleLimit,
 	}
 	switch {
 	case cmp.Dev.Kind != trace.DevNone:
@@ -555,6 +745,10 @@ func statsDelta(after, before cpu.Stats) cpu.Stats {
 
 // Summary aggregates a campaign's results.
 type Summary struct {
+	// Total counts the classified faults. Quarantined results are
+	// excluded from Total and every other tally below, so the AVF/IMM
+	// fractions derived from a Summary stay unbiased by simulation
+	// failures (a quarantined fault carries no classification at all).
 	Total     int
 	ByIMM     map[imm.IMM]int
 	ByEffect  map[imm.Effect]int
@@ -567,6 +761,13 @@ type Summary struct {
 	// Benign counts faults with no commit-trace deviation within the
 	// observed window (including ESC).
 	Benign int
+	// Runaways counts classified faults whose run died by exhausting the
+	// runaway cycle budget (livelock) rather than a real crash event;
+	// they are included in the crash-side tallies above.
+	Runaways int
+	// Quarantined counts faults whose simulation panicked and was
+	// isolated (see Result.Quarantined).
+	Quarantined int
 }
 
 // String renders a compact one-line digest — total, corruptions, benign
@@ -575,6 +776,12 @@ type Summary struct {
 func (s Summary) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d faults: %d corruptions, %d benign", s.Total, s.Corruptions, s.Benign)
+	if s.Runaways > 0 {
+		fmt.Fprintf(&b, ", %d runaway", s.Runaways)
+	}
+	if s.Quarantined > 0 {
+		fmt.Fprintf(&b, ", %d quarantined", s.Quarantined)
+	}
 	var tallies []string
 	for _, c := range imm.Classes {
 		if n := s.ByIMM[c]; n > 0 {
@@ -599,12 +806,19 @@ func Summarize(results []Result) Summary {
 		ByEffect: make(map[imm.Effect]int),
 	}
 	for _, r := range results {
+		if r.Quarantined {
+			s.Quarantined++
+			continue
+		}
 		s.Total++
 		s.ByIMM[r.IMM]++
 		if r.IMM == imm.Benign || r.IMM == imm.ESC {
 			s.Benign++
 		} else {
 			s.Corruptions++
+		}
+		if r.Runaway {
+			s.Runaways++
 		}
 		if r.HasEffect {
 			s.ByEffect[r.Effect]++

@@ -29,6 +29,7 @@ var (
 type structAgg struct {
 	faults      uint64
 	corruptions uint64
+	quarantined uint64
 	simCycles   uint64
 	exhCycles   uint64
 	stats       cpu.Stats
@@ -73,18 +74,26 @@ func (ro *runObs) poolGet(reused bool) {
 }
 
 // newRunObs builds instrumentation for one Run call, announcing the
-// campaign to the progress reporter and opening its span.
-func (r *Runner) newRunObs(faults []fault.Fault, mode Mode) *runObs {
+// campaign to the progress reporter and opening its span. prior marks
+// fault-list indices resumed from a journal: they are not simulated, so
+// they are excluded from the announced totals (the progress view counts
+// work this run will actually do).
+func (r *Runner) newRunObs(faults []fault.Fault, mode Mode, prior map[int]Result) *runObs {
 	o := r.Obs
-	if !o.Enabled() || len(faults) == 0 {
+	if !o.Enabled() || len(faults) == 0 || len(prior) >= len(faults) {
 		return nil
 	}
 	ro := &runObs{o: o, r: r, mode: mode.String(), agg: make(map[string]*structAgg)}
 	// Fault lists are per-structure in practice, but stay correct for
 	// mixed lists: announce each structure's share.
 	perStructure := make(map[string]int)
-	for _, f := range faults {
+	pending := 0
+	for i, f := range faults {
+		if _, ok := prior[i]; ok {
+			continue
+		}
 		perStructure[f.Structure]++
+		pending++
 	}
 	if p := o.Progress; p != nil {
 		for s, n := range perStructure {
@@ -101,13 +110,15 @@ func (r *Runner) newRunObs(faults []fault.Fault, mode Mode) *runObs {
 	attrs := map[string]string{
 		"workload": r.Prog.Name,
 		"mode":     ro.mode,
-		"faults":   strconv.Itoa(len(faults)),
+		"faults":   strconv.Itoa(pending),
 	}
 	// The span title and the "structure" attr must agree: for a
 	// mixed-structure list the title names the structure count, not
 	// whichever structure happens to sort first in the fault list.
 	if len(perStructure) == 1 {
-		attrs["structure"] = faults[0].Structure
+		for s := range perStructure {
+			attrs["structure"] = s
+		}
 	} else {
 		attrs["structure"] = fmt.Sprintf("%d structures", len(perStructure))
 	}
@@ -124,7 +135,9 @@ func (ro *runObs) fault(local map[string]*structAgg, f fault.Fault, res *Result,
 		local[f.Structure] = a
 	}
 	a.faults++
-	if res.IMM != imm.Benign && res.IMM != imm.ESC {
+	if res.Quarantined {
+		a.quarantined++
+	} else if res.IMM != imm.Benign && res.IMM != imm.ESC {
 		a.corruptions++
 	}
 	a.simCycles += res.SimCycles
@@ -188,6 +201,7 @@ func (ro *runObs) merge(local map[string]*structAgg) {
 		}
 		dst.faults += a.faults
 		dst.corruptions += a.corruptions
+		dst.quarantined += a.quarantined
 		dst.simCycles += a.simCycles
 		dst.exhCycles += a.exhCycles
 		addStats(&dst.stats, a.stats)
@@ -210,6 +224,10 @@ func (ro *runObs) finish() {
 				"injected faults simulated", lb).Add(a.faults)
 			reg.Counter("avgi_campaign_corruptions_total",
 				"faults that became architecturally visible", lb).Add(a.corruptions)
+			if a.quarantined > 0 {
+				reg.Counter("avgi_faults_quarantined_total",
+					"faults whose simulation panicked and was isolated", lb).Add(a.quarantined)
+			}
 			reg.Counter("avgi_campaign_sim_cycles_total",
 				"post-injection cycles simulated", lb).Add(a.simCycles)
 			reg.Counter("avgi_campaign_exhaustive_cycles_est_total",

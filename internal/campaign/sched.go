@@ -51,17 +51,21 @@ func (b *Budget) SetGauge(g *obs.Gauge) { b.busy = g }
 // Acquire blocks until a worker slot is free and claims it.
 func (b *Budget) Acquire() {
 	b.slots <- struct{}{}
-	n := b.inUse.Add(1)
+	b.inUse.Add(1)
 	if b.busy != nil {
-		b.busy.Set(float64(n))
+		// Gauge.Add (atomic delta) rather than Set(inUse): computing n
+		// and setting the gauge non-atomically lets an interleaved
+		// release's stale n overwrite a newer value, leaving the gauge
+		// permanently wrong once the budget drains.
+		b.busy.Add(1)
 	}
 }
 
 // Release returns a worker slot to the pool.
 func (b *Budget) Release() {
 	<-b.slots
-	n := b.inUse.Add(-1)
+	b.inUse.Add(-1)
 	if b.busy != nil {
-		b.busy.Set(float64(n))
+		b.busy.Add(-1)
 	}
 }

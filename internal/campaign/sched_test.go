@@ -7,6 +7,7 @@ import (
 
 	"avgi/internal/cpu"
 	"avgi/internal/fault"
+	"avgi/internal/obs"
 	"avgi/internal/prog"
 )
 
@@ -40,6 +41,36 @@ func TestBudgetCapAndOccupancy(t *testing.T) {
 	}
 	if NewBudget(0).Cap() < 1 {
 		t.Error("workers <= 0 must default to at least one CPU")
+	}
+}
+
+// TestBudgetGaugeRaceFree is the regression test for the stale-gauge race:
+// Acquire/Release used to compute n and Set(n) non-atomically, so an
+// interleaved release's stale value could overwrite a newer one and leave
+// the busy gauge permanently wrong after the budget drained. With atomic
+// gauge deltas the final value must be exactly zero under any
+// interleaving.
+func TestBudgetGaugeRaceFree(t *testing.T) {
+	b := NewBudget(4)
+	g := &obs.Gauge{}
+	b.SetGauge(g)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Acquire()
+				b.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 0 {
+		t.Errorf("busy gauge = %v after the budget drained, want exactly 0", v)
+	}
+	if b.InUse() != 0 {
+		t.Errorf("inUse = %d after drain", b.InUse())
 	}
 }
 

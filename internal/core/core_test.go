@@ -176,11 +176,32 @@ func TestLatencyPercentile(t *testing.T) {
 	if p := LatencyPercentile(rs, 1); p != 1000 {
 		t.Errorf("p100 = %d", p)
 	}
-	if p := LatencyPercentile(rs, 0.5); p != 20 {
+	// With 4 samples, p50 must round UP to index 2 (30) like quantIdx —
+	// the truncating int(p*(n-1)) would pick 20 and under-report the
+	// latency the ERT derivation uses on small samples.
+	if p := LatencyPercentile(rs, 0.5); p != 30 {
 		t.Errorf("p50 = %d", p)
 	}
 	if LatencyPercentile(nil, 0.5) != 0 {
 		t.Error("empty percentile")
+	}
+}
+
+// TestLatencyPercentileMatchesQuantIdx pins LatencyPercentile to the same
+// quantile rule the ERT derivation uses (quantIdx), across small sample
+// sizes where truncating vs rounding up diverge.
+func TestLatencyPercentileMatchesQuantIdx(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		var rs []campaign.Result
+		for i := 0; i < n; i++ {
+			rs = append(rs, campaign.Result{Manifested: true, ManifestLatency: uint64(100 * (i + 1))})
+		}
+		for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			want := uint64(100 * (quantIdx(n, p) + 1))
+			if got := LatencyPercentile(rs, p); got != want {
+				t.Errorf("n=%d p=%g: LatencyPercentile = %d, quantIdx sample = %d", n, p, got, want)
+			}
+		}
 	}
 }
 

@@ -151,6 +151,10 @@ func LatencyPercentile(results []campaign.Result, p float64) uint64 {
 		return 0
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	idx := int(p * float64(len(lats)-1))
-	return lats[idx]
+	// quantIdx (round up), not int(p*(n-1)) (truncate): the ERT
+	// derivation indexes its latency samples with quantIdx, so the
+	// measurement reported here must select the same sample — on small
+	// campaigns truncation under-reports the latency the derived window
+	// actually covers.
+	return lats[quantIdx(len(lats), p)]
 }

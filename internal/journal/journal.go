@@ -1,0 +1,365 @@
+// Package journal is the durable result store of the fault-injection
+// campaigns: completed per-fault Results are appended as NDJSON shards, one
+// shard per single-flight campaign key (structure, workload, mode, ERT
+// window), so a study killed mid-run — a crash, an OOM kill, a pre-empted
+// node — can be restarted and resume from the first missing fault instead
+// of re-simulating days of work. Fault injectors must tolerate faults:
+// this is the same per-injection checkpoint/journal discipline CHAOS and
+// InjectV apply at the paper's 726k-injection scale.
+//
+// Shard layout (see docs/ROBUSTNESS.md):
+//
+//   - line 1: a checksummed header binding the shard to its exact campaign
+//     configuration — machine config name and ISA variant, a hash of the
+//     assembled program image, the sampling seed, and the fault count. A
+//     shard whose binding does not match is never resumed from: results
+//     from a different seed or a different build would silently corrupt
+//     the campaign's statistics.
+//   - following lines: one record per completed fault, {"i": index,
+//     "r": Result}, in completion order (not index order — concurrent
+//     chunks interleave).
+//
+// Appends are buffered and fsynced per completed chunk (the campaign
+// runner's ChunkSink granularity), bounding loss on a crash to the chunks
+// still in flight. Loading tolerates a torn final line — the signature of
+// a crash mid-append — by discarding everything from the first undecodable
+// line onward.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"avgi/internal/asm"
+	"avgi/internal/campaign"
+)
+
+// Key identifies one campaign shard — the same quadruple the study's
+// single-flight scheduler deduplicates executions on.
+type Key struct {
+	Structure string `json:"structure"`
+	Workload  string `json:"workload"`
+	Mode      string `json:"mode"`
+	Window    uint64 `json:"window"`
+}
+
+// Binding pins a shard to the exact campaign configuration that produced
+// it. Every field participates in the header checksum; a mismatch on any
+// of them makes Load refuse the shard.
+type Binding struct {
+	Machine     string `json:"machine"`
+	Variant     string `json:"variant"`
+	ProgramHash uint64 `json:"program_hash"`
+	Seed        int64  `json:"seed"`
+	Faults      int    `json:"faults"`
+}
+
+const (
+	headerMagic   = "avgi-journal"
+	headerVersion = 1
+)
+
+// header is the first NDJSON line of every shard.
+type header struct {
+	Magic    string  `json:"magic"`
+	Version  int     `json:"version"`
+	Key      Key     `json:"key"`
+	Binding  Binding `json:"binding"`
+	Checksum uint64  `json:"checksum"`
+}
+
+// checksum binds key and binding into one FNV-1a value, so a truncated or
+// hand-edited header cannot pass for a valid one.
+func checksum(k Key, b Binding) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d\x00%s\x00%s\x00%d\x00%d\x00%d",
+		k.Structure, k.Workload, k.Mode, k.Window,
+		b.Machine, b.Variant, b.ProgramHash, b.Seed, b.Faults)
+	return h.Sum64()
+}
+
+// record is one completed fault.
+type record struct {
+	Index  int             `json:"i"`
+	Result campaign.Result `json:"r"`
+}
+
+// ErrMismatch is returned by Load when a shard exists but its header does
+// not bind to the requested key/binding (different seed, build, machine,
+// or a corrupt header). The caller must re-simulate from scratch.
+var ErrMismatch = errors.New("journal: shard header does not match the campaign binding")
+
+// HashProgram digests an assembled program image — name, variant, text,
+// data and memory layout — for the shard binding. Two programs with equal
+// hashes produce identical golden runs, so their journalled results are
+// interchangeable.
+func HashProgram(p *asm.Program) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d\x00%d\x00%d\x00%d\x00",
+		p.Name, p.Variant, p.TextBase, p.DataBase, p.OutBase, p.OutLenAddr, p.RAMSize)
+	var w [4]byte
+	for _, inst := range p.Text {
+		w[0], w[1], w[2], w[3] = byte(inst), byte(inst>>8), byte(inst>>16), byte(inst>>24)
+		h.Write(w[:])
+	}
+	h.Write(p.Data)
+	return h.Sum64()
+}
+
+// Journal is a directory of campaign shards. All methods are safe for
+// concurrent use across distinct shards (the study runs one writer per
+// in-flight campaign); a single shard must not have two concurrent
+// writers, which the single-flight scheduler already guarantees.
+type Journal struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the journal rooted at dir.
+func Open(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{dir: dir}, nil
+}
+
+// Dir returns the journal's root directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// shardPath derives a shard's file path. Shards are namespaced by machine
+// and variant (two studies over the same workloads on different machine
+// models must not contend for one file), named readably after the key, and
+// suffixed with the binding checksum so incompatible configurations get
+// distinct files instead of truncating each other's work.
+func (j *Journal) shardPath(k Key, b Binding) string {
+	sub := sanitize(b.Machine + "-" + b.Variant)
+	name := fmt.Sprintf("%s__%s__%s__%d-%016x.ndjson",
+		sanitize(k.Structure), sanitize(k.Workload), sanitize(k.Mode), k.Window, checksum(k, b))
+	return filepath.Join(j.dir, sub, name)
+}
+
+// sanitize maps a key component onto a portable filename fragment.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// Load reads a shard's journalled results, keyed by fault-list index. A
+// missing shard yields (nil, nil). A shard whose header fails validation
+// yields ErrMismatch. A torn final line (crash mid-append) is discarded
+// silently; any record after the first undecodable line is ignored, as is
+// any record whose index lies outside [0, binding.Faults).
+func (j *Journal) Load(k Key, b Binding) (map[int]campaign.Result, error) {
+	prior, _, err := j.load(k, b)
+	return prior, err
+}
+
+// load is Load plus the byte offset just past the last valid record — the
+// truncation point a resuming Writer appends from, so a torn tail can never
+// merge with the first fresh record.
+func (j *Journal) load(k Key, b Binding) (map[int]campaign.Result, int64, error) {
+	f, err := os.Open(j.shardPath(k, b))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	if !sc.Scan() {
+		return nil, 0, ErrMismatch // empty or unreadable header
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, 0, ErrMismatch
+	}
+	if h.Magic != headerMagic || h.Version != headerVersion ||
+		h.Key != k || h.Binding != b || h.Checksum != checksum(k, b) {
+		return nil, 0, ErrMismatch
+	}
+	// The writer emits plain \n-terminated lines, so each scanned line
+	// occupies len(bytes)+1 bytes of the file.
+	valid := int64(len(sc.Bytes())) + 1
+
+	prior := make(map[int]campaign.Result)
+	lastIdx, lastLen := -1, int64(0)
+	for sc.Scan() {
+		var rec record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			break // torn tail: trust nothing at or past the first bad line
+		}
+		if rec.Index < 0 || rec.Index >= b.Faults {
+			break
+		}
+		prior[rec.Index] = rec.Result
+		lastIdx, lastLen = rec.Index, int64(len(sc.Bytes()))
+		valid += lastLen + 1
+	}
+	// A crash can cut the file exactly at the end of a line's JSON, before
+	// its newline: the line still parses but the counted offset overshoots
+	// the file. Drop that record so a resume truncates to a clean boundary.
+	if fi, err := f.Stat(); err == nil && valid > fi.Size() {
+		if lastIdx < 0 {
+			return nil, 0, ErrMismatch // the header itself lost its newline
+		}
+		delete(prior, lastIdx)
+		valid -= lastLen + 1
+		if valid > fi.Size() {
+			return nil, 0, ErrMismatch
+		}
+	}
+	return prior, valid, nil
+}
+
+// Writer appends records to one shard. Safe for concurrent Append/Sync
+// from multiple campaign workers. I/O errors are sticky: the first one is
+// remembered, later appends become no-ops, and Close reports it — a
+// failing disk degrades the journal, never the campaign.
+type Writer struct {
+	mu       sync.Mutex
+	f        *os.File
+	buf      *bufio.Writer
+	appended uint64
+	err      error
+}
+
+// Writer opens a shard for appending. With resume false the shard is
+// truncated and a fresh header written — the caller wants a from-scratch
+// run. With resume true an existing shard with a valid matching header is
+// truncated to its last intact record and appended from there (the caller
+// has already Loaded those records), so a torn tail from a crash can never
+// merge with the first fresh append; a missing or invalid shard falls back
+// to a from-scratch truncation.
+func (j *Journal) Writer(k Key, b Binding, resume bool) (*Writer, error) {
+	path := j.shardPath(k, b)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var off int64
+	if resume {
+		if _, o, err := j.load(k, b); err != nil || o == 0 {
+			resume = false // missing or mismatched: start over
+		} else {
+			off = o
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if resume {
+		err := f.Truncate(off)
+		if err == nil {
+			_, err = f.Seek(off, io.SeekStart)
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	w := &Writer{f: f, buf: bufio.NewWriter(f)}
+	if !resume {
+		h := header{Magic: headerMagic, Version: headerVersion, Key: k, Binding: b, Checksum: checksum(k, b)}
+		if err := w.writeLine(h); err != nil {
+			f.Close()
+			return nil, err
+		}
+		// The header hits the disk before any result does: a crash
+		// right after creation leaves a valid, resumable empty shard
+		// rather than a headerless file.
+		if err := w.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+func (w *Writer) writeLine(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := w.buf.Write(line); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := w.buf.WriteByte('\n'); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Append journals one completed fault. Errors are sticky; use Err or Close
+// to observe them.
+func (w *Writer) Append(i int, res campaign.Result) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	if err := w.writeLine(record{Index: i, Result: res}); err != nil {
+		w.err = err
+		return
+	}
+	w.appended++
+}
+
+// Sync flushes buffered records and fsyncs the shard — called once per
+// completed campaign chunk, which bounds crash loss to in-flight chunks
+// without paying an fsync per fault.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.buf.Flush(); err != nil {
+		w.err = fmt.Errorf("journal: %w", err)
+	} else if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("journal: %w", err)
+	}
+	return w.err
+}
+
+// Appended returns the number of records journalled so far.
+func (w *Writer) Appended() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appended
+}
+
+// Close flushes, fsyncs and closes the shard, returning the first error
+// encountered over the writer's lifetime.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("journal: %w", cerr)
+	}
+	return err
+}

@@ -1,0 +1,310 @@
+package journal
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"avgi/internal/campaign"
+	"avgi/internal/cpu"
+	"avgi/internal/fault"
+	"avgi/internal/imm"
+	"avgi/internal/prog"
+)
+
+func testKey() Key {
+	return Key{Structure: "RF", Workload: "sha", Mode: "exhaustive", Window: 0}
+}
+
+func testBinding(faults int) Binding {
+	return Binding{Machine: "avgi-a72", Variant: "AVG64", ProgramHash: 0xfeedface, Seed: 7, Faults: faults}
+}
+
+// testResults covers every Result field class the journal must round-trip:
+// a plain classified fault, a crash with latency, a runaway, and a
+// quarantined fault with an error string.
+func testResults() []campaign.Result {
+	return []campaign.Result{
+		{
+			Fault:     fault.Fault{ID: 0, Structure: "RF", Bit: 12, Cycle: 100},
+			IMM:       imm.DCR,
+			Effect:    imm.SDC,
+			HasEffect: true, Manifested: true, ManifestLatency: 42, SimCycles: 9000,
+		},
+		{
+			Fault: fault.Fault{ID: 1, Structure: "RF", Bit: 7, Cycle: 200, Width: 2},
+			IMM:   imm.PRE, Manifested: true, ManifestLatency: 5,
+			SimCycles: 5, Crash: cpu.CrashPageFault,
+		},
+		{
+			Fault: fault.Fault{ID: 2, Structure: "RF", Bit: 3, Cycle: 300},
+			IMM:   imm.PRE, SimCycles: 100000, Runaway: true,
+		},
+		{
+			Fault:       fault.Fault{ID: 3, Structure: "RF", Bit: 1, Cycle: 400},
+			Quarantined: true, Err: "campaign: fault #3 wraps past the end of RF (2048 bits)",
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, bind := testKey(), testBinding(4)
+	results := testResults()
+
+	w, err := j.Writer(key, bind, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		w.Append(i, r)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Appended() != 4 {
+		t.Errorf("appended = %d", w.Appended())
+	}
+
+	prior, err := j.Load(key, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != len(results) {
+		t.Fatalf("loaded %d records, want %d", len(prior), len(results))
+	}
+	for i, want := range results {
+		if got, ok := prior[i]; !ok || !reflect.DeepEqual(got, want) {
+			t.Errorf("record %d: got %+v, want %+v", i, prior[i], want)
+		}
+	}
+}
+
+func TestMissingShard(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := j.Load(testKey(), testBinding(4))
+	if err != nil || prior != nil {
+		t.Fatalf("missing shard: got (%v, %v), want (nil, nil)", prior, err)
+	}
+}
+
+func TestBindingMismatch(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	w, err := j.Writer(key, testBinding(4), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(0, testResults()[0])
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same key, different seed: distinct shard file, so no records — and
+	// no cross-contamination of the original shard.
+	other := testBinding(4)
+	other.Seed = 99
+	if prior, err := j.Load(key, other); err != nil || len(prior) != 0 {
+		t.Errorf("different binding must map to a different (missing) shard, got (%v, %v)", prior, err)
+	}
+
+	// A shard whose header was corrupted in place must be refused.
+	path := j.shardPath(key, testBinding(4))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(data), "\n", 2)
+	mangled := strings.Replace(lines[0], `"seed":7`, `"seed":99`, 1) + "\n" + lines[1]
+	if mangled == string(data) {
+		t.Fatal("test setup: header mangle had no effect")
+	}
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Load(key, testBinding(4)); err != ErrMismatch {
+		t.Errorf("corrupt header: err = %v, want ErrMismatch", err)
+	}
+}
+
+// TestTornTail simulates a SIGKILL mid-append: the final line is cut short
+// and must be discarded on load without failing the whole shard.
+func TestTornTail(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, bind := testKey(), testBinding(4)
+	w, err := j.Writer(key, bind, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range testResults() {
+		w.Append(i, r)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := j.shardPath(key, bind)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-way through the final record's line.
+	cut := len(data) - 17
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	prior, err := j.Load(key, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 3 {
+		t.Fatalf("torn shard loaded %d records, want 3", len(prior))
+	}
+	for i := 0; i < 3; i++ {
+		if !reflect.DeepEqual(prior[i], testResults()[i]) {
+			t.Errorf("record %d corrupted by torn tail", i)
+		}
+	}
+}
+
+// TestResumeAppends verifies that a resume-mode writer extends an existing
+// shard rather than truncating it, and that a non-resume writer starts
+// over.
+func TestResumeAppends(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, bind := testKey(), testBinding(4)
+	results := testResults()
+
+	w, err := j.Writer(key, bind, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(0, results[0])
+	w.Append(1, results[1])
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err = j.Writer(key, bind, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(2, results[2])
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	prior, err := j.Load(key, bind)
+	if err != nil || len(prior) != 3 {
+		t.Fatalf("after resume append: %d records (%v), want 3", len(prior), err)
+	}
+
+	w, err = j.Writer(key, bind, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	prior, err = j.Load(key, bind)
+	if err != nil || len(prior) != 0 {
+		t.Fatalf("non-resume writer must truncate: %d records (%v)", len(prior), err)
+	}
+}
+
+// TestResumeTruncatesTornTail is the regression test for torn-tail resume:
+// appending after a crash must first truncate the shard to its last intact
+// record, or the fresh append would concatenate onto the torn half-line and
+// corrupt both records forever.
+func TestResumeTruncatesTornTail(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, bind := testKey(), testBinding(4)
+	results := testResults()
+	w, err := j.Writer(key, bind, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		w.Append(i, results[i])
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record mid-line, then resume and append the two
+	// missing results.
+	path := j.shardPath(key, bind)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-13], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err = j.Writer(key, bind, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(2, results[2])
+	w.Append(3, results[3])
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The shard must now be whole: four intact records, no torn remnant.
+	prior, err := j.Load(key, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 4 {
+		t.Fatalf("resumed shard has %d records, want 4", len(prior))
+	}
+	for i, want := range results {
+		if !reflect.DeepEqual(prior[i], want) {
+			t.Errorf("record %d corrupted across the torn-tail resume", i)
+		}
+	}
+}
+
+// TestHashProgram asserts the binding hash is sensitive to the program
+// image: same workload+variant hashes stably, text and data changes are
+// detected.
+func TestHashProgram(t *testing.T) {
+	w, err := prog.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.ConfigA72()
+	p1, p2 := w.Build(cfg.Variant), w.Build(cfg.Variant)
+	if HashProgram(p1) != HashProgram(p2) {
+		t.Error("identical builds must hash identically")
+	}
+	p2.Text = append([]uint32(nil), p2.Text...)
+	p2.Text[0] ^= 1
+	if HashProgram(p1) == HashProgram(p2) {
+		t.Error("a text change must change the hash")
+	}
+	p3 := w.Build(cpu.ConfigA15().Variant)
+	if HashProgram(p1) == HashProgram(p3) {
+		t.Error("different variants must hash differently")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"avgi/internal/campaign"
+	"avgi/internal/journal"
 	"avgi/internal/obs"
 )
 
@@ -58,6 +59,11 @@ type schedObs struct {
 	inflight *obs.Gauge   // campaigns currently executing
 	dedup    *obs.Counter // callers served by an existing flight
 	live     atomic.Int64
+
+	// Journal instruments (registered only when the study journals).
+	jAppends *obs.Counter // results appended to journal shards
+	jHits    *obs.Counter // campaigns served entirely from the journal
+	jResumed *obs.Counter // individual fault results reused from shards
 }
 
 // initSched wires the scheduler state into a freshly built study.
@@ -76,6 +82,14 @@ func (s *Study) initSched() {
 			"campaigns currently executing under the scheduler", lb)
 		s.sched.dedup = reg.Counter("avgi_sched_dedup_hits_total",
 			"campaign requests coalesced onto an already in-flight or completed execution", lb)
+		if s.Cfg.JournalDir != "" {
+			s.sched.jAppends = reg.Counter("avgi_journal_appends_total",
+				"per-fault results appended to journal shards", lb)
+			s.sched.jHits = reg.Counter("avgi_journal_hits_total",
+				"campaigns loaded entirely from fully journalled shards", lb)
+			s.sched.jResumed = reg.Counter("avgi_journal_resumed_faults_total",
+				"journalled fault results reused instead of re-simulated", lb)
+		}
 	}
 }
 
@@ -116,9 +130,90 @@ func (s *Study) runCampaign(structure, workload string, mode Mode, window uint64
 		sp = s.Cfg.Obs.Span("assess "+structure+" "+workload, "estimator",
 			map[string]string{"structure": structure, "workload": workload, "window": fmt.Sprint(window)})
 	}
-	f.res = r.RunBudget(s.faultsFor(structure, workload), mode, window, s.budget)
+	f.res = s.execCampaign(r, structure, workload, mode, window)
 	sp.End()
 	return f.res
+}
+
+// execCampaign runs one deduplicated campaign, consulting and feeding the
+// durable journal when the study has one: a fully journalled pair loads
+// instead of re-simulating, a partial shard resumes from its missing fault
+// indices, and every freshly completed chunk is appended and fsynced. The
+// journal is strictly best-effort — an unwritable shard degrades to an
+// unjournalled run, never a failed campaign.
+func (s *Study) execCampaign(r *Runner, structure, workload string, mode Mode, window uint64) []CampaignResult {
+	faults := s.faultsFor(structure, workload)
+	if s.journal == nil {
+		return r.RunBudget(faults, mode, window, s.budget)
+	}
+	key := journal.Key{Structure: structure, Workload: workload, Mode: mode.String(), Window: window}
+	bind := journal.Binding{
+		Machine:     s.Cfg.Machine.Name,
+		Variant:     s.Cfg.Machine.Variant.String(),
+		ProgramHash: journal.HashProgram(r.Prog),
+		Seed:        s.Cfg.SeedBase,
+		Faults:      len(faults),
+	}
+	var prior map[int]CampaignResult
+	if s.Cfg.Resume {
+		var err error
+		prior, err = s.journal.Load(key, bind)
+		if err != nil {
+			// Mismatched or corrupt header: the shard belongs to a
+			// different configuration or build. Refuse its records and
+			// re-simulate (the Writer below truncates it).
+			s.Cfg.Obs.Logf("journal: %s/%s %s: %v; re-simulating", structure, workload, mode, err)
+			prior = nil
+		}
+		if len(prior) > 0 && s.sched.jResumed != nil {
+			s.sched.jResumed.Add(uint64(len(prior)))
+		}
+		if len(prior) == len(faults) {
+			// Full hit: the pair is already durable, no simulation at all.
+			if s.sched.jHits != nil {
+				s.sched.jHits.Inc()
+			}
+			out := make([]CampaignResult, len(faults))
+			for i := range out {
+				out[i] = prior[i]
+			}
+			return out
+		}
+	}
+	w, err := s.journal.Writer(key, bind, s.Cfg.Resume && len(prior) > 0)
+	if err != nil {
+		s.Cfg.Obs.Logf("journal: %s/%s %s: %v; campaign will run unjournalled", structure, workload, mode, err)
+		return r.RunBudgetResume(faults, mode, window, s.budget, prior, nil)
+	}
+	res := r.RunBudgetResume(faults, mode, window, s.budget, prior,
+		&journalSink{w: w, prior: prior, appends: s.sched.jAppends})
+	if err := w.Close(); err != nil {
+		s.Cfg.Obs.Logf("journal: %s/%s %s: %v; shard may be incomplete", structure, workload, mode, err)
+	}
+	return res
+}
+
+// journalSink appends each freshly simulated chunk to the campaign's shard
+// and fsyncs it, bounding crash loss to in-flight chunks.
+type journalSink struct {
+	w       *journal.Writer
+	prior   map[int]CampaignResult
+	appends *obs.Counter
+}
+
+func (js *journalSink) ChunkDone(lo, hi int, results []CampaignResult) {
+	n := uint64(0)
+	for i := lo; i < hi; i++ {
+		if _, ok := js.prior[i]; ok {
+			continue // already durable from a previous run
+		}
+		js.w.Append(i, results[i])
+		n++
+	}
+	js.w.Sync()
+	if js.appends != nil && n > 0 {
+		js.appends.Add(n)
+	}
 }
 
 // Prefetch dispatches the campaigns of every (structure, workload) pair in

@@ -8,6 +8,7 @@ import (
 	"avgi/internal/campaign"
 	"avgi/internal/core"
 	"avgi/internal/imm"
+	"avgi/internal/journal"
 )
 
 // StudyConfig parameterises a full multi-workload, multi-structure study —
@@ -42,6 +43,20 @@ type StudyConfig struct {
 	// CheckpointInterval is the golden-run checkpoint spacing in cycles
 	// under ForkSnapshot; 0 derives it from each workload's golden length.
 	CheckpointInterval uint64
+
+	// JournalDir, when non-empty, enables the durable result journal:
+	// every campaign appends its completed per-fault Results as NDJSON
+	// shards under this directory, fsynced per chunk, so a killed study
+	// can be restarted without losing finished work. See
+	// docs/ROBUSTNESS.md.
+	JournalDir string
+
+	// Resume makes the study consult existing journal shards before
+	// dispatching a campaign: a fully journalled (structure, workload,
+	// mode, window) pair is loaded instead of re-simulated, and a partial
+	// shard resumes from its missing fault indices. Requires JournalDir.
+	// Results are byte-identical to an uninterrupted run.
+	Resume bool
 }
 
 func (c *StudyConfig) fill() {
@@ -70,6 +85,7 @@ type Study struct {
 
 	runners map[string]*Runner
 	budget  *campaign.Budget
+	journal *journal.Journal
 
 	mu      sync.Mutex
 	flights map[campaignKey]*flight
@@ -88,6 +104,16 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	st := &Study{
 		Cfg:     cfg,
 		runners: make(map[string]*Runner),
+	}
+	if cfg.Resume && cfg.JournalDir == "" {
+		return nil, fmt.Errorf("study: Resume requires JournalDir")
+	}
+	if cfg.JournalDir != "" {
+		j, err := journal.Open(cfg.JournalDir)
+		if err != nil {
+			return nil, fmt.Errorf("study: %w", err)
+		}
+		st.journal = j
 	}
 	st.initSched()
 	allGolden := cfg.Obs.Span("golden runs", "golden",
