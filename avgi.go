@@ -124,9 +124,13 @@ const (
 	ModeHVF        = campaign.ModeHVF
 	ModeAVGI       = campaign.ModeAVGI
 
-	// ForkSnapshot (the default) rewinds pooled scratch machines from
-	// shared interval checkpoints; ForkLegacyClone deep-copies a mother
-	// machine per fault. See docs/CHECKPOINTING.md.
+	// ForkCursor (the default) advances a per-worker golden cursor once
+	// through its chunk and re-arms a local snapshot per fault with
+	// dirty-delta copies; ForkSnapshot rewinds pooled scratch machines
+	// from shared interval checkpoints; ForkLegacyClone deep-copies a
+	// mother machine per fault. See docs/CHECKPOINTING.md and
+	// docs/PERFORMANCE.md.
+	ForkCursor      = campaign.ForkCursor
 	ForkSnapshot    = campaign.ForkSnapshot
 	ForkLegacyClone = campaign.ForkLegacyClone
 

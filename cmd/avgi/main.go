@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,8 +42,11 @@ var (
 	flagBars       = flag.Bool("bars", false, "also render distribution figures as terminal bar charts")
 	flagCores      = flag.Int("cores", 192, "cluster cores for the Table II days model")
 
-	flagFork         = flag.String("fork", "snapshot", "per-fault fork policy: snapshot (checkpoint store) or clone (legacy deep copy)")
-	flagCkptInterval = flag.Uint64("ckpt-interval", 0, "checkpoint spacing in cycles for the snapshot fork policy (0 = derive from golden length)")
+	flagFork         = flag.String("fork", "cursor", "per-fault fork policy: cursor (golden cursor + dirty-delta), snapshot (checkpoint store) or clone (legacy deep copy)")
+	flagCkptInterval = flag.Uint64("ckpt-interval", 0, "checkpoint spacing in cycles for the cursor/snapshot fork policies (0 = derive from golden length)")
+
+	flagCPUProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (see docs/OBSERVABILITY.md)")
+	flagMemProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 
 	flagJournal = flag.String("journal", "", "append completed per-fault results as NDJSON shards under this directory (see docs/ROBUSTNESS.md)")
 	flagResume  = flag.Bool("resume", false, "with -journal: load fully journalled campaigns and resume partial ones instead of re-simulating")
@@ -64,6 +69,12 @@ func main() {
 		listWorkloads()
 		return
 	}
+	stopProf, err := startProfiles(*flagCPUProfile, *flagMemProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avgi:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	obsv := avgi.NewObserver(os.Stderr)
 	if *flagProgress {
 		stop := obsv.Progress.StartTicker(2 * time.Second)
@@ -78,14 +89,56 @@ func main() {
 		defer srv.Close()
 		obsv.Logf("telemetry: http://%s/ (/metrics, /progress.json, /trace.json)", srv.Addr())
 	}
-	err := run(cmd, os.Stdout, obsv)
+	err = run(cmd, os.Stdout, obsv)
 	if terr := writeTraces(obsv); err == nil {
 		err = terr
 	}
 	if err != nil {
+		stopProf()
 		fmt.Fprintln(os.Stderr, "avgi:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins CPU profiling and arms a heap-profile dump, per the
+// -cpuprofile/-memprofile flags. The returned stop function is idempotent
+// and must run before process exit for either profile to be complete.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "avgi: memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize final live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "avgi: memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // writeTraces exports the recorded spans to the files requested by
@@ -141,6 +194,13 @@ telemetry (see docs/OBSERVABILITY.md):
   -metrics-addr A    serve Prometheus /metrics and /progress.json on A
   -trace-out F       Chrome trace_event JSON of study phases (chrome://tracing)
   -trace-ndjson F    the same spans as NDJSON
+  -cpuprofile F      pprof CPU profile of the whole run (go tool pprof F)
+  -memprofile F      pprof heap profile captured at exit
+
+performance (see docs/PERFORMANCE.md):
+  -fork P            cursor (default; per-worker golden cursor with
+                     dirty-delta snapshot/restore), snapshot (shared
+                     checkpoint store), or clone (legacy deep copy)
 
 scheduling (see docs/SCHEDULING.md):
   -workers N         global worker budget; campaigns of one experiment
@@ -202,12 +262,14 @@ func selectedStructures() []string {
 // forkPolicy resolves the -fork flag.
 func forkPolicy() (avgi.ForkPolicy, error) {
 	switch *flagFork {
+	case "cursor":
+		return avgi.ForkCursor, nil
 	case "snapshot":
 		return avgi.ForkSnapshot, nil
 	case "clone":
 		return avgi.ForkLegacyClone, nil
 	}
-	return 0, fmt.Errorf("unknown -fork policy %q (want snapshot or clone)", *flagFork)
+	return 0, fmt.Errorf("unknown -fork policy %q (want cursor, snapshot or clone)", *flagFork)
 }
 
 func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload, obsv *avgi.Observer) (*avgi.Study, error) {

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -43,9 +45,12 @@ var (
 	flagProgress    = flag.Bool("progress", false, "print live campaign progress lines to stderr")
 	flagMetricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /progress.json on this address for the duration of the run")
 
-	flagFork         = flag.String("fork", "snapshot", "per-fault fork policy: snapshot (checkpoint store) or clone (legacy deep copy)")
-	flagCkptInterval = flag.Uint64("ckpt-interval", 0, "checkpoint spacing in cycles for the snapshot fork policy (0 = derive from golden length)")
+	flagFork         = flag.String("fork", "cursor", "per-fault fork policy: cursor (golden cursor + dirty-delta), snapshot (checkpoint store) or clone (legacy deep copy)")
+	flagCkptInterval = flag.Uint64("ckpt-interval", 0, "checkpoint spacing in cycles for the cursor/snapshot fork policies (0 = derive from golden length)")
 	flagWorkers      = flag.Int("workers", 1, "worker budget for the injection run (0 = all CPUs; see docs/SCHEDULING.md)")
+
+	flagCPUProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (see docs/OBSERVABILITY.md)")
+	flagMemProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 
 	flagJournal = flag.String("journal", "", "journal the -inject result as an NDJSON shard under this directory (see docs/ROBUSTNESS.md)")
 	flagResume  = flag.Bool("resume", false, "with -journal: reuse a journalled result for the same fault instead of re-simulating")
@@ -57,6 +62,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: avgisim [flags] <workload>   (see -h)")
 		os.Exit(2)
 	}
+	stopProf, err := startProfiles(*flagCPUProfile, *flagMemProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avgisim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	obsv := avgi.NewObserver(os.Stderr)
 	if *flagProgress {
 		stop := obsv.Progress.StartTicker(2 * time.Second)
@@ -72,9 +83,51 @@ func main() {
 		obsv.Logf("telemetry: http://%s/ (/metrics, /progress.json)", srv.Addr())
 	}
 	if err := run(flag.Arg(0), obsv); err != nil {
+		stopProf()
 		fmt.Fprintln(os.Stderr, "avgisim:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins CPU profiling and arms a heap-profile dump, per the
+// -cpuprofile/-memprofile flags. The returned stop function is idempotent
+// and must run before process exit for either profile to be complete.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "avgisim: memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize final live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "avgisim: memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 func machineConfig() (avgi.MachineConfig, error) {
@@ -125,12 +178,14 @@ func run(name string, obsv *avgi.Observer) error {
 	}
 	r.Obs = obsv
 	switch *flagFork {
+	case "cursor":
+		r.ForkPolicy = campaign.ForkCursor
 	case "snapshot":
 		r.ForkPolicy = campaign.ForkSnapshot
 	case "clone":
 		r.ForkPolicy = campaign.ForkLegacyClone
 	default:
-		return fmt.Errorf("unknown -fork policy %q (want snapshot or clone)", *flagFork)
+		return fmt.Errorf("unknown -fork policy %q (want cursor, snapshot or clone)", *flagFork)
 	}
 	r.CheckpointInterval = *flagCkptInterval
 	r.PublishGolden()

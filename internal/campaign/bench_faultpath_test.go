@@ -1,0 +1,58 @@
+package campaign
+
+import (
+	"testing"
+
+	"avgi/internal/cpu"
+)
+
+// The benchmarks below quantify the golden-cursor fault path against the
+// snapshot and legacy-clone paths on the standard windowed campaign shape:
+// a 256-fault register-file list in the paper's AVGI mode (ERT 2000),
+// 4 workers. This is the throughput configuration of real studies — short
+// faulty windows, where per-fault fork overhead dominates — so it is where
+// the cursor's amortized golden replay and dirty-delta copies pay off.
+//
+//	go test -run=^$ -bench='CampaignCursor|CampaignWindow|GoldenRun' ./internal/campaign/
+//
+// Numbers from this machine are recorded in BENCH_faultpath.json at the
+// repo root; the cost model is derived in docs/PERFORMANCE.md.
+
+// benchCampaignRFWindow runs the standard windowed RF campaign under one
+// fork policy and reports end-to-end throughput in faults per second.
+func benchCampaignRFWindow(b *testing.B, policy ForkPolicy) {
+	r := sharedBenchRunner(b)
+	prev := r.ForkPolicy
+	r.ForkPolicy = policy
+	defer func() { r.ForkPolicy = prev }()
+	const perIter = 256
+	faults := r.FaultList("RF", perIter, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(faults, ModeAVGI, 2000, 4)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(perIter*b.N)/b.Elapsed().Seconds(), "faults/s")
+}
+
+func BenchmarkCampaignCursor(b *testing.B) { benchCampaignRFWindow(b, ForkCursor) }
+
+func BenchmarkCampaignWindowSnapshot(b *testing.B) { benchCampaignRFWindow(b, ForkSnapshot) }
+
+func BenchmarkCampaignWindowClone(b *testing.B) { benchCampaignRFWindow(b, ForkLegacyClone) }
+
+// BenchmarkGoldenRun measures bare-core simulation speed in cycles per
+// second — the floor every fork policy's golden advance pays, and the
+// denominator of the per-fault cost model in docs/PERFORMANCE.md.
+func BenchmarkGoldenRun(b *testing.B) {
+	r := sharedBenchRunner(b)
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		m := cpu.New(r.Cfg, r.Prog)
+		res := m.Run(cpu.RunOptions{MaxCycles: r.Golden.Cycles + 10})
+		cycles += res.Cycles
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}

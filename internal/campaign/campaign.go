@@ -12,14 +12,19 @@
 //     effective-residency-time window, whichever is first (Insight 3).
 //
 // All modes share the same checkpointing acceleration, selected by the
-// runner's ForkPolicy. The default (ForkSnapshot) records interval
-// checkpoints along the golden run into a shared read-only ckpt.Store;
-// each worker rewinds a pooled scratch machine to the nearest checkpoint
-// at or before a fault's injection cycle, so pre-injection simulation is
-// amortized across the whole campaign. ForkLegacyClone keeps the previous
-// flow — a per-worker golden "mother" machine advancing monotonically
-// through the (cycle-sorted) fault list with a deep clone per fault — and
-// exists as the differential-testing baseline.
+// runner's ForkPolicy. The default (ForkCursor) exploits the cycle-sorted
+// fault list and contiguous worker chunks: each worker's pooled machine is
+// a golden cursor advancing monotonically once through its chunk's cycle
+// span, re-arming a worker-local snapshot at each injection cycle via
+// dirty-delta copies and rewinding from it after the faulty run — golden
+// replay is amortized to once per chunk and per-fault copy cost scales
+// with the fault window's write footprint, not the machine size.
+// ForkSnapshot records interval checkpoints along the golden run into a
+// shared read-only ckpt.Store and rewinds a pooled scratch machine to the
+// nearest checkpoint per fault (re-simulating up to one interval);
+// ForkLegacyClone keeps the original flow — a per-worker golden "mother"
+// machine with a deep clone per fault. All three are proven byte-identical
+// by differential tests; the non-default policies exist as baselines.
 package campaign
 
 import (
@@ -66,9 +71,13 @@ func (m Mode) String() string {
 type ForkPolicy uint8
 
 const (
-	// ForkSnapshot (the default) seeks a shared interval checkpoint and
-	// rewinds a pooled scratch machine in place.
-	ForkSnapshot ForkPolicy = iota
+	// ForkCursor (the default) advances each worker's pooled machine
+	// monotonically once through its chunk's cycle span, re-arming a
+	// worker-local snapshot per fault with dirty-delta copies.
+	ForkCursor ForkPolicy = iota
+	// ForkSnapshot seeks a shared interval checkpoint and rewinds a
+	// pooled scratch machine in place per fault.
+	ForkSnapshot
 	// ForkLegacyClone deep-copies a per-worker mother machine per fault
 	// (the pre-checkpoint-subsystem flow, kept as a baseline).
 	ForkLegacyClone
@@ -76,6 +85,8 @@ const (
 
 func (p ForkPolicy) String() string {
 	switch p {
+	case ForkCursor:
+		return "cursor"
 	case ForkSnapshot:
 		return "snapshot"
 	case ForkLegacyClone:
@@ -187,12 +198,12 @@ type Runner struct {
 	// keeps the hot path entirely uninstrumented.
 	Obs *obs.Observer
 
-	// ForkPolicy selects the fork mechanism (default ForkSnapshot).
+	// ForkPolicy selects the fork mechanism (default ForkCursor).
 	ForkPolicy ForkPolicy
 
 	// CheckpointInterval is the spacing in cycles between golden-run
-	// checkpoints under ForkSnapshot; 0 derives it from the golden length
-	// (ckpt.DefaultInterval).
+	// checkpoints under ForkCursor/ForkSnapshot; 0 derives it from the
+	// golden length (ckpt.DefaultInterval).
 	CheckpointInterval uint64
 
 	// RunawayFactor overrides DefaultRunawayFactor for the faulty-run
@@ -431,7 +442,7 @@ func (r *Runner) RunBudgetResume(faults []fault.Fault, mode Mode, ert uint64, bu
 	ro := r.newRunObs(faults, mode, prior)
 	var store *ckpt.Store
 	var pool *ckpt.Pool
-	if r.ForkPolicy == ForkSnapshot {
+	if r.ForkPolicy != ForkLegacyClone {
 		store, pool = r.checkpoints()
 	}
 	// Contiguous chunks keep each worker's forks advancing monotonically
@@ -542,21 +553,31 @@ func (r *Runner) checkQuarantine(results []Result, prior map[int]Result) {
 		q, fresh, limit*100, strings.Join(sample, "; ")))
 }
 
-// forkMeta is the per-fault checkpoint telemetry: how far the worker had
-// to re-simulate from the seeked checkpoint and how many RAM pages the
-// fork privatized by copy-on-write. Zero under ForkLegacyClone.
+// forkMeta is the per-fault fork telemetry. Under ForkSnapshot, seekCycles
+// is the checkpoint-to-injection re-simulation distance; under ForkCursor,
+// advCycles is the golden distance the cursor advanced for this fault
+// (amortized replay), deltaBytes the volume moved by the dirty-delta
+// snapshot/restore pair, and fullSync marks faults that paid a full
+// capture (first fault after a cursor (re)build). Zero under
+// ForkLegacyClone.
 type forkMeta struct {
 	restored   bool
 	seekCycles uint64
 	cowPages   uint64
+
+	cursor     bool
+	advCycles  uint64
+	deltaBytes uint64
+	fullSync   bool
 }
 
-// worker is one dispatch goroutine's simulation state: under ForkSnapshot
-// a pooled scratch machine rewound per fault, under ForkLegacyClone a
-// golden "mother" machine advancing monotonically and deep-cloned per
-// fault. Machines are acquired lazily so a quarantined worker can discard
-// its poisoned state and transparently pick up a fresh machine for the
-// next fault.
+// worker is one dispatch goroutine's simulation state: under
+// ForkCursor/ForkSnapshot a pooled scratch machine rewound per fault,
+// under ForkLegacyClone a golden "mother" machine advancing monotonically
+// and deep-cloned per fault. Machines are acquired lazily so a quarantined
+// worker can discard its poisoned state and transparently pick up a fresh
+// machine for the next fault. The comparator is allocated once per worker
+// and reset per fault.
 type worker struct {
 	r     *Runner
 	mode  Mode
@@ -565,12 +586,16 @@ type worker struct {
 	store *ckpt.Store
 	pool  *ckpt.Pool
 
-	m      *cpu.Machine // ForkSnapshot: pooled scratch machine
-	mother *cpu.Machine // ForkLegacyClone: golden-prefix machine
+	m      *cpu.Machine  // ForkCursor/ForkSnapshot: pooled scratch machine
+	mother *cpu.Machine  // ForkLegacyClone: golden-prefix machine
+	csnap  *cpu.Snapshot // ForkCursor: worker-local fault-point snapshot
+	cmp    trace.Comparator
 }
 
 func (r *Runner) newWorker(mode Mode, ert uint64, store *ckpt.Store, pool *ckpt.Pool, ro *runObs) *worker {
-	return &worker{r: r, mode: mode, ert: ert, ro: ro, store: store, pool: pool}
+	w := &worker{r: r, mode: mode, ert: ert, ro: ro, store: store, pool: pool}
+	w.cmp.Golden = r.Golden.Trace
+	return w
 }
 
 // close recycles the worker's scratch machine. A machine discarded by
@@ -584,11 +609,14 @@ func (w *worker) close() {
 
 // discard drops all machine state after a recovered panic: the pooled
 // scratch machine must not be recycled (its invariants may be violated in
-// ways a Restore cannot repair — Restore trusts buffer geometry), and the
-// legacy mother is rebuilt from cycle 0 on the next fault.
+// ways a Restore cannot repair — Restore trusts buffer geometry), a cursor
+// worker's local snapshot may have been captured from the poisoned machine
+// and is dropped with it, and the legacy mother is rebuilt from cycle 0 on
+// the next fault.
 func (w *worker) discard() {
 	w.m = nil
 	w.mother = nil
+	w.csnap = nil
 }
 
 // runGuarded simulates one fault under the panic guard, converting a panic
@@ -608,32 +636,98 @@ func (w *worker) runGuarded(f fault.Fault) (res Result, delta cpu.Stats, fm fork
 
 // run simulates one fault under the runner's fork policy.
 func (w *worker) run(f fault.Fault) (Result, cpu.Stats, forkMeta) {
-	r := w.r
-	if r.ForkPolicy == ForkSnapshot {
-		// Checkpoint flow: seek the nearest checkpoint at or before the
-		// injection cycle, rewind the pooled scratch machine in place,
-		// and re-simulate at most one interval.
-		if w.m == nil {
-			m, reused := w.pool.Get()
-			w.m = m
-			w.ro.poolGet(reused)
-		}
-		m := w.m
-		snap, dist := w.store.Seek(f.Cycle)
-		m.Restore(snap)
-		cowBase := m.Mem.RAM.CowPrivatized()
-		if dist > 0 && m.Status() == cpu.StatusRunning {
-			m.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
-		}
-		res, delta := r.injectAndObserve(m, f, w.mode, w.ert)
-		return res, delta, forkMeta{
-			restored:   true,
-			seekCycles: dist,
-			cowPages:   m.Mem.RAM.CowPrivatized() - cowBase,
-		}
+	switch w.r.ForkPolicy {
+	case ForkSnapshot:
+		return w.runSnapshot(f)
+	case ForkLegacyClone:
+		return w.runLegacy(f)
+	default:
+		return w.runCursor(f)
 	}
-	// Legacy flow: a private mother machine advances to each injection
-	// cycle and is deep-cloned per fault.
+}
+
+// runCursor is the golden-cursor flow: the worker's pooled machine plays
+// the golden run monotonically once across its chunk's cycle span. Per
+// fault it advances to the injection cycle, re-arms the worker-local
+// snapshot with a dirty-delta capture, runs the faulty simulation, and
+// rewinds with a dirty-delta restore — two in-place copies of the fault
+// window's write footprint replace the full-image restore plus up to one
+// interval of golden re-simulation that ForkSnapshot pays per fault.
+func (w *worker) runCursor(f fault.Fault) (Result, cpu.Stats, forkMeta) {
+	r := w.r
+	if w.m == nil {
+		// (Re)build the cursor: seek the shared checkpoint nearest the
+		// first fault, rewind a pooled machine onto it, and start a fresh
+		// delta-tracking lineage. The local snapshot is captured in full
+		// below (csnap == nil after a discard or on first use).
+		m, reused := w.pool.Get()
+		w.ro.poolGet(reused)
+		snap, _ := w.store.Seek(f.Cycle)
+		m.Restore(snap)
+		m.BeginDeltaTracking()
+		w.m = m
+		w.csnap = nil
+	}
+	m := w.m
+	var adv uint64
+	if m.Cycle() < f.Cycle && m.Status() == cpu.StatusRunning {
+		// The only golden replay in this flow: the cycle-sorted chunk
+		// makes every advance monotonic, so across the whole chunk the
+		// cursor simulates each golden cycle at most once.
+		c0 := m.Cycle()
+		m.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
+		adv = m.Cycle() - c0
+	}
+	var deltaBytes uint64
+	fullSync := w.csnap == nil
+	if fullSync {
+		w.csnap = m.Snapshot(nil)
+	} else {
+		deltaBytes = m.SyncSnapshot(w.csnap)
+	}
+	cowBase := m.Mem.RAM.CowPrivatized()
+	res, delta := r.injectAndObserve(m, f, w.mode, w.ert, &w.cmp)
+	cow := m.Mem.RAM.CowPrivatized() - cowBase
+	deltaBytes += m.SyncRestore(w.csnap)
+	return res, delta, forkMeta{
+		restored:   true,
+		cowPages:   cow,
+		cursor:     true,
+		advCycles:  adv,
+		deltaBytes: deltaBytes,
+		fullSync:   fullSync,
+	}
+}
+
+// runSnapshot is the shared-checkpoint flow: seek the nearest checkpoint
+// at or before the injection cycle, rewind the pooled scratch machine in
+// place, and re-simulate at most one interval.
+func (w *worker) runSnapshot(f fault.Fault) (Result, cpu.Stats, forkMeta) {
+	r := w.r
+	if w.m == nil {
+		m, reused := w.pool.Get()
+		w.m = m
+		w.ro.poolGet(reused)
+	}
+	m := w.m
+	snap, dist := w.store.Seek(f.Cycle)
+	m.Restore(snap)
+	cowBase := m.Mem.RAM.CowPrivatized()
+	if dist > 0 && m.Status() == cpu.StatusRunning {
+		m.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
+	}
+	res, delta := r.injectAndObserve(m, f, w.mode, w.ert, &w.cmp)
+	return res, delta, forkMeta{
+		restored:   true,
+		seekCycles: dist,
+		cowPages:   m.Mem.RAM.CowPrivatized() - cowBase,
+	}
+}
+
+// runLegacy is the original flow: a private mother machine advances to
+// each injection cycle and is deep-cloned per fault.
+func (w *worker) runLegacy(f fault.Fault) (Result, cpu.Stats, forkMeta) {
+	r := w.r
 	if w.mother == nil {
 		w.mother = cpu.New(r.Cfg, r.Prog)
 	}
@@ -642,16 +736,18 @@ func (w *worker) run(f fault.Fault) (Result, cpu.Stats, forkMeta) {
 		mother.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
 	}
 	m := mother.Clone()
-	res, delta := r.injectAndObserve(m, f, w.mode, w.ert)
+	res, delta := r.injectAndObserve(m, f, w.mode, w.ert, &w.cmp)
 	return res, delta, forkMeta{}
 }
 
 // injectAndObserve flips the fault's bits on a machine positioned at the
 // injection cycle and observes the outcome under mode — the half of the
-// per-fault flow shared by both fork policies. The second return value is
+// per-fault flow shared by all fork policies. cmp is the caller's
+// comparator, reset and rearmed here so a worker allocates one comparator
+// for its whole chunk instead of one per fault. The second return value is
 // the faulty run's own contribution to the machine statistics (post-fork
 // delta), consumed by the telemetry layer.
-func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert uint64) (Result, cpu.Stats) {
+func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert uint64, cmp *trace.Comparator) (Result, cpu.Stats) {
 	statsAtFork := m.Stats
 	tg := m.Target(f.Structure)
 	if tg == nil {
@@ -671,7 +767,7 @@ func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert 
 		tg.FlipBit(f.Bit + i)
 	}
 
-	cmp := &trace.Comparator{Golden: r.Golden.Trace}
+	cmp.Reset()
 	cmp.StartAt(int(m.Stats.Commits))
 	switch mode {
 	case ModeHVF:

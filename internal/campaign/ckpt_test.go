@@ -12,12 +12,12 @@ import (
 	"avgi/internal/prog"
 )
 
-// TestForkPolicyDifferential is the correctness bar of the checkpoint
-// subsystem at the campaign level: the same fault lists run through the
-// snapshot path and the legacy clone path must produce bit-identical
-// results — IMM labels, final effects, manifestation latencies, simulated
-// cycles and crash kinds — on a ≥500-fault RF+L1D campaign, on both
-// machine variants.
+// TestForkPolicyDifferential is the correctness bar of the fork-path
+// machinery at the campaign level: the same fault lists run through the
+// cursor path, the snapshot path and the legacy clone path must produce
+// bit-identical results — IMM labels, final effects, manifestation
+// latencies, simulated cycles and crash kinds — on a ≥500-fault RF+L1D
+// campaign, on both machine variants.
 func TestForkPolicyDifferential(t *testing.T) {
 	perStructure := 256
 	if testing.Short() {
@@ -37,16 +37,17 @@ func TestForkPolicyDifferential(t *testing.T) {
 			}
 			for _, structure := range []string{"RF", "L1D (Data)"} {
 				faults := r.FaultList(structure, perStructure, 7)
-				snap := r.Run(faults, ModeExhaustive, 0, 4)
 
 				r.ForkPolicy = ForkLegacyClone
 				legacy := r.Run(faults, ModeExhaustive, 0, 4)
-				r.ForkPolicy = ForkSnapshot
-
-				for i := range snap {
-					if snap[i] != legacy[i] {
-						t.Fatalf("%s fault %d diverged across fork policies:\n snapshot %+v\n   legacy %+v",
-							structure, i, snap[i], legacy[i])
+				for _, policy := range []ForkPolicy{ForkCursor, ForkSnapshot} {
+					r.ForkPolicy = policy
+					got := r.Run(faults, ModeExhaustive, 0, 4)
+					for i := range got {
+						if got[i] != legacy[i] {
+							t.Fatalf("%s fault %d diverged under %v:\n  %v %+v\n  clone %+v",
+								structure, i, policy, policy, got[i], legacy[i])
+						}
 					}
 				}
 			}
@@ -54,18 +55,61 @@ func TestForkPolicyDifferential(t *testing.T) {
 	}
 }
 
-// TestForkPolicyDifferentialAVGIMode repeats the differential check under
-// the windowed AVGI mode, whose early stops are the most timing-sensitive
-// consumers of the restored state.
+// TestForkPolicyDifferentialAVGIMode repeats the three-way differential
+// check under the windowed AVGI mode, whose early stops are the most
+// timing-sensitive consumers of the restored state, and under HVF mode,
+// whose stop-at-first-deviation exits mid-window.
 func TestForkPolicyDifferentialAVGIMode(t *testing.T) {
 	r := shaRunner(t)
-	faults := r.FaultList("RF", 60, 3)
-	snap := r.Run(faults, ModeAVGI, 2000, 4)
+	for _, tc := range []struct {
+		mode Mode
+		ert  uint64
+	}{
+		{ModeAVGI, 2000},
+		{ModeHVF, 0},
+	} {
+		faults := r.FaultList("RF", 60, 3)
+		r.ForkPolicy = ForkLegacyClone
+		legacy := r.Run(faults, tc.mode, tc.ert, 4)
+		for _, policy := range []ForkPolicy{ForkCursor, ForkSnapshot} {
+			r.ForkPolicy = policy
+			got := r.Run(faults, tc.mode, tc.ert, 4)
+			for i := range got {
+				if got[i] != legacy[i] {
+					t.Fatalf("%v fault %d diverged under %v: %+v vs clone %+v",
+						tc.mode, i, policy, got[i], legacy[i])
+				}
+			}
+		}
+	}
+}
+
+// TestForkCursorResumeDifferential proves the cursor path stays
+// byte-identical to the legacy clone path across a journal-style resume:
+// prior results covering a whole chunk, chunk heads and scattered
+// mid-chunk faults are handed to RunBudgetResume, so cursor workers skip
+// arbitrary faults inside their chunks, and every freshly simulated result
+// must still equal the uninterrupted clone campaign's.
+func TestForkCursorResumeDifferential(t *testing.T) {
+	r := shaRunner(t)
+	faults := r.FaultList("RF", 64, 11)
 	r.ForkPolicy = ForkLegacyClone
 	legacy := r.Run(faults, ModeAVGI, 2000, 4)
-	for i := range snap {
-		if snap[i] != legacy[i] {
-			t.Fatalf("fault %d diverged: %+v vs %+v", i, snap[i], legacy[i])
+
+	r.ForkPolicy = ForkCursor
+	// 64 faults / 4 workers = 16-fault chunks: indices 0-15 cover chunk 0
+	// entirely (the allPrior fast path); i%5 scatters holes through the
+	// remaining chunks.
+	prior := make(map[int]Result)
+	for i := range faults {
+		if i < 16 || i%5 == 0 {
+			prior[i] = legacy[i]
+		}
+	}
+	resumed := r.RunBudgetResume(faults, ModeAVGI, 2000, NewBudget(4), prior, nil)
+	for i := range resumed {
+		if resumed[i] != legacy[i] {
+			t.Fatalf("fault %d diverged after resume: %+v vs clone %+v", i, resumed[i], legacy[i])
 		}
 	}
 }
@@ -188,6 +232,9 @@ func TestCheckpointIntervalConfig(t *testing.T) {
 func TestCkptMetricsPublished(t *testing.T) {
 	r := shaRunner(t)
 	r.Obs = obs.New(io.Discard)
+	// Pin the snapshot policy: its per-fault seek/restore accounting is
+	// what this test asserts (the cursor path seeks once per worker).
+	r.ForkPolicy = ForkSnapshot
 
 	const n = 32
 	faults := r.FaultList("RF", n, 1)

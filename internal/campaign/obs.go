@@ -34,10 +34,16 @@ type structAgg struct {
 	exhCycles   uint64
 	stats       cpu.Stats
 
-	// Checkpoint telemetry (ForkSnapshot runs only).
+	// Checkpoint telemetry (ForkCursor/ForkSnapshot runs).
 	restores   uint64
 	seekCycles uint64
 	cowPages   uint64
+
+	// Cursor telemetry (ForkCursor runs only).
+	cursorFaults uint64
+	advCycles    uint64
+	deltaBytes   uint64
+	fullSyncs    uint64
 }
 
 // runObs is the per-Run instrumentation state. A nil *runObs (observer
@@ -149,6 +155,14 @@ func (ro *runObs) fault(local map[string]*structAgg, f fault.Fault, res *Result,
 		a.seekCycles += fm.seekCycles
 		a.cowPages += fm.cowPages
 	}
+	if fm.cursor {
+		a.cursorFaults++
+		a.advCycles += fm.advCycles
+		a.deltaBytes += fm.deltaBytes
+		if fm.fullSync {
+			a.fullSyncs++
+		}
+	}
 
 	if ro.simHist != nil {
 		ro.simHist.Observe(float64(res.SimCycles))
@@ -208,6 +222,10 @@ func (ro *runObs) merge(local map[string]*structAgg) {
 		dst.restores += a.restores
 		dst.seekCycles += a.seekCycles
 		dst.cowPages += a.cowPages
+		dst.cursorFaults += a.cursorFaults
+		dst.advCycles += a.advCycles
+		dst.deltaBytes += a.deltaBytes
+		dst.fullSyncs += a.fullSyncs
 	}
 }
 
@@ -254,6 +272,14 @@ func (ro *runObs) finish() {
 					"cycles re-simulated between seeked checkpoint and injection", lb).Add(a.seekCycles)
 				reg.Counter("avgi_ckpt_cow_pages_total",
 					"RAM pages privatized copy-on-write by forked runs", lb).Add(a.cowPages)
+			}
+			if a.cursorFaults > 0 {
+				reg.Counter("avgi_cursor_advance_cycles_total",
+					"golden cycles worker cursors advanced (replay amortized to once per chunk)", lb).Add(a.advCycles)
+				reg.Counter("avgi_cursor_delta_bytes_total",
+					"bytes moved by dirty-delta snapshot/restore pairs", lb).Add(a.deltaBytes)
+				reg.Counter("avgi_cursor_full_syncs_total",
+					"cursor faults that paid a full local snapshot capture", lb).Add(a.fullSyncs)
 			}
 		}
 		if ro.poolGets > 0 {

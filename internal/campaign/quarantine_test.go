@@ -25,11 +25,11 @@ func poisonFault(r *Runner, structure string, cycle uint64) fault.Fault {
 }
 
 // TestQuarantineIsolatesPoisonedFault proves the tentpole guarantee under
-// both fork policies: one panicking fault yields a quarantined Result and
-// a completed campaign, and every other result is byte-identical to a
+// all three fork policies: one panicking fault yields a quarantined Result
+// and a completed campaign, and every other result is byte-identical to a
 // campaign without the poisoned fault.
 func TestQuarantineIsolatesPoisonedFault(t *testing.T) {
-	for _, policy := range []ForkPolicy{ForkSnapshot, ForkLegacyClone} {
+	for _, policy := range []ForkPolicy{ForkCursor, ForkSnapshot, ForkLegacyClone} {
 		t.Run(policy.String(), func(t *testing.T) {
 			r := newTestRunner(t, cpu.ConfigA72(), "sha")
 			r.ForkPolicy = policy

@@ -9,6 +9,7 @@ import (
 	"avgi/internal/fault"
 	"avgi/internal/obs"
 	"avgi/internal/prog"
+	"avgi/internal/trace"
 )
 
 func newTestRunner(t *testing.T, cfg cpu.Config, workload string) *Runner {
@@ -151,5 +152,7 @@ func TestInjectWrappingFaultPanics(t *testing.T) {
 			t.Error("injecting a wrapping multi-bit fault must panic")
 		}
 	}()
-	r.injectAndObserve(m, wrap, ModeHVF, 0)
+	var cmp trace.Comparator
+	cmp.Golden = r.Golden.Trace
+	r.injectAndObserve(m, wrap, ModeHVF, 0, &cmp)
 }

@@ -127,8 +127,11 @@ func (p *Pool) Get() (m *cpu.Machine, reused bool) {
 	return cpu.New(p.cfg, p.prog), false
 }
 
-// Put returns a machine to the pool for reuse.
+// Put returns a machine to the pool for reuse. Delta tracking is switched
+// off so the next user — possibly a different fork policy — never inherits
+// a stale sync lineage.
 func (p *Pool) Put(m *cpu.Machine) {
 	m.SetSink(nil)
+	m.EndDeltaTracking()
 	p.pool.Put(m)
 }

@@ -96,6 +96,7 @@ func (m *Machine) execute(idx int, e *robEntry) (ok, squashed bool) {
 		m.Stats.Branches++
 		// Update the bimodal predictor.
 		bi := m.bpIndex(e.pc)
+		m.touchBimodal(bi)
 		if taken {
 			if m.bimodal[bi] < 3 {
 				m.bimodal[bi]++
@@ -124,7 +125,9 @@ func (m *Machine) execute(idx int, e *robEntry) (ok, squashed bool) {
 		e.result = (e.pc + 4) & v.Mask()
 		if e.inst.Op == isa.OpJALR {
 			target := (a + uint64(int64(e.inst.Imm))) & v.Mask() &^ uint64(3)
-			m.btb[m.btbIndex(e.pc)] = target
+			bti := m.btbIndex(e.pc)
+			m.touchBTB(bti)
+			m.btb[bti] = target
 			m.finishDest(e, lat)
 			if target != e.predTarget {
 				m.Stats.Mispredicts++

@@ -230,6 +230,17 @@ type Machine struct {
 	bimodal []uint8  // 2-bit counters
 	btb     []uint64 // indirect-branch targets, direct-mapped by PC
 
+	// Dirty-delta tracking (cursor forks): predictor entries written since
+	// the last snapshot/restore sync point. Only the predictor arrays are
+	// worth tracking on the core side — they are large, cold and mostly
+	// stable, while the pipeline queues and register file churn completely
+	// within any fault window and are always copied whole.
+	deltaTrack bool
+	bimTouched []int32
+	bimMarked  []bool
+	btbTouched []int32
+	btbMarked  []bool
+
 	cycle           uint64
 	lastCommitCycle uint64
 
@@ -443,5 +454,13 @@ func (m *Machine) Run(opts RunOptions) Result {
 // robAt returns the entry at ring index i.
 func (m *Machine) robAt(i int) *robEntry { return &m.rob[i] }
 
-// robNext returns the ring index after i.
-func (m *Machine) robNext(i int) int { return (i + 1) % len(m.rob) }
+// robNext returns the ring index after i. A wrap-compare instead of the
+// modulo spares the hot commit/rename loops an integer division (the ROB
+// size is fixed per config but not a compile-time constant the compiler
+// could strength-reduce).
+func (m *Machine) robNext(i int) int {
+	if i++; i == len(m.rob) {
+		return 0
+	}
+	return i
+}

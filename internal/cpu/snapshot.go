@@ -61,6 +61,11 @@ func (m *Machine) Snapshot(s *Snapshot) *Snapshot {
 	s.m.Mem = nil
 	s.m.sink = nil
 	s.m.profile = nil // exposure profiling is a golden-run concern
+	s.m.clearDeltaTracking()
+	if m.deltaTrack {
+		// A full capture leaves machine == snapshot: a fresh sync point.
+		m.resetDeltaTouched()
+	}
 
 	s.m.prf = prf
 	s.m.prfReadyAt = prfReadyAt
@@ -86,6 +91,9 @@ func (m *Machine) Snapshot(s *Snapshot) *Snapshot {
 // cleared; the caller installs fresh ones as needed.
 func (m *Machine) Restore(s *Snapshot) {
 	memSys := m.Mem
+	deltaTrack := m.deltaTrack
+	bimTouched, bimMarked := m.bimTouched, m.bimMarked
+	btbTouched, btbMarked := m.btbTouched, m.btbMarked
 
 	prf := append(m.prf[:0], s.m.prf...)
 	prfReadyAt := append(m.prfReadyAt[:0], s.m.prfReadyAt...)
@@ -105,6 +113,16 @@ func (m *Machine) Restore(s *Snapshot) {
 	m.Mem = memSys
 	m.Mem.Restore(&s.mem)
 
+	// Tracking state belongs to the machine, not the captured state; a
+	// full restore re-establishes machine == snapshot, so the delta
+	// restarts empty from here.
+	m.deltaTrack = deltaTrack
+	m.bimTouched, m.bimMarked = bimTouched, bimMarked
+	m.btbTouched, m.btbMarked = btbTouched, btbMarked
+	if m.deltaTrack {
+		m.resetDeltaTouched()
+	}
+
 	m.prf = prf
 	m.prfReadyAt = prfReadyAt
 	m.renameMap = renameMap
@@ -118,6 +136,207 @@ func (m *Machine) Restore(s *Snapshot) {
 	m.bimodal = bimodal
 	m.btb = btb
 	m.output = output
+}
+
+// BeginDeltaTracking starts dirty-delta tracking across the whole machine
+// — predictor arrays on the core side, caches and TLBs in the memory
+// system — establishing the current state as a sync point. While tracking,
+// SyncSnapshot/SyncRestore move only the delta touched since the last sync
+// point instead of the whole machine image.
+func (m *Machine) BeginDeltaTracking() {
+	if m.bimMarked == nil {
+		m.bimMarked = make([]bool, len(m.bimodal))
+		m.btbMarked = make([]bool, len(m.btb))
+	}
+	m.resetDeltaTouched()
+	m.deltaTrack = true
+	m.Mem.BeginDeltaTracking()
+}
+
+// EndDeltaTracking stops dirty-delta tracking everywhere (the fork pool
+// calls this before recycling a machine so a later user is never handed a
+// stale delta lineage).
+func (m *Machine) EndDeltaTracking() {
+	if m.deltaTrack {
+		m.resetDeltaTouched()
+		m.deltaTrack = false
+	}
+	m.Mem.EndDeltaTracking()
+}
+
+func (m *Machine) touchBimodal(i int) {
+	if !m.deltaTrack || m.bimMarked[i] {
+		return
+	}
+	m.bimMarked[i] = true
+	m.bimTouched = append(m.bimTouched, int32(i))
+}
+
+func (m *Machine) touchBTB(i int) {
+	if !m.deltaTrack || m.btbMarked[i] {
+		return
+	}
+	m.btbMarked[i] = true
+	m.btbTouched = append(m.btbTouched, int32(i))
+}
+
+func (m *Machine) resetDeltaTouched() {
+	for _, i := range m.bimTouched {
+		m.bimMarked[i] = false
+	}
+	for _, i := range m.btbTouched {
+		m.btbMarked[i] = false
+	}
+	m.bimTouched = m.bimTouched[:0]
+	m.btbTouched = m.btbTouched[:0]
+}
+
+// clearDeltaTracking drops tracking state from a captured machine value so
+// a snapshot never aliases the source machine's touch lists.
+func (m *Machine) clearDeltaTracking() {
+	m.deltaTrack = false
+	m.bimTouched, m.bimMarked = nil, nil
+	m.btbTouched, m.btbMarked = nil, nil
+}
+
+// coreSyncBytes is the byte volume of the always-copied core arrays, for
+// delta accounting.
+func (m *Machine) coreSyncBytes() uint64 {
+	return uint64(len(m.prf))*8 + uint64(len(m.prfReadyAt))*8 +
+		uint64(len(m.renameMap))*2 + uint64(len(m.committedMap))*2 +
+		uint64(len(m.freeList))*2 +
+		uint64(len(m.rob))*uint64(robEntrySize) +
+		uint64(len(m.iq))*8 +
+		uint64(len(m.lqs))*uint64(lqEntrySize) +
+		uint64(len(m.sqs))*uint64(sqEntrySize) +
+		uint64(len(m.fq))*uint64(fqEntrySize) +
+		uint64(len(m.output))
+}
+
+// SyncSnapshot re-captures the machine into s copying only the dirty delta
+// accumulated since the last sync point: touched predictor entries, cache
+// sets and TLB entries, a copy-on-write RAM re-fork, and the (small,
+// fully-churning) pipeline arrays. s must have been fully captured from
+// this machine under the current tracking lineage — SyncSnapshot after a
+// full Snapshot(s), or after a SyncSnapshot/SyncRestore against the same s.
+// The result is bit-identical to a full Snapshot. Returns the bytes copied,
+// for telemetry.
+func (m *Machine) SyncSnapshot(s *Snapshot) uint64 {
+	if !m.deltaTrack {
+		panic("cpu: SyncSnapshot without BeginDeltaTracking")
+	}
+	if len(s.m.prf) != len(m.prf) || len(s.m.bimodal) != len(m.bimodal) {
+		panic("cpu: SyncSnapshot into a snapshot of another machine")
+	}
+	bytes := m.Mem.SyncSnapshot(&s.mem)
+
+	for _, i := range m.bimTouched {
+		s.m.bimodal[i] = m.bimodal[i]
+	}
+	for _, i := range m.btbTouched {
+		s.m.btb[i] = m.btb[i]
+	}
+	bytes += uint64(len(m.bimTouched)) + uint64(len(m.btbTouched))*8
+
+	prf := append(s.m.prf[:0], m.prf...)
+	prfReadyAt := append(s.m.prfReadyAt[:0], m.prfReadyAt...)
+	renameMap := append(s.m.renameMap[:0], m.renameMap...)
+	committedMap := append(s.m.committedMap[:0], m.committedMap...)
+	freeList := append(s.m.freeList[:0], m.freeList...)
+	rob := append(s.m.rob[:0], m.rob...)
+	iq := append(s.m.iq[:0], m.iq...)
+	lqs := append(s.m.lqs[:0], m.lqs...)
+	sqs := append(s.m.sqs[:0], m.sqs...)
+	fq := append(s.m.fq[:0], m.fq...)
+	output := append(s.m.output[:0], m.output...)
+	bimodal := s.m.bimodal
+	btb := s.m.btb
+
+	s.m = *m
+	s.m.Mem = nil
+	s.m.sink = nil
+	s.m.profile = nil
+	s.m.clearDeltaTracking()
+
+	s.m.prf = prf
+	s.m.prfReadyAt = prfReadyAt
+	s.m.renameMap = renameMap
+	s.m.committedMap = committedMap
+	s.m.freeList = freeList
+	s.m.rob = rob
+	s.m.iq = iq
+	s.m.lqs = lqs
+	s.m.sqs = sqs
+	s.m.fq = fq
+	s.m.bimodal = bimodal
+	s.m.btb = btb
+	s.m.output = output
+
+	m.resetDeltaTouched()
+	return bytes + m.coreSyncBytes()
+}
+
+// SyncRestore rewinds the machine to s copying only the dirty delta
+// accumulated since the last sync point (see SyncSnapshot); bit-identical
+// to a full Restore under the sync invariant. The trace sink is cleared.
+// Returns the bytes copied, for telemetry.
+func (m *Machine) SyncRestore(s *Snapshot) uint64 {
+	if !m.deltaTrack {
+		panic("cpu: SyncRestore without BeginDeltaTracking")
+	}
+	if len(s.m.prf) != len(m.prf) || len(s.m.bimodal) != len(m.bimodal) {
+		panic("cpu: SyncRestore from a snapshot of another machine")
+	}
+	bytes := m.Mem.SyncRestore(&s.mem)
+
+	for _, i := range m.bimTouched {
+		m.bimodal[i] = s.m.bimodal[i]
+	}
+	for _, i := range m.btbTouched {
+		m.btb[i] = s.m.btb[i]
+	}
+	bytes += uint64(len(m.bimTouched)) + uint64(len(m.btbTouched))*8
+
+	memSys := m.Mem
+	bimTouched, bimMarked := m.bimTouched, m.bimMarked
+	btbTouched, btbMarked := m.btbTouched, m.btbMarked
+
+	prf := append(m.prf[:0], s.m.prf...)
+	prfReadyAt := append(m.prfReadyAt[:0], s.m.prfReadyAt...)
+	renameMap := append(m.renameMap[:0], s.m.renameMap...)
+	committedMap := append(m.committedMap[:0], s.m.committedMap...)
+	freeList := append(m.freeList[:0], s.m.freeList...)
+	rob := append(m.rob[:0], s.m.rob...)
+	iq := append(m.iq[:0], s.m.iq...)
+	lqs := append(m.lqs[:0], s.m.lqs...)
+	sqs := append(m.sqs[:0], s.m.sqs...)
+	fq := append(m.fq[:0], s.m.fq...)
+	output := append(m.output[:0], s.m.output...)
+	bimodal := m.bimodal
+	btb := m.btb
+
+	*m = s.m
+	m.Mem = memSys
+	m.deltaTrack = true
+	m.bimTouched, m.bimMarked = bimTouched, bimMarked
+	m.btbTouched, m.btbMarked = btbTouched, btbMarked
+
+	m.prf = prf
+	m.prfReadyAt = prfReadyAt
+	m.renameMap = renameMap
+	m.committedMap = committedMap
+	m.freeList = freeList
+	m.rob = rob
+	m.iq = iq
+	m.lqs = lqs
+	m.sqs = sqs
+	m.fq = fq
+	m.bimodal = bimodal
+	m.btb = btb
+	m.output = output
+
+	m.resetDeltaTouched()
+	return bytes + m.coreSyncBytes()
 }
 
 // Cycle returns the machine cycle at which the snapshot was captured.

@@ -162,9 +162,37 @@ func (m *Machine) Targets() map[string]Target {
 	}
 }
 
-// Target returns one structure by name, or nil if unknown.
+// Target returns one structure by name, or nil if unknown. The lookup is a
+// direct switch rather than a Targets() map build: campaigns resolve a
+// target once per fault, on the hot path.
 func (m *Machine) Target(name string) Target {
-	return m.Targets()[name]
+	switch name {
+	case "RF":
+		return &PRFTarget{m}
+	case "ROB":
+		return &ROBTarget{m}
+	case "LQ":
+		return &LQTarget{m}
+	case "SQ":
+		return &SQTarget{m}
+	case "ITLB":
+		return countingTarget{m, m.Mem.ITLB}
+	case "DTLB":
+		return countingTarget{m, m.Mem.DTLB}
+	case "L1I (Tag)":
+		return countingTarget{m, m.Mem.L1I.TagArray()}
+	case "L1I (Data)":
+		return countingTarget{m, m.Mem.L1I.DataArray()}
+	case "L1D (Tag)":
+		return countingTarget{m, m.Mem.L1D.TagArray()}
+	case "L1D (Data)":
+		return countingTarget{m, m.Mem.L1D.DataArray()}
+	case "L2 (Tag)":
+		return countingTarget{m, m.Mem.L2.TagArray()}
+	case "L2 (Data)":
+		return countingTarget{m, m.Mem.L2.DataArray()}
+	}
+	return nil
 }
 
 // ValidateStructure returns a descriptive error for structure names that

@@ -57,6 +57,13 @@ type Cache struct {
 	lineBits int
 	tagBits  int // tag field width; entry adds valid+dirty
 
+	// Precomputed tag-entry masks. The geometry is fixed at construction,
+	// so the valid/dirty bit positions and the tag mask are loaded as
+	// fields instead of recomputed by shifts on every access.
+	valid uint64
+	dirty uint64
+	tmask uint64
+
 	// tags packs valid(1) | dirty(1) | tag(tagBits) per way, set-major.
 	tags []uint64
 	// data holds the line contents, set-major then way-major.
@@ -67,6 +74,13 @@ type Cache struct {
 	tick uint64
 
 	lower Level
+
+	// Dirty-delta tracking (cursor forks): the sets written — or whose
+	// replacement state was updated — since the last snapshot/restore sync
+	// point. touched is a deduplicated list; marked is its membership set.
+	track   bool
+	touched []int32
+	marked  []bool
 
 	// Statistics (protected).
 	Accesses   uint64
@@ -92,20 +106,19 @@ func NewCache(cfg CacheConfig, lower Level) *Cache {
 	if c.tagBits <= 0 {
 		panic(fmt.Sprintf("mem: %s: geometry larger than address space", cfg.Name))
 	}
+	c.valid = 1 << (c.tagBits + 1)
+	c.dirty = 1 << c.tagBits
+	c.tmask = 1<<c.tagBits - 1
 	return c
 }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
-func (c *Cache) validBit() uint64 { return 1 << (c.tagBits + 1) }
-func (c *Cache) dirtyBit() uint64 { return 1 << c.tagBits }
-func (c *Cache) tagMask() uint64  { return 1<<c.tagBits - 1 }
-
 func (c *Cache) split(paddr uint64) (set int, tag uint64, off uint64) {
 	line := paddr >> c.lineBits
 	set = int(line) & (c.cfg.Sets - 1)
-	tag = (line >> c.setBits) & c.tagMask()
+	tag = (line >> c.setBits) & c.tmask
 	off = paddr & uint64(c.cfg.LineBytes-1)
 	return
 }
@@ -124,11 +137,12 @@ func (c *Cache) Access(paddr uint64, n uint64, write bool, buf []byte) uint64 {
 	c.Accesses++
 	c.tick++
 	set, tag, off := c.split(paddr)
+	c.touch(set)
 	base := set * c.cfg.Ways
 	way := -1
 	for w := 0; w < c.cfg.Ways; w++ {
 		e := c.tags[base+w]
-		if e&c.validBit() != 0 && e&c.tagMask() == tag {
+		if e&c.valid != 0 && e&c.tmask == tag {
 			way = w
 			break
 		}
@@ -143,7 +157,7 @@ func (c *Cache) Access(paddr uint64, n uint64, write bool, buf []byte) uint64 {
 	idx := (base+way)*c.cfg.LineBytes + int(off)
 	if write {
 		copy(c.data[idx:idx+int(n)], buf[:n])
-		c.tags[base+way] |= c.dirtyBit()
+		c.tags[base+way] |= c.dirty
 	} else {
 		copy(buf[:n], c.data[idx:idx+int(n)])
 	}
@@ -155,7 +169,7 @@ func (c *Cache) victim(set int) int {
 	base := set * c.cfg.Ways
 	oldest, way := ^uint64(0), 0
 	for w := 0; w < c.cfg.Ways; w++ {
-		if c.tags[base+w]&c.validBit() == 0 {
+		if c.tags[base+w]&c.valid == 0 {
 			return w
 		}
 		if c.lru[base+w] < oldest {
@@ -173,12 +187,12 @@ func (c *Cache) fill(set, way int, tag uint64) uint64 {
 	e := c.tags[base+way]
 	idx := (base + way) * c.cfg.LineBytes
 	var lat uint64
-	if e&c.validBit() != 0 && e&c.dirtyBit() != 0 {
+	if e&c.valid != 0 && e&c.dirty != 0 {
 		c.Writebacks++
-		lat += c.lower.WriteLine(c.lineAddr(set, e&c.tagMask()), c.data[idx:idx+c.cfg.LineBytes])
+		lat += c.lower.WriteLine(c.lineAddr(set, e&c.tmask), c.data[idx:idx+c.cfg.LineBytes])
 	}
 	lat += c.lower.ReadLine(c.lineAddr(set, tag), c.data[idx:idx+c.cfg.LineBytes])
-	c.tags[base+way] = c.validBit() | tag
+	c.tags[base+way] = c.valid | tag
 	return lat
 }
 
@@ -202,10 +216,10 @@ func (c *Cache) DirtyLinesInRange(lo, hi uint64) int {
 		base := set * c.cfg.Ways
 		for w := 0; w < c.cfg.Ways; w++ {
 			e := c.tags[base+w]
-			if e&c.validBit() == 0 || e&c.dirtyBit() == 0 {
+			if e&c.valid == 0 || e&c.dirty == 0 {
 				continue
 			}
-			addr := c.lineAddr(set, e&c.tagMask())
+			addr := c.lineAddr(set, e&c.tmask)
 			if addr >= lo && addr < hi {
 				n++
 			}
@@ -226,11 +240,12 @@ func (c *Cache) Flush() {
 		base := set * c.cfg.Ways
 		for w := 0; w < c.cfg.Ways; w++ {
 			e := c.tags[base+w]
-			if e&c.validBit() != 0 && e&c.dirtyBit() != 0 {
+			if e&c.valid != 0 && e&c.dirty != 0 {
 				idx := (base + w) * c.cfg.LineBytes
 				c.Writebacks++
-				c.lower.WriteLine(c.lineAddr(set, e&c.tagMask()), c.data[idx:idx+c.cfg.LineBytes])
-				c.tags[base+w] &^= c.dirtyBit()
+				c.touch(set)
+				c.lower.WriteLine(c.lineAddr(set, e&c.tmask), c.data[idx:idx+c.cfg.LineBytes])
+				c.tags[base+w] &^= c.dirty
 			}
 		}
 	}
@@ -243,7 +258,107 @@ func (c *Cache) Clone() *Cache {
 	cl.tags = append([]uint64(nil), c.tags...)
 	cl.data = append([]byte(nil), c.data...)
 	cl.lru = append([]uint64(nil), c.lru...)
+	// Delta tracking is a property of a specific cursor machine, not of
+	// the state; a clone starts untracked with its own buffers.
+	cl.track = false
+	cl.touched = nil
+	cl.marked = nil
 	return &cl
+}
+
+// BeginDeltaTracking starts recording the sets touched by subsequent
+// accesses, flushes and flips, establishing the current state as a sync
+// point. While tracking, SyncSnapshot/SyncRestore move only the touched
+// delta between the cache and a snapshot captured at the sync point.
+func (c *Cache) BeginDeltaTracking() {
+	if c.marked == nil {
+		c.marked = make([]bool, c.cfg.Sets)
+		c.touched = make([]int32, 0, c.cfg.Sets)
+	}
+	c.resetTouched()
+	c.track = true
+}
+
+// EndDeltaTracking stops recording and clears the touch list.
+func (c *Cache) EndDeltaTracking() {
+	if c.track {
+		c.resetTouched()
+		c.track = false
+	}
+}
+
+// touch records set as modified since the last sync point.
+func (c *Cache) touch(set int) {
+	if !c.track || c.marked[set] {
+		return
+	}
+	c.marked[set] = true
+	c.touched = append(c.touched, int32(set))
+}
+
+func (c *Cache) resetTouched() {
+	for _, s := range c.touched {
+		c.marked[s] = false
+	}
+	c.touched = c.touched[:0]
+}
+
+// SyncSnapshot re-captures into snap only the sets touched since the last
+// sync point, then clears the touch list — the cheap re-arm of a cursor
+// worker's local snapshot between faults. snap must have been fully
+// captured from this cache before (same geometry, same sync lineage).
+// Returns the number of array bytes copied.
+func (c *Cache) SyncSnapshot(snap *CacheSnap) uint64 {
+	return c.syncDelta(snap, true)
+}
+
+// SyncRestore rewinds only the sets touched since the last sync point back
+// to snap's contents, then clears the touch list. With the sync invariant
+// (cache == snap at the last sync point, all divergence since is tracked)
+// the result is bit-identical to a full Restore. Returns the number of
+// array bytes copied.
+func (c *Cache) SyncRestore(snap *CacheSnap) uint64 {
+	return c.syncDelta(snap, false)
+}
+
+func (c *Cache) syncDelta(snap *CacheSnap, capture bool) uint64 {
+	if !c.track {
+		panic(fmt.Sprintf("mem: %s: delta sync without tracking", c.cfg.Name))
+	}
+	if len(snap.tags) != len(c.tags) || len(snap.data) != len(c.data) {
+		panic(fmt.Sprintf("mem: %s: delta sync across geometries", c.cfg.Name))
+	}
+	ways := c.cfg.Ways
+	lb := c.cfg.LineBytes
+	var bytes uint64
+	for _, s := range c.touched {
+		base := int(s) * ways
+		end := base + ways
+		db, de := base*lb, end*lb
+		if capture {
+			copy(snap.tags[base:end], c.tags[base:end])
+			copy(snap.lru[base:end], c.lru[base:end])
+			copy(snap.data[db:de], c.data[db:de])
+		} else {
+			copy(c.tags[base:end], snap.tags[base:end])
+			copy(c.lru[base:end], snap.lru[base:end])
+			copy(c.data[db:de], snap.data[db:de])
+		}
+		bytes += uint64(ways)*16 + uint64(de-db)
+	}
+	if capture {
+		snap.tick = c.tick
+		snap.accesses = c.Accesses
+		snap.misses = c.Misses
+		snap.writebacks = c.Writebacks
+	} else {
+		c.tick = snap.tick
+		c.Accesses = snap.accesses
+		c.Misses = snap.misses
+		c.Writebacks = snap.writebacks
+	}
+	c.resetTouched()
+	return bytes
 }
 
 // CacheSnap is an immutable capture of one cache's complete state (tag,
@@ -274,6 +389,10 @@ func (c *Cache) Snapshot(snap *CacheSnap) *CacheSnap {
 	snap.accesses = c.Accesses
 	snap.misses = c.Misses
 	snap.writebacks = c.Writebacks
+	if c.track {
+		// A full capture leaves cache == snap: a fresh sync point.
+		c.resetTouched()
+	}
 	return snap
 }
 
@@ -291,6 +410,10 @@ func (c *Cache) Restore(snap *CacheSnap) {
 	c.Accesses = snap.accesses
 	c.Misses = snap.misses
 	c.Writebacks = snap.writebacks
+	if c.track {
+		// A full restore leaves cache == snap: a fresh sync point.
+		c.resetTouched()
+	}
 }
 
 // Bytes returns the captured state size, for checkpoint accounting.
@@ -322,7 +445,9 @@ func (a *CacheTagArray) BitCount() uint64 {
 // FlipBit flips bit i of the tag array.
 func (a *CacheTagArray) FlipBit(i uint64) {
 	per := uint64(a.c.tagBits + 2)
-	a.c.tags[i/per] ^= 1 << (i % per)
+	entry := i / per
+	a.c.touch(int(entry) / a.c.cfg.Ways)
+	a.c.tags[entry] ^= 1 << (i % per)
 }
 
 // CacheDataArray is the bit-addressable view of a cache's data array.
@@ -336,5 +461,8 @@ func (a *CacheDataArray) BitCount() uint64 { return uint64(len(a.c.data)) * 8 }
 
 // FlipBit flips bit i of the data array.
 func (a *CacheDataArray) FlipBit(i uint64) {
-	a.c.data[i/8] ^= 1 << (i % 8)
+	b := i / 8
+	line := int(b) / a.c.cfg.LineBytes
+	a.c.touch(line / a.c.cfg.Ways)
+	a.c.data[b] ^= 1 << (i % 8)
 }

@@ -181,6 +181,56 @@ func (h *Hierarchy) Restore(snap *HierarchySnap) {
 	h.L2.Restore(&snap.l2)
 }
 
+// BeginDeltaTracking starts dirty-delta tracking on every cache and TLB,
+// establishing the current state as a sync point. RAM needs no tracking:
+// its copy-on-write pages already privatize at write granularity.
+func (h *Hierarchy) BeginDeltaTracking() {
+	h.ITLB.BeginDeltaTracking()
+	h.DTLB.BeginDeltaTracking()
+	h.L1I.BeginDeltaTracking()
+	h.L1D.BeginDeltaTracking()
+	h.L2.BeginDeltaTracking()
+}
+
+// EndDeltaTracking stops dirty-delta tracking everywhere.
+func (h *Hierarchy) EndDeltaTracking() {
+	h.ITLB.EndDeltaTracking()
+	h.DTLB.EndDeltaTracking()
+	h.L1I.EndDeltaTracking()
+	h.L1D.EndDeltaTracking()
+	h.L2.EndDeltaTracking()
+}
+
+// SyncSnapshot re-captures into snap only the state touched since the last
+// sync point: touched cache sets and TLB entries are copied, RAM is
+// re-forked copy-on-write (pointer-sized per page). snap must be a full
+// capture of this hierarchy from the current sync lineage. Returns the
+// bytes copied.
+func (h *Hierarchy) SyncSnapshot(snap *HierarchySnap) uint64 {
+	snap.ram = h.RAM.Snapshot(snap.ram)
+	bytes := uint64(len(snap.ram.pages)) * 9
+	bytes += h.ITLB.SyncSnapshot(&snap.itlb)
+	bytes += h.DTLB.SyncSnapshot(&snap.dtlb)
+	bytes += h.L1I.SyncSnapshot(&snap.l1i)
+	bytes += h.L1D.SyncSnapshot(&snap.l1d)
+	bytes += h.L2.SyncSnapshot(&snap.l2)
+	return bytes
+}
+
+// SyncRestore rewinds only the state touched since the last sync point back
+// to snap's contents; bit-identical to a full Restore under the sync
+// invariant. Returns the bytes copied.
+func (h *Hierarchy) SyncRestore(snap *HierarchySnap) uint64 {
+	h.RAM.RestoreFrom(snap.ram)
+	bytes := uint64(len(snap.ram.pages)) * 9
+	bytes += h.ITLB.SyncRestore(&snap.itlb)
+	bytes += h.DTLB.SyncRestore(&snap.dtlb)
+	bytes += h.L1I.SyncRestore(&snap.l1i)
+	bytes += h.L1D.SyncRestore(&snap.l1d)
+	bytes += h.L2.SyncRestore(&snap.l2)
+	return bytes
+}
+
 // Bytes returns the captured state size in bytes: the copied arrays plus
 // the page-pointer table of the RAM fork (the shared page contents are
 // not owned by the snapshot and are not counted).

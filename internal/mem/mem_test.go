@@ -249,7 +249,7 @@ func TestCacheDirtyTagFlipWritesBackToWrongAddress(t *testing.T) {
 	base := set * c.Config().Ways
 	way := -1
 	for w := 0; w < c.Config().Ways; w++ {
-		if c.tags[base+w]&c.validBit() != 0 && c.tags[base+w]&c.tagMask() == tag {
+		if c.tags[base+w]&c.valid != 0 && c.tags[base+w]&c.tmask == tag {
 			way = w
 		}
 	}

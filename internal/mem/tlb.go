@@ -13,6 +13,13 @@ type TLB struct {
 
 	walkLatency uint64
 
+	// Dirty-delta tracking (cursor forks): entries written since the last
+	// snapshot/restore sync point. Translate hits are read-only, so only
+	// fills and bit flips touch.
+	track   bool
+	touched []int32
+	marked  []bool
+
 	// Accesses and Misses are running statistics (protected).
 	Accesses uint64
 	Misses   uint64
@@ -43,6 +50,7 @@ func (t *TLB) BitCount() uint64 { return uint64(len(t.entries)) * tlbEntryBits }
 func (t *TLB) FlipBit(i uint64) {
 	entry := i / tlbEntryBits
 	bit := i % tlbEntryBits
+	t.touch(int(entry))
 	t.entries[entry] ^= 1 << bit
 }
 
@@ -89,6 +97,7 @@ func (t *TLB) fill(vpn, ppn uint64) {
 		victim = t.rr
 		t.rr = (t.rr + 1) % len(t.entries)
 	}
+	t.touch(victim)
 	t.entries[victim] = tlbValidBit | (vpn&pageNumMask)<<tlbVPNShift | (ppn&pageNumMask)<<tlbPPNShift
 }
 
@@ -96,7 +105,87 @@ func (t *TLB) fill(vpn, ppn uint64) {
 func (t *TLB) Clone() *TLB {
 	c := *t
 	c.entries = append([]uint64(nil), t.entries...)
+	c.track = false
+	c.touched = nil
+	c.marked = nil
 	return &c
+}
+
+// BeginDeltaTracking starts recording the entries written by subsequent
+// fills and flips, establishing the current state as a sync point (see
+// Cache.BeginDeltaTracking).
+func (t *TLB) BeginDeltaTracking() {
+	if t.marked == nil {
+		t.marked = make([]bool, len(t.entries))
+		t.touched = make([]int32, 0, len(t.entries))
+	}
+	t.resetTouched()
+	t.track = true
+}
+
+// EndDeltaTracking stops recording and clears the touch list.
+func (t *TLB) EndDeltaTracking() {
+	if t.track {
+		t.resetTouched()
+		t.track = false
+	}
+}
+
+func (t *TLB) touch(entry int) {
+	if !t.track || t.marked[entry] {
+		return
+	}
+	t.marked[entry] = true
+	t.touched = append(t.touched, int32(entry))
+}
+
+func (t *TLB) resetTouched() {
+	for _, e := range t.touched {
+		t.marked[e] = false
+	}
+	t.touched = t.touched[:0]
+}
+
+// SyncSnapshot re-captures into snap only the entries touched since the
+// last sync point, then clears the touch list. Returns the number of entry
+// bytes copied.
+func (t *TLB) SyncSnapshot(snap *TLBSnap) uint64 {
+	return t.syncDelta(snap, true)
+}
+
+// SyncRestore rewinds only the entries touched since the last sync point
+// back to snap's contents; bit-identical to a full Restore under the sync
+// invariant. Returns the number of entry bytes copied.
+func (t *TLB) SyncRestore(snap *TLBSnap) uint64 {
+	return t.syncDelta(snap, false)
+}
+
+func (t *TLB) syncDelta(snap *TLBSnap, capture bool) uint64 {
+	if !t.track {
+		panic("mem: " + t.name + ": delta sync without tracking")
+	}
+	if len(snap.entries) != len(t.entries) {
+		panic("mem: " + t.name + ": delta sync across geometries")
+	}
+	for _, e := range t.touched {
+		if capture {
+			snap.entries[e] = t.entries[e]
+		} else {
+			t.entries[e] = snap.entries[e]
+		}
+	}
+	if capture {
+		snap.rr = t.rr
+		snap.accesses = t.Accesses
+		snap.misses = t.Misses
+	} else {
+		t.rr = snap.rr
+		t.Accesses = snap.accesses
+		t.Misses = snap.misses
+	}
+	bytes := uint64(len(t.touched)) * 8
+	t.resetTouched()
+	return bytes
 }
 
 // TLBSnap is an immutable capture of a TLB's entry array, replacement
@@ -118,6 +207,9 @@ func (t *TLB) Snapshot(snap *TLBSnap) *TLBSnap {
 	snap.rr = t.rr
 	snap.accesses = t.Accesses
 	snap.misses = t.Misses
+	if t.track {
+		t.resetTouched()
+	}
 	return snap
 }
 
@@ -128,6 +220,9 @@ func (t *TLB) Restore(snap *TLBSnap) {
 	t.rr = snap.rr
 	t.Accesses = snap.accesses
 	t.Misses = snap.misses
+	if t.track {
+		t.resetTouched()
+	}
 }
 
 // Bytes returns the captured state size, for checkpoint accounting.

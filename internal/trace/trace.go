@@ -137,6 +137,18 @@ func (c *Comparator) OnCommit(r Record) bool {
 	return true
 }
 
+// Reset rearms the comparator for a new faulty run against the same golden
+// trace: stop conditions, the recorded deviation and the position are
+// cleared, the Golden slice is kept. Campaign workers reuse one comparator
+// across all their faults instead of allocating one per fault.
+func (c *Comparator) Reset() {
+	c.StopAtFirst = false
+	c.StopCycle = 0
+	c.Dev = Deviation{}
+	c.next = 0
+	c.stopped = false
+}
+
 // StartAt positions the comparator at commit index n. Campaigns use this
 // when a faulty run is forked from a checkpoint that has already committed
 // n instructions: the deterministic pre-injection prefix is known to match
