@@ -37,6 +37,7 @@ import (
 	"avgi/internal/core"
 	"avgi/internal/cpu"
 	"avgi/internal/fault"
+	"avgi/internal/forensics"
 	"avgi/internal/imm"
 	"avgi/internal/isa"
 	"avgi/internal/obs"
@@ -107,6 +108,14 @@ type (
 	// export.
 	Tracer = obs.Tracer
 
+	// Explorer aggregates per-fault forensic attributions into the
+	// masking-source breakdown behind report.MaskingSources and the
+	// observer's /forensics.json endpoint.
+	Explorer = forensics.Explorer
+	// ForensicRecord is one fault's attribution (cause, latency,
+	// first-divergence capture); carried on CampaignResult.Forensics.
+	ForensicRecord = forensics.Record
+
 	// Budget is a study-wide worker pool shared by all concurrently
 	// executing campaigns; see docs/SCHEDULING.md. Runner.RunBudget draws
 	// workers from one, and Study.Budget exposes the study's own.
@@ -117,6 +126,15 @@ type (
 // running ad-hoc campaigns under a shared concurrency cap via
 // Runner.RunBudget.
 func NewBudget(workers int) *Budget { return campaign.NewBudget(workers) }
+
+// NewExplorer returns an empty forensics explorer, to be set as
+// StudyConfig.Forensics (or Runner.Forensics) and, optionally, as the
+// observer's Forensics source for /forensics.json.
+func NewExplorer() *Explorer { return forensics.NewExplorer() }
+
+// MaskingSources renders an explorer's per-structure masking-cause
+// breakdown as a table.
+func MaskingSources(ex *Explorer) *Table { return report.MaskingSources(ex.Snapshot()) }
 
 // Re-exported constants.
 const (

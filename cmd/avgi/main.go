@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"avgi"
+	"avgi/internal/clilog"
 	"avgi/internal/core"
 	"avgi/internal/report"
 )
@@ -55,7 +57,18 @@ var (
 	flagMetricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /progress.json on this address (e.g. localhost:9090)")
 	flagTraceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON of the study phases to this file (open in chrome://tracing)")
 	flagTraceND     = flag.String("trace-ndjson", "", "write the study-phase spans as NDJSON to this file")
+
+	flagForensics       = flag.Bool("forensics", false, "attribute every sampled fault's fate (masking source, first divergence) and print the per-structure breakdown (see docs/OBSERVABILITY.md)")
+	flagForensicsSample = flag.Int("forensics-sample", 1, "with -forensics: probe every Nth fault by fault ID (1 = all)")
+	flagLog             = flag.String("log", "text", "stderr log format: text (classic `avgi: msg` lines) or json")
 )
+
+// logger carries harness diagnostics to stderr per -log; set in main
+// before any use.
+var logger *slog.Logger
+
+// explorer aggregates forensic attributions when -forensics is on.
+var explorer *avgi.Explorer
 
 func main() {
 	flag.Usage = usage
@@ -69,13 +82,23 @@ func main() {
 		listWorkloads()
 		return
 	}
-	stopProf, err := startProfiles(*flagCPUProfile, *flagMemProfile)
+	var err error
+	logger, err = clilog.New(os.Stderr, "avgi", *flagLog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avgi:", err)
+		os.Exit(2)
+	}
+	stopProf, err := startProfiles(*flagCPUProfile, *flagMemProfile)
+	if err != nil {
+		logger.Error(err.Error())
 		os.Exit(1)
 	}
 	defer stopProf()
 	obsv := avgi.NewObserver(os.Stderr)
+	if *flagForensics {
+		explorer = avgi.NewExplorer()
+		obsv.Forensics = explorer
+	}
 	if *flagProgress {
 		stop := obsv.Progress.StartTicker(2 * time.Second)
 		defer stop()
@@ -83,11 +106,13 @@ func main() {
 	if *flagMetricsAddr != "" {
 		srv, err := obsv.Serve(*flagMetricsAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "avgi:", err)
+			logger.Error(err.Error())
 			os.Exit(1)
 		}
 		defer srv.Close()
-		obsv.Logf("telemetry: http://%s/ (/metrics, /progress.json, /trace.json)", srv.Addr())
+		stopHealth := obsv.StartHealth(10 * time.Second)
+		defer stopHealth()
+		obsv.Logf("telemetry: http://%s/ (/metrics, /progress.json, /trace.json, /forensics.json, /debug/pprof/)", srv.Addr())
 	}
 	err = run(cmd, os.Stdout, obsv)
 	if terr := writeTraces(obsv); err == nil {
@@ -95,7 +120,7 @@ func main() {
 	}
 	if err != nil {
 		stopProf()
-		fmt.Fprintln(os.Stderr, "avgi:", err)
+		logger.Error(err.Error())
 		os.Exit(1)
 	}
 }
@@ -129,12 +154,12 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 		if memPath != "" {
 			f, err := os.Create(memPath)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "avgi: memprofile:", err)
+				logger.Error("memprofile: " + err.Error())
 				return
 			}
 			runtime.GC() // materialize final live-heap numbers
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "avgi: memprofile:", err)
+				logger.Error("memprofile: " + err.Error())
 			}
 			f.Close()
 		}
@@ -191,11 +216,17 @@ experiments:
 
 telemetry (see docs/OBSERVABILITY.md):
   -progress          live faults/s, simcycles/s, speedup and ETA on stderr
-  -metrics-addr A    serve Prometheus /metrics and /progress.json on A
+  -metrics-addr A    serve Prometheus /metrics, /progress.json,
+                     /forensics.json and /debug/pprof/ on A
   -trace-out F       Chrome trace_event JSON of study phases (chrome://tracing)
   -trace-ndjson F    the same spans as NDJSON
   -cpuprofile F      pprof CPU profile of the whole run (go tool pprof F)
   -memprofile F      pprof heap profile captured at exit
+  -forensics         attribute each fault's fate (overwritten, squashed,
+                     evicted clean, logically masked, never read, visible)
+                     and append the masking-sources table to the output
+  -forensics-sample N  probe every Nth fault (by fault ID) to bound overhead
+  -log FMT           stderr log format: text (default) or json
 
 performance (see docs/PERFORMANCE.md):
   -fork P            cursor (default; per-worker golden cursor with
@@ -295,6 +326,8 @@ func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload, obsv *avg
 		CheckpointInterval: *flagCkptInterval,
 		JournalDir:         *flagJournal,
 		Resume:             *flagResume,
+		Forensics:          explorer,
+		ForensicsSample:    *flagForensicsSample,
 	})
 	if err != nil {
 		return nil, err
@@ -445,6 +478,9 @@ func run(cmd string, w io.Writer, obsv *avgi.Observer) error {
 		emit(w, avgi.Fig12(st15)...)
 	default:
 		return fmt.Errorf("unknown experiment %q (see -h)", cmd)
+	}
+	if explorer != nil {
+		emit(w, avgi.MaskingSources(explorer))
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -28,6 +29,7 @@ import (
 	"avgi"
 	"avgi/internal/asm"
 	"avgi/internal/campaign"
+	"avgi/internal/clilog"
 	"avgi/internal/cpu"
 	"avgi/internal/fault"
 	"avgi/internal/isa"
@@ -54,7 +56,13 @@ var (
 
 	flagJournal = flag.String("journal", "", "journal the -inject result as an NDJSON shard under this directory (see docs/ROBUSTNESS.md)")
 	flagResume  = flag.Bool("resume", false, "with -journal: reuse a journalled result for the same fault instead of re-simulating")
+
+	flagForensics = flag.Bool("forensics", false, "with -inject: probe the faulty run and print the fault's forensic attribution (masking source / first divergence)")
+	flagLog       = flag.String("log", "text", "stderr log format: text (classic `avgisim: msg` lines) or json")
 )
+
+// logger carries diagnostics to stderr per -log; set in main before any use.
+var logger *slog.Logger
 
 func main() {
 	flag.Parse()
@@ -62,9 +70,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: avgisim [flags] <workload>   (see -h)")
 		os.Exit(2)
 	}
-	stopProf, err := startProfiles(*flagCPUProfile, *flagMemProfile)
+	var err error
+	logger, err = clilog.New(os.Stderr, "avgisim", *flagLog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avgisim:", err)
+		os.Exit(2)
+	}
+	stopProf, err := startProfiles(*flagCPUProfile, *flagMemProfile)
+	if err != nil {
+		logger.Error(err.Error())
 		os.Exit(1)
 	}
 	defer stopProf()
@@ -76,15 +90,17 @@ func main() {
 	if *flagMetricsAddr != "" {
 		srv, err := obsv.Serve(*flagMetricsAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "avgisim:", err)
+			logger.Error(err.Error())
 			os.Exit(1)
 		}
 		defer srv.Close()
-		obsv.Logf("telemetry: http://%s/ (/metrics, /progress.json)", srv.Addr())
+		stopHealth := obsv.StartHealth(10 * time.Second)
+		defer stopHealth()
+		obsv.Logf("telemetry: http://%s/ (/metrics, /progress.json, /debug/pprof/)", srv.Addr())
 	}
 	if err := run(flag.Arg(0), obsv); err != nil {
 		stopProf()
-		fmt.Fprintln(os.Stderr, "avgisim:", err)
+		logger.Error(err.Error())
 		os.Exit(1)
 	}
 }
@@ -118,12 +134,12 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 		if memPath != "" {
 			f, err := os.Create(memPath)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "avgisim: memprofile:", err)
+				logger.Error("memprofile: " + err.Error())
 				return
 			}
 			runtime.GC() // materialize final live-heap numbers
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "avgisim: memprofile:", err)
+				logger.Error("memprofile: " + err.Error())
 			}
 			f.Close()
 		}
@@ -188,6 +204,10 @@ func run(name string, obsv *avgi.Observer) error {
 		return fmt.Errorf("unknown -fork policy %q (want cursor, snapshot or clone)", *flagFork)
 	}
 	r.CheckpointInterval = *flagCkptInterval
+	if *flagForensics {
+		r.Forensics = avgi.NewExplorer()
+		r.ForensicsSample = 1
+	}
 	r.PublishGolden()
 	fmt.Printf("workload  %s (%s)\n", name, cfg.Name)
 	fmt.Printf("golden    %d cycles, %d commits, IPC %.2f\n",
@@ -247,6 +267,17 @@ func run(name string, obsv *avgi.Observer) error {
 			fmt.Printf("manifest  %d cycles after injection\n", res.ManifestLatency)
 		} else {
 			fmt.Println("manifest  never (no commit-trace deviation)")
+		}
+		if fr := res.Forensics; fr != nil {
+			fmt.Printf("cause     %s (sites %d, live %d, reads %d, latency %d)\n",
+				fr.Cause, fr.Sites, fr.LiveSites, fr.Reads, fr.Latency)
+			if d := fr.Divergence; d != nil {
+				fmt.Printf("diverge   %s, +%d cycles", d.Kind, d.CycleDelta)
+				if d.PC != 0 {
+					fmt.Printf(", pc %#x (commit %d)", d.PC, d.CommitIndex)
+				}
+				fmt.Println()
+			}
 		}
 		return nil
 	}

@@ -38,6 +38,7 @@ import (
 	"avgi/internal/ckpt"
 	"avgi/internal/cpu"
 	"avgi/internal/fault"
+	"avgi/internal/forensics"
 	"avgi/internal/imm"
 	"avgi/internal/obs"
 	"avgi/internal/trace"
@@ -175,6 +176,12 @@ type Result struct {
 
 	// Err is the recovered panic message of a quarantined fault.
 	Err string
+
+	// Forensics is the per-fault fate attribution captured when the
+	// runner's forensics mode sampled this fault (see internal/forensics);
+	// nil otherwise. Persisted with the journal record as a
+	// backward-compatible extension — old shards simply lack it.
+	Forensics *forensics.Record `json:",omitempty"`
 }
 
 // Runner executes campaigns for one (machine config, workload) pair.
@@ -215,6 +222,18 @@ type Runner struct {
 	// campaign aborts with an aggregated error. 0 uses the default;
 	// negative disables the limit entirely.
 	QuarantineLimit float64
+
+	// Forensics, when non-nil, enables per-fault fate attribution: each
+	// sampled fault gets an observation probe for its faulty run, its
+	// Result carries a forensics.Record, and every campaign's breakdown
+	// is folded into this explorer. Nil (the default) leaves the machine
+	// tick loop on the exact unprobed code.
+	Forensics *forensics.Explorer
+
+	// ForensicsSample is the sampling stride under Forensics: probe
+	// faults whose ID is a multiple of N (stable across resumes and
+	// worker layouts). 0 or 1 probes every fault.
+	ForensicsSample int
 
 	// ckptOnce lazily records the checkpoint store on first snapshot-mode
 	// Run, so legacy-only and fault-list-only uses never pay for it.
@@ -504,6 +523,18 @@ func (r *Runner) RunBudgetResume(faults []fault.Fault, mode Mode, ert uint64, bu
 	wg.Wait()
 	ro.finish()
 	r.checkQuarantine(results, prior)
+	if r.Forensics != nil {
+		// Fold the whole campaign — fresh and journal-resumed results
+		// alike — into the explorer, serially so the breakdown (and its
+		// retained samples) is deterministic under any worker layout.
+		ms := mode.String()
+		for i := range results {
+			if results[i].Quarantined {
+				continue
+			}
+			r.Forensics.Record(faults[i].Structure, r.Prog.Name, ms, faults[i], results[i].Forensics)
+		}
+	}
 	return results
 }
 
@@ -766,6 +797,13 @@ func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert 
 	for i := uint64(0); i < width; i++ {
 		tg.FlipBit(f.Bit + i)
 	}
+	// The fate probe is armed after the flip and cleared before this
+	// function returns, so the fork machinery around it (worker-local
+	// sync snapshots before, restores after) never observes one.
+	var probe *cpu.FaultProbe
+	if r.forensicsOn(f) {
+		probe = m.ArmProbe(f.Structure, f.Bit, int(width))
+	}
 
 	cmp.Reset()
 	cmp.StartAt(int(m.Stats.Commits))
@@ -822,7 +860,38 @@ func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert 
 		out.Effect = imm.FinalEffect(crashed, produced, matches)
 		out.HasEffect = true
 	}
+	if probe != nil {
+		m.ClearProbe()
+		oc := forensics.Outcome{
+			Visible:         out.Manifested,
+			ManifestLatency: out.ManifestLatency,
+			Dev:             cmp.Dev,
+		}
+		if out.IMM == imm.ESC {
+			// An escape through a dirty line is architecturally visible
+			// in the program output even though the commit trace never
+			// deviates; the whole post-injection run is its latency.
+			oc.Visible = true
+			oc.Escaped = true
+			oc.ManifestLatency = out.SimCycles
+		}
+		rec := forensics.Attribute(probe.Facts(), oc)
+		out.Forensics = &rec
+	}
 	return out, statsDelta(m.Stats, statsAtFork)
+}
+
+// forensicsOn reports whether this fault is in the forensics sample. The
+// stride keys off the fault's stable ID, so the sampled set is identical
+// across resumes, fork policies and worker layouts.
+func (r *Runner) forensicsOn(f fault.Fault) bool {
+	if r.Forensics == nil {
+		return false
+	}
+	if n := r.ForensicsSample; n > 1 {
+		return f.ID%n == 0
+	}
+	return true
 }
 
 // statsDelta subtracts the fork-time snapshot from a clone's final stats.

@@ -8,6 +8,7 @@ import (
 
 	"avgi/internal/cpu"
 	"avgi/internal/fault"
+	"avgi/internal/forensics"
 	"avgi/internal/imm"
 	"avgi/internal/obs"
 )
@@ -22,6 +23,9 @@ var nowFn = time.Now
 var (
 	simCycleBuckets = []float64{1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8}
 	wallSecBuckets  = []float64{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10}
+	// Divergence-latency buckets span same-window manifestations (a few
+	// cycles) out to end-of-run escapes.
+	divCycleBuckets = []float64{1, 3, 10, 30, 100, 300, 1e3, 3e3, 1e4, 3e4, 1e5, 1e6}
 )
 
 // structAgg accumulates one worker's per-structure telemetry locally so
@@ -44,6 +48,9 @@ type structAgg struct {
 	advCycles    uint64
 	deltaBytes   uint64
 	fullSyncs    uint64
+
+	// Forensics attribution tallies (faults the sampler probed).
+	causes [forensics.NumCauses]uint64
 }
 
 // runObs is the per-Run instrumentation state. A nil *runObs (observer
@@ -56,6 +63,7 @@ type runObs struct {
 
 	simHist  *obs.Histogram
 	wallHist *obs.Histogram
+	divHist  *obs.Histogram // registered only when forensics is on
 
 	mu  sync.Mutex
 	agg map[string]*structAgg
@@ -112,6 +120,10 @@ func (r *Runner) newRunObs(faults []fault.Fault, mode Mode, prior map[int]Result
 			"post-injection cycles simulated per fault", simCycleBuckets, lb)
 		ro.wallHist = o.Metrics.Histogram("avgi_campaign_fault_wall_seconds",
 			"wall-clock seconds per fault (includes mother-machine advance)", wallSecBuckets, lb)
+		if r.Forensics != nil {
+			ro.divHist = o.Metrics.Histogram("avgi_divergence_latency_cycles",
+				"injection-to-first-divergence latency of visible faults", divCycleBuckets, lb)
+		}
 	}
 	attrs := map[string]string{
 		"workload": r.Prog.Name,
@@ -161,6 +173,13 @@ func (ro *runObs) fault(local map[string]*structAgg, f fault.Fault, res *Result,
 		a.deltaBytes += fm.deltaBytes
 		if fm.fullSync {
 			a.fullSyncs++
+		}
+	}
+
+	if fr := res.Forensics; fr != nil {
+		a.causes[fr.Cause]++
+		if ro.divHist != nil && fr.Divergence != nil {
+			ro.divHist.Observe(float64(fr.Divergence.CycleDelta))
 		}
 	}
 
@@ -226,6 +245,9 @@ func (ro *runObs) merge(local map[string]*structAgg) {
 		dst.advCycles += a.advCycles
 		dst.deltaBytes += a.deltaBytes
 		dst.fullSyncs += a.fullSyncs
+		for c, n := range a.causes {
+			dst.causes[c] += n
+		}
 	}
 }
 
@@ -280,6 +302,14 @@ func (ro *runObs) finish() {
 					"bytes moved by dirty-delta snapshot/restore pairs", lb).Add(a.deltaBytes)
 				reg.Counter("avgi_cursor_full_syncs_total",
 					"cursor faults that paid a full local snapshot capture", lb).Add(a.fullSyncs)
+			}
+			for _, c := range forensics.Causes {
+				if n := a.causes[c]; n > 0 {
+					cl := map[string]string{"cause": c.String(),
+						"structure": s, "workload": ro.r.Prog.Name, "mode": ro.mode}
+					reg.Counter("avgi_mask_cause_total",
+						"sampled faults by attributed fate (forensics)", cl).Add(n)
+				}
 			}
 		}
 		if ro.poolGets > 0 {

@@ -1,0 +1,70 @@
+// Package clilog builds the slog.Logger behind the CLIs' -log flag: the
+// default "text" mode keeps the traditional `prog: message k=v` stderr
+// look, while "json" emits one structured object per line for log
+// shippers.
+package clilog
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// New returns a logger writing to w. mode is "text" (or "", the default)
+// for the classic `prog: message` lines, or "json" for slog's JSON
+// handler with a "prog" attribute; anything else is an error.
+func New(w io.Writer, prog, mode string) (*slog.Logger, error) {
+	switch mode {
+	case "", "text":
+		return slog.New(&textHandler{mu: &sync.Mutex{}, w: w, prog: prog}), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)).With("prog", prog), nil
+	}
+	return nil, fmt.Errorf("clilog: unknown log mode %q (want text or json)", mode)
+}
+
+// textHandler prints `prog: message k=v ...` — exactly the lines the CLIs
+// used to produce with fmt.Fprintln(os.Stderr, "prog:", ...), so the
+// default mode changes nothing a user (or a script scraping stderr) sees.
+type textHandler struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	prog  string
+	attrs []slog.Attr
+}
+
+func (h *textHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= slog.LevelInfo
+}
+
+func (h *textHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(h.prog)
+	b.WriteString(": ")
+	b.WriteString(r.Message)
+	for _, a := range h.attrs {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+func (h *textHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return &nh
+}
+
+// WithGroup is accepted but flattens: the CLIs do not use groups, and a
+// flat `k=v` tail keeps the text lines greppable.
+func (h *textHandler) WithGroup(string) slog.Handler { return h }

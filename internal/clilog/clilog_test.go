@@ -1,0 +1,65 @@
+package clilog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTextModeKeepsClassicLook(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, "avgi", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Error("file not found")
+	if got := buf.String(); got != "avgi: file not found\n" {
+		t.Errorf("line %q", got)
+	}
+}
+
+func TestTextModeAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	l, _ := New(&buf, "avgisim", "")
+	l.With("shard", 3).Info("journal resumed", "faults", 40)
+	want := "avgisim: journal resumed shard=3 faults=40\n"
+	if got := buf.String(); got != want {
+		t.Errorf("line %q, want %q", got, want)
+	}
+}
+
+func TestTextModeDropsDebug(t *testing.T) {
+	var buf bytes.Buffer
+	l, _ := New(&buf, "avgi", "text")
+	l.Debug("noise")
+	if buf.Len() != 0 {
+		t.Errorf("debug line emitted: %q", buf.String())
+	}
+}
+
+func TestJSONMode(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, "avgi", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Error("boom", "path", "/tmp/x")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.Bytes())
+	}
+	if rec["msg"] != "boom" || rec["prog"] != "avgi" || rec["path"] != "/tmp/x" {
+		t.Errorf("record %v", rec)
+	}
+	if rec["level"] != "ERROR" {
+		t.Errorf("level %v", rec["level"])
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	if _, err := New(&bytes.Buffer{}, "avgi", "xml"); err == nil ||
+		!strings.Contains(err.Error(), "xml") {
+		t.Errorf("unknown mode error %v", err)
+	}
+}

@@ -58,6 +58,9 @@ func (m *Machine) execute(idx int, e *robEntry) (ok, squashed bool) {
 	v := m.Cfg.Variant
 	a := m.operandValue(e.src[0])
 	b := m.operandValue(e.src[1])
+	if m.probe != nil {
+		m.probe.onOperandRead(e)
+	}
 	lat := m.Cfg.LatALU
 
 	switch e.class {
@@ -147,6 +150,9 @@ func (m *Machine) execute(idx int, e *robEntry) (ok, squashed bool) {
 // marks the entry complete after lat cycles.
 func (m *Machine) finishDest(e *robEntry, lat uint64) {
 	if e.hasDest {
+		if m.probe != nil {
+			m.probe.regWrite(e.destPhys)
+		}
 		m.prf[e.destPhys] = e.result & m.Cfg.Variant.Mask()
 		m.prfReadyAt[e.destPhys] = m.cycle + lat
 	}
@@ -256,6 +262,15 @@ func (m *Machine) squashAfter(idx int, next uint64) {
 		e := m.robAt(last)
 		if e.seq <= bound {
 			break
+		}
+		if m.probe != nil {
+			m.probe.queueSquash(probeROB, last)
+			if e.lq >= 0 {
+				m.probe.queueSquash(probeLQ, e.lq)
+			}
+			if e.sq >= 0 {
+				m.probe.queueSquash(probeSQ, e.sq)
+			}
 		}
 		if e.hasDest {
 			m.renameMap[e.destArch] = e.oldPhys

@@ -14,6 +14,7 @@ func (m *Machine) Clone() *Machine {
 	*c = *m
 	c.sink = nil
 	c.profile = nil // exposure profiling is a golden-run concern
+	c.probe = nil   // fault probes never outlive their faulty run
 	c.clearDeltaTracking()
 
 	c.Mem = m.Mem.Clone()

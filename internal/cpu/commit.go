@@ -81,6 +81,9 @@ func (m *Machine) commitStage() {
 				// Read the physical register at commit time so
 				// value corruption between writeback and commit
 				// is architecturally visible (DCR).
+				if m.probe != nil {
+					m.probe.regRead(e.destPhys)
+				}
 				rec.Value = m.prf[e.destPhys] & m.Cfg.Variant.Mask()
 			}
 		}

@@ -128,6 +128,9 @@ func (m *Machine) renameStage() {
 
 		idx := m.robTail
 		e := m.robAt(idx)
+		if m.probe != nil {
+			m.probe.queueAlloc(probeROB, idx)
+		}
 		*e = robEntry{
 			used:  true,
 			seq:   m.seqNext,
@@ -172,12 +175,18 @@ func (m *Machine) renameStage() {
 
 		if class == isa.ClassLoad {
 			e.lq = m.lqTail
+			if m.probe != nil {
+				m.probe.queueAlloc(probeLQ, m.lqTail)
+			}
 			m.lqs[m.lqTail] = lqEntry{used: true, rob: idx, seq: e.seq}
 			m.lqTail = (m.lqTail + 1) % len(m.lqs)
 			m.lqCnt++
 		}
 		if class == isa.ClassStore {
 			e.sq = m.sqTail
+			if m.probe != nil {
+				m.probe.queueAlloc(probeSQ, m.sqTail)
+			}
 			m.sqs[m.sqTail] = sqEntry{used: true, rob: idx, seq: e.seq}
 			m.sqTail = (m.sqTail + 1) % len(m.sqs)
 			m.sqCnt++

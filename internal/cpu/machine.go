@@ -256,6 +256,12 @@ type Machine struct {
 	// profile, when non-nil, samples the dirty-output-line occupancy of
 	// the data caches during the run (golden runs only; clones drop it).
 	profile *outputProfile
+
+	// probe, when non-nil, observes the fate of an injected fault's
+	// corrupted state (see probe.go). Armed after the flip and cleared
+	// before the faulty machine is rewound; a nil probe keeps every
+	// pipeline stage on the exact pre-forensics code.
+	probe *FaultProbe
 }
 
 // outputProfile records how much of each cache array holds dirty data

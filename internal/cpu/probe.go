@@ -1,0 +1,277 @@
+package cpu
+
+import (
+	"strings"
+
+	"avgi/internal/mem"
+)
+
+// Fault-forensics probe for the core-side structures, and the machine-wide
+// front door for arming one on any of the twelve fault targets. A probe is
+// pure observation: it watches the array entries covered by one injected
+// fault and records every event that consumes or erases the corrupted
+// state, so the forensics layer (internal/forensics) can attribute the
+// fault's fate. With m.probe nil every pipeline stage runs the exact
+// pre-forensics code — the hooks are single nil checks.
+//
+// Lifecycle: the campaign arms the probe immediately after FlipBit and
+// clears it before the faulty machine is rewound, so snapshots and
+// restores never observe one; Clone and Snapshot drop it defensively.
+
+// probeKind selects which core array a FaultProbe watches.
+type probeKind uint8
+
+const (
+	probeMem probeKind = iota // cache or TLB; events arrive via mem.ProbeSink
+	probeReg
+	probeROB
+	probeLQ
+	probeSQ
+)
+
+// ProbeFacts is the raw observation record a probe accumulates over one
+// faulty run. The forensics layer turns it into a cause attribution.
+type ProbeFacts struct {
+	// InjectCycle is the machine cycle at which the fault was injected.
+	InjectCycle uint64
+	// Sites is the number of watched array entries (a multi-bit fault can
+	// straddle entry boundaries).
+	Sites int
+	// LiveSites is how many of them held reachable state at injection —
+	// zero means the flip landed entirely on free/invalid entries.
+	LiveSites int
+	// Killed is how many live sites were later erased (overwritten,
+	// squashed or evicted) before the run ended.
+	Killed int
+
+	// Reads counts consumptions of live corrupted state: operand or
+	// commit-time register reads, cache tag compares, data-byte reads,
+	// TLB hits, and dirty writebacks (corruption propagating downstream).
+	Reads     uint64
+	FirstRead uint64 // cycle of the first consumption (0 = none)
+
+	// Per-mechanism erasure tallies, and the first/last erasure cycles.
+	Overwrites  uint64
+	Squashes    uint64
+	EvictsClean uint64
+	Writebacks  uint64
+	FirstKill   uint64
+	LastKill    uint64
+}
+
+// FaultProbe watches the array entries covered by one injected fault.
+type FaultProbe struct {
+	m    *Machine
+	kind probeKind
+
+	// Watched index range and per-site death flags for the core arrays
+	// (registers or queue slots). A site dies on its first erasure;
+	// events from dead sites are dropped so each site attributes once.
+	lo, hi int
+	dead   []bool
+
+	facts ProbeFacts
+
+	// Memory-side probes (cache/TLB structures) feed events back through
+	// the ProbeEvent method; the pointers let ClearProbe detach them.
+	cache *mem.Cache
+	tlb   *mem.TLB
+}
+
+// Facts returns the accumulated observations.
+func (p *FaultProbe) Facts() ProbeFacts { return p.facts }
+
+// ArmProbe installs a fate probe for a fault of the given width injected
+// at bit of structure (the same index spaces as Target.FlipBit — arm after
+// flipping). It returns nil for unknown structure names.
+func (m *Machine) ArmProbe(structure string, bit uint64, width int) *FaultProbe {
+	p := &FaultProbe{m: m, facts: ProbeFacts{InjectCycle: m.cycle}}
+	span := func(per uint64, limit int) {
+		p.lo = int(bit / per)
+		p.hi = int((bit + uint64(width) - 1) / per)
+		if p.hi >= limit {
+			p.hi = limit - 1
+		}
+		p.dead = make([]bool, p.hi-p.lo+1)
+		p.facts.Sites = p.hi - p.lo + 1
+	}
+	// Queue slots that were free at injection never latched the flip
+	// (FlipBit counted them FlipsMasked); they are born dead so later
+	// allocations and squashes of the slot don't misattribute.
+	queueLive := func(used func(i int) bool) {
+		for i := p.lo; i <= p.hi; i++ {
+			if used(i) {
+				p.facts.LiveSites++
+			} else {
+				p.dead[i-p.lo] = true
+			}
+		}
+	}
+	switch structure {
+	case "RF":
+		p.kind = probeReg
+		span(uint64(m.Cfg.Variant.Width()), len(m.prf))
+		p.facts.LiveSites = p.facts.Sites // every register holds a value
+	case "ROB":
+		p.kind = probeROB
+		span(robEntryBits, len(m.rob))
+		queueLive(func(i int) bool { return m.rob[i].used })
+	case "LQ":
+		p.kind = probeLQ
+		span(lqEntryBits, len(m.lqs))
+		queueLive(func(i int) bool { return m.lqs[i].used })
+	case "SQ":
+		p.kind = probeSQ
+		span(m.sqEntryBits(), len(m.sqs))
+		queueLive(func(i int) bool { return m.sqs[i].used })
+	case "ITLB":
+		p.tlb = m.Mem.ITLB
+	case "DTLB":
+		p.tlb = m.Mem.DTLB
+	case "L1I (Tag)", "L1I (Data)":
+		p.cache = m.Mem.L1I
+	case "L1D (Tag)", "L1D (Data)":
+		p.cache = m.Mem.L1D
+	case "L2 (Tag)", "L2 (Data)":
+		p.cache = m.Mem.L2
+	default:
+		return nil
+	}
+	switch {
+	case p.tlb != nil:
+		tp := p.tlb.ArmProbe(bit, width, p)
+		p.facts.Sites = tp.Sites()
+		p.facts.LiveSites = tp.LiveSites()
+	case p.cache != nil:
+		var lp *mem.LineProbe
+		if strings.HasSuffix(structure, "(Tag)") {
+			lp = p.cache.ArmTagProbe(bit, width, p)
+		} else {
+			lp = p.cache.ArmDataProbe(bit, width, p)
+		}
+		p.facts.Sites = lp.Sites()
+		p.facts.LiveSites = lp.LiveSites()
+	}
+	m.probe = p
+	return p
+}
+
+// ClearProbe detaches the machine's fate probe, including any memory-side
+// probe it installed. Must be called before the faulty machine is rewound
+// or recycled.
+func (m *Machine) ClearProbe() {
+	if p := m.probe; p != nil {
+		if p.cache != nil {
+			p.cache.ClearProbe()
+		}
+		if p.tlb != nil {
+			p.tlb.ClearProbe()
+		}
+	}
+	m.probe = nil
+}
+
+func (p *FaultProbe) noteRead(c uint64) {
+	p.facts.Reads++
+	if p.facts.FirstRead == 0 {
+		p.facts.FirstRead = c
+	}
+}
+
+func (p *FaultProbe) kill(c uint64) {
+	p.facts.Killed++
+	if p.facts.FirstKill == 0 {
+		p.facts.FirstKill = c
+	}
+	if c > p.facts.LastKill {
+		p.facts.LastKill = c
+	}
+}
+
+// ProbeEvent implements mem.ProbeSink, stamping memory-side events with
+// the current machine cycle. Per-site death is tracked inside the memory
+// probes, so every event here is from a live site.
+func (p *FaultProbe) ProbeEvent(ev mem.ProbeEvent) {
+	c := p.m.cycle
+	switch ev {
+	case mem.ProbeRead:
+		p.noteRead(c)
+	case mem.ProbeWriteback:
+		// The dirty line carried the corruption downstream — consumed.
+		p.facts.Writebacks++
+		p.noteRead(c)
+	case mem.ProbeOverwrite:
+		p.facts.Overwrites++
+		p.kill(c)
+	case mem.ProbeEvictClean:
+		// The matching ProbeOverwrite from the refill does the kill.
+		p.facts.EvictsClean++
+	}
+}
+
+// regRead records a consumption of a watched live physical register
+// (operand read at execute, or the commit-time destination read).
+func (p *FaultProbe) regRead(phys uint16) {
+	if p.kind != probeReg {
+		return
+	}
+	i := int(phys)
+	if i < p.lo || i > p.hi || p.dead[i-p.lo] {
+		return
+	}
+	p.noteRead(p.m.cycle)
+}
+
+// onOperandRead records the register operand reads of one executing
+// instruction. The kind test stays inlinable so non-register probes pay a
+// single compare on this hottest hook; the source scan is out of line.
+func (p *FaultProbe) onOperandRead(e *robEntry) {
+	if p.kind == probeReg {
+		p.operandReads(e)
+	}
+}
+
+func (p *FaultProbe) operandReads(e *robEntry) {
+	if e.src[0].isReg {
+		p.regRead(e.src[0].phys)
+	}
+	if e.src[1].isReg {
+		p.regRead(e.src[1].phys)
+	}
+}
+
+// regWrite records a writeback erasing a watched live register.
+func (p *FaultProbe) regWrite(phys uint16) {
+	if p.kind != probeReg {
+		return
+	}
+	i := int(phys)
+	if i < p.lo || i > p.hi || p.dead[i-p.lo] {
+		return
+	}
+	p.dead[i-p.lo] = true
+	p.facts.Overwrites++
+	p.kill(p.m.cycle)
+}
+
+// queueAlloc records a fresh allocation erasing a watched live slot of the
+// given queue.
+func (p *FaultProbe) queueAlloc(kind probeKind, idx int) {
+	if p.kind != kind || idx < p.lo || idx > p.hi || p.dead[idx-p.lo] {
+		return
+	}
+	p.dead[idx-p.lo] = true
+	p.facts.Overwrites++
+	p.kill(p.m.cycle)
+}
+
+// queueSquash records a misprediction squash discarding a watched live
+// slot of the given queue.
+func (p *FaultProbe) queueSquash(kind probeKind, idx int) {
+	if p.kind != kind || idx < p.lo || idx > p.hi || p.dead[idx-p.lo] {
+		return
+	}
+	p.dead[idx-p.lo] = true
+	p.facts.Squashes++
+	p.kill(p.m.cycle)
+}

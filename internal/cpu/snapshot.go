@@ -61,6 +61,7 @@ func (m *Machine) Snapshot(s *Snapshot) *Snapshot {
 	s.m.Mem = nil
 	s.m.sink = nil
 	s.m.profile = nil // exposure profiling is a golden-run concern
+	s.m.probe = nil   // fault probes never outlive their faulty run
 	s.m.clearDeltaTracking()
 	if m.deltaTrack {
 		// A full capture leaves machine == snapshot: a fresh sync point.
@@ -256,6 +257,7 @@ func (m *Machine) SyncSnapshot(s *Snapshot) uint64 {
 	s.m.Mem = nil
 	s.m.sink = nil
 	s.m.profile = nil
+	s.m.probe = nil
 	s.m.clearDeltaTracking()
 
 	s.m.prf = prf

@@ -1,0 +1,117 @@
+package forensics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"avgi/internal/fault"
+)
+
+func visRecord(delta uint64) *Record {
+	return &Record{Cause: CauseVisible,
+		Divergence: &Divergence{CycleDelta: delta, Kind: "record"}}
+}
+
+func TestExplorerAggregation(t *testing.T) {
+	ex := NewExplorer()
+	ex.Record("RF", "sha", "exhaustive", fault.Fault{ID: 0}, &Record{Cause: CauseOverwritten})
+	ex.Record("RF", "sha", "exhaustive", fault.Fault{ID: 1}, visRecord(10))
+	ex.Record("RF", "sha", "exhaustive", fault.Fault{ID: 2}, nil) // sampler skipped
+	ex.Record("ROB", "sha", "exhaustive", fault.Fault{ID: 0}, &Record{Cause: CauseSquashed})
+
+	s := ex.Snapshot()
+	if len(s) != 2 {
+		t.Fatalf("%d entries", len(s))
+	}
+	rf := s[0]
+	if rf.Structure != "RF" || rf.Faults != 3 || rf.Sampled != 2 {
+		t.Errorf("RF entry %+v", rf)
+	}
+	if rf.Causes["overwritten-before-read"] != 1 || rf.Causes["architecturally-visible"] != 1 {
+		t.Errorf("RF causes %v", rf.Causes)
+	}
+	if rf.DivCount != 1 || rf.DivSum != 10 || len(rf.Samples) != 1 {
+		t.Errorf("RF divergence %+v", rf)
+	}
+	if s[1].Structure != "ROB" {
+		t.Errorf("entries not sorted: %s second", s[1].Structure)
+	}
+}
+
+// The retained divergence samples must not depend on worker arrival order:
+// any permutation of the same faults yields the same snapshot.
+func TestExplorerDeterministicUnderArrivalOrder(t *testing.T) {
+	build := func(perm []int) []Entry {
+		ex := NewExplorer()
+		for _, id := range perm {
+			ex.Record("RF", "sha", "avgi", fault.Fault{ID: id, Bit: uint64(id)},
+				visRecord(uint64(100+id)))
+		}
+		return ex.Snapshot()
+	}
+	ids := make([]int, 40)
+	for i := range ids {
+		ids[i] = i
+	}
+	want := build(ids)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(40)
+		got := build(perm)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("snapshot differs under permutation %v", perm)
+		}
+	}
+	if n := len(want[0].Samples); n != maxSamples {
+		t.Fatalf("%d samples retained, want %d", n, maxSamples)
+	}
+	for i, s := range want[0].Samples {
+		if s.FaultID != i {
+			t.Errorf("sample %d has fault ID %d; want the smallest IDs", i, s.FaultID)
+		}
+	}
+}
+
+// A resumed fault folded in twice must not duplicate its sample.
+func TestExplorerSampleDedup(t *testing.T) {
+	ex := NewExplorer()
+	ex.Record("RF", "sha", "avgi", fault.Fault{ID: 3}, visRecord(5))
+	ex.Record("RF", "sha", "avgi", fault.Fault{ID: 3}, visRecord(5))
+	s := ex.Snapshot()
+	if len(s[0].Samples) != 1 {
+		t.Errorf("%d samples after duplicate record", len(s[0].Samples))
+	}
+}
+
+func TestExplorerWriteJSON(t *testing.T) {
+	ex := NewExplorer()
+	ex.Record("LQ", "crc32", "hvf", fault.Fault{ID: 9}, &Record{Cause: CauseNeverRead})
+	var buf bytes.Buffer
+	if err := ex.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Causes  []string `json:"causes"`
+		Entries []Entry  `json:"entries"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(doc.Causes) != NumCauses {
+		t.Errorf("%d causes listed", len(doc.Causes))
+	}
+	if len(doc.Entries) != 1 || doc.Entries[0].Causes["never-read-in-window"] != 1 {
+		t.Errorf("entries %+v", doc.Entries)
+	}
+}
+
+func TestExplorerNilSafe(t *testing.T) {
+	var ex *Explorer
+	ex.Record("RF", "sha", "avgi", fault.Fault{}, nil) // must not panic
+	if s := ex.Snapshot(); s != nil {
+		t.Errorf("nil explorer snapshot %v", s)
+	}
+}

@@ -1,0 +1,89 @@
+package journal
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"avgi/internal/campaign"
+	"avgi/internal/fault"
+	"avgi/internal/forensics"
+	"avgi/internal/imm"
+)
+
+// The forensics attribution rides the journal record as a backward-
+// compatible extension: it must survive a write/load round-trip intact,
+// and shards written before the field existed must still load.
+func TestRoundTripForensics(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, bind := testKey(), testBinding(3)
+	results := []campaign.Result{
+		{
+			Fault: fault.Fault{ID: 0, Structure: "RF", Bit: 12, Cycle: 100},
+			IMM:   imm.Benign, Effect: imm.Masked, HasEffect: true, SimCycles: 9000,
+			Forensics: &forensics.Record{
+				Cause: forensics.CauseOverwritten, Latency: 7, Sites: 1, LiveSites: 1,
+			},
+		},
+		{
+			Fault: fault.Fault{ID: 1, Structure: "RF", Bit: 7, Cycle: 200},
+			IMM:   imm.DCR, Effect: imm.SDC, HasEffect: true,
+			Manifested: true, ManifestLatency: 42, SimCycles: 9000,
+			Forensics: &forensics.Record{
+				Cause: forensics.CauseVisible, Latency: 42, Reads: 2, Sites: 1, LiveSites: 1,
+				Divergence: &forensics.Divergence{
+					CycleDelta: 42, PC: 0x1a4, CommitIndex: 31, Kind: "record",
+				},
+			},
+		},
+		// A fault outside the forensics sample: no attribution.
+		{
+			Fault: fault.Fault{ID: 2, Structure: "RF", Bit: 3, Cycle: 300},
+			IMM:   imm.Benign, Effect: imm.Masked, HasEffect: true, SimCycles: 9000,
+		},
+	}
+
+	w, err := j.Writer(key, bind, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		w.Append(i, r)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	prior, err := j.Load(key, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range results {
+		got, ok := prior[i]
+		if !ok || !reflect.DeepEqual(got, want) {
+			t.Errorf("record %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if prior[2].Forensics != nil {
+		t.Error("unsampled fault grew an attribution through the journal")
+	}
+}
+
+// A record serialized before the Forensics field existed (no such key in
+// the JSON) must decode with a nil attribution — old shards stay loadable.
+func TestOldRecordWithoutForensicsLoads(t *testing.T) {
+	line := `{"Fault":{"ID":0,"Structure":"RF","Bit":12,"Cycle":100},"IMM":1,"SimCycles":9000}`
+	var res campaign.Result
+	if err := json.Unmarshal([]byte(line), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Forensics != nil {
+		t.Errorf("forensics %+v from a pre-forensics record", res.Forensics)
+	}
+	if res.SimCycles != 9000 {
+		t.Errorf("record fields lost: %+v", res)
+	}
+}

@@ -82,6 +82,11 @@ type Cache struct {
 	touched []int32
 	marked  []bool
 
+	// probe, when non-nil, observes consumption and erasure of the array
+	// entries covered by an injected fault (see probe.go). Never survives
+	// a Clone and is cleared before the faulty machine is rewound.
+	probe *LineProbe
+
 	// Statistics (protected).
 	Accesses   uint64
 	Misses     uint64
@@ -147,6 +152,9 @@ func (c *Cache) Access(paddr uint64, n uint64, write bool, buf []byte) uint64 {
 			break
 		}
 	}
+	if c.probe != nil {
+		c.probe.onLookup(c.cfg.Ways, set)
+	}
 	lat := c.cfg.HitLat
 	if way < 0 {
 		c.Misses++
@@ -160,6 +168,9 @@ func (c *Cache) Access(paddr uint64, n uint64, write bool, buf []byte) uint64 {
 		c.tags[base+way] |= c.dirty
 	} else {
 		copy(buf[:n], c.data[idx:idx+int(n)])
+	}
+	if c.probe != nil {
+		c.probe.onData(base+way, int(off), int(n), write)
 	}
 	return lat
 }
@@ -186,6 +197,9 @@ func (c *Cache) fill(set, way int, tag uint64) uint64 {
 	base := set * c.cfg.Ways
 	e := c.tags[base+way]
 	idx := (base + way) * c.cfg.LineBytes
+	if c.probe != nil {
+		c.probe.onEvict(base+way, e&c.valid != 0, e&c.dirty != 0)
+	}
 	var lat uint64
 	if e&c.valid != 0 && e&c.dirty != 0 {
 		c.Writebacks++
@@ -244,6 +258,9 @@ func (c *Cache) Flush() {
 				idx := (base + w) * c.cfg.LineBytes
 				c.Writebacks++
 				c.touch(set)
+				if c.probe != nil {
+					c.probe.onFlush(base + w)
+				}
 				c.lower.WriteLine(c.lineAddr(set, e&c.tmask), c.data[idx:idx+c.cfg.LineBytes])
 				c.tags[base+w] &^= c.dirty
 			}
@@ -258,11 +275,13 @@ func (c *Cache) Clone() *Cache {
 	cl.tags = append([]uint64(nil), c.tags...)
 	cl.data = append([]byte(nil), c.data...)
 	cl.lru = append([]uint64(nil), c.lru...)
-	// Delta tracking is a property of a specific cursor machine, not of
-	// the state; a clone starts untracked with its own buffers.
+	// Delta tracking and any armed fault probe are properties of a
+	// specific cursor machine, not of the state; a clone starts untracked
+	// and unprobed with its own buffers.
 	cl.track = false
 	cl.touched = nil
 	cl.marked = nil
+	cl.probe = nil
 	return &cl
 }
 

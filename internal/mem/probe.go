@@ -1,0 +1,249 @@
+package mem
+
+// Fault-forensics probes for the memory-side structures (cache tag/data
+// arrays and TLBs). A probe is pure observation: it watches the array
+// entries covered by one injected fault and reports, through a ProbeSink,
+// every event that consumes or erases the corrupted state — so the
+// forensics layer (internal/forensics) can attribute the fault's fate
+// (overwritten before read, evicted clean, read but logically masked, ...).
+//
+// Probes are armed after the flip and cleared before the faulty machine is
+// rewound, never survive a Clone, and with no probe installed every access
+// path takes the exact pre-forensics code (one nil check per access).
+
+// ProbeEvent is one observed interaction with watched corrupted state.
+type ProbeEvent uint8
+
+const (
+	// ProbeRead: a live watched site was consumed (tag compared, data
+	// bytes read, TLB entry hit).
+	ProbeRead ProbeEvent = iota
+	// ProbeOverwrite: a live watched site was erased by new data (line
+	// fill, covering write, TLB refill, register writeback, queue-slot
+	// allocation). The site is dead afterwards.
+	ProbeOverwrite
+	// ProbeEvictClean: a live watched valid, clean line was dropped by a
+	// replacement without its data ever leaving the cache. The site is
+	// dead afterwards.
+	ProbeEvictClean
+	// ProbeWriteback: a live watched dirty line was written back to the
+	// lower level — the corruption propagated downstream (the ESC-shaped
+	// path), which forensics counts as a consumption.
+	ProbeWriteback
+)
+
+// ProbeSink receives probe events. The CPU-side fault probe implements it,
+// stamping each event with the current machine cycle.
+type ProbeSink interface {
+	ProbeEvent(ev ProbeEvent)
+}
+
+// lineSite is one watched cache entry: a flat way index (set*Ways+way)
+// and, for data probes, the watched byte range within the line. A site
+// dies on its first overwrite or eviction; events from dead sites are
+// dropped so multi-site faults attribute each site at most once.
+type lineSite struct {
+	flat   int
+	lo, hi int // inclusive byte range within the line; unused for tag sites
+	dead   bool
+}
+
+// LineProbe watches the cache entries covered by one injected fault.
+type LineProbe struct {
+	sink  ProbeSink
+	tag   bool // tag-array probe (vs data-array)
+	sites []lineSite
+	live  int // sites not yet dead
+}
+
+// Sites returns the number of watched sites.
+func (p *LineProbe) Sites() int { return len(p.sites) }
+
+// LiveSites returns the number of watched sites not yet erased; at arm
+// time that is the number of valid lines the fault actually corrupted.
+func (p *LineProbe) LiveSites() int { return p.live }
+
+// ArmTagProbe installs a probe over the tag entries covered by flipping
+// width bits starting at bit (the CacheTagArray.FlipBit index space) and
+// returns it. liveSites counts watched entries that were valid at arm
+// time — an invalid tag entry holds no reachable corruption until refilled.
+func (c *Cache) ArmTagProbe(bit uint64, width int, sink ProbeSink) *LineProbe {
+	per := uint64(c.tagBits + 2)
+	first := bit / per
+	last := (bit + uint64(width) - 1) / per
+	p := &LineProbe{sink: sink, tag: true}
+	for flat := first; flat <= last && flat < uint64(len(c.tags)); flat++ {
+		s := lineSite{flat: int(flat)}
+		if c.tags[flat]&c.valid == 0 {
+			// Invalid entry: the corrupted bits are unreachable until a
+			// fill overwrites them — born dead, like a free queue slot.
+			s.dead = true
+		} else {
+			p.live++
+		}
+		p.sites = append(p.sites, s)
+	}
+	c.probe = p
+	return p
+}
+
+// ArmDataProbe installs a probe over the data bytes covered by flipping
+// width bits starting at bit (the CacheDataArray.FlipBit index space).
+func (c *Cache) ArmDataProbe(bit uint64, width int, sink ProbeSink) *LineProbe {
+	byteLo := bit / 8
+	byteHi := (bit + uint64(width) - 1) / 8
+	lb := uint64(c.cfg.LineBytes)
+	p := &LineProbe{sink: sink}
+	for line := byteLo / lb; line <= byteHi/lb && line < uint64(c.Lines()); line++ {
+		lo, hi := uint64(0), lb-1
+		if line == byteLo/lb {
+			lo = byteLo % lb
+		}
+		if line == byteHi/lb {
+			hi = byteHi % lb
+		}
+		s := lineSite{flat: int(line), lo: int(lo), hi: int(hi)}
+		if c.tags[line]&c.valid == 0 {
+			s.dead = true
+		} else {
+			p.live++
+		}
+		p.sites = append(p.sites, s)
+	}
+	c.probe = p
+	return p
+}
+
+// ClearProbe detaches any installed probe.
+func (c *Cache) ClearProbe() { c.probe = nil }
+
+// onLookup reports tag-compare reads: every access resolving in a set
+// compares all its tag entries, so a live watched tag in that set was
+// consumed by the hit/miss decision.
+func (p *LineProbe) onLookup(ways, set int) {
+	if !p.tag {
+		return
+	}
+	for i := range p.sites {
+		s := &p.sites[i]
+		if !s.dead && s.flat/ways == set {
+			p.sink.ProbeEvent(ProbeRead)
+		}
+	}
+}
+
+// onData reports data-array reads and covering overwrites on the accessed
+// way. A write must cover the whole watched range to kill the site; a
+// partial write leaves some corrupted bits resident, so the site stays
+// live (and a write missing the watched bytes is no event at all).
+func (p *LineProbe) onData(flat, off, n int, write bool) {
+	if p.tag {
+		return
+	}
+	for i := range p.sites {
+		s := &p.sites[i]
+		if s.dead || s.flat != flat {
+			continue
+		}
+		if write {
+			if off <= s.lo && s.hi < off+n {
+				s.dead = true
+				p.live--
+				p.sink.ProbeEvent(ProbeOverwrite)
+			}
+			continue
+		}
+		if off <= s.hi && s.lo < off+n {
+			p.sink.ProbeEvent(ProbeRead)
+		}
+	}
+}
+
+// onEvict reports the fate of a watched entry displaced by a fill: a dirty
+// line propagates its corruption downstream (writeback), a clean valid
+// line is silently dropped, and in every case the refill overwrites both
+// the tag entry and the line data, killing the site.
+func (p *LineProbe) onEvict(flat int, valid, dirty bool) {
+	for i := range p.sites {
+		s := &p.sites[i]
+		if s.dead || s.flat != flat {
+			continue
+		}
+		switch {
+		case valid && dirty:
+			p.sink.ProbeEvent(ProbeWriteback)
+		case valid:
+			p.sink.ProbeEvent(ProbeEvictClean)
+		}
+		s.dead = true
+		p.live--
+		p.sink.ProbeEvent(ProbeOverwrite)
+	}
+}
+
+// onFlush reports dirty watched lines leaving through a halt-time flush —
+// the corruption reaches physical memory (the ESC path), but the line
+// stays resident and live (only its dirty bit clears).
+func (p *LineProbe) onFlush(flat int) {
+	for i := range p.sites {
+		s := &p.sites[i]
+		if !s.dead && s.flat == flat {
+			p.sink.ProbeEvent(ProbeWriteback)
+		}
+	}
+}
+
+// TLBProbe watches the TLB entries covered by one injected fault.
+type TLBProbe struct {
+	sink   ProbeSink
+	lo, hi int // inclusive watched entry range
+	dead   []bool
+	liveN  int
+}
+
+// Sites returns the number of watched entries.
+func (p *TLBProbe) Sites() int { return p.hi - p.lo + 1 }
+
+// LiveSites returns the number of watched entries not yet erased; at arm
+// time that is the number of valid entries the fault actually corrupted.
+func (p *TLBProbe) LiveSites() int { return p.liveN }
+
+// ArmProbe installs a probe over the entries covered by flipping width
+// bits starting at bit (the TLB.FlipBit index space).
+func (t *TLB) ArmProbe(bit uint64, width int, sink ProbeSink) *TLBProbe {
+	lo := int(bit / tlbEntryBits)
+	hi := int((bit + uint64(width) - 1) / tlbEntryBits)
+	if hi >= len(t.entries) {
+		hi = len(t.entries) - 1
+	}
+	p := &TLBProbe{sink: sink, lo: lo, hi: hi, dead: make([]bool, hi-lo+1)}
+	for e := lo; e <= hi; e++ {
+		if t.entries[e]&tlbValidBit == 0 {
+			p.dead[e-lo] = true
+		} else {
+			p.liveN++
+		}
+	}
+	t.probe = p
+	return p
+}
+
+// ClearProbe detaches any installed probe.
+func (t *TLB) ClearProbe() { t.probe = nil }
+
+// onHit reports a translation served by a watched live entry — the
+// (possibly corrupted) mapping was consumed.
+func (p *TLBProbe) onHit(entry int) {
+	if entry >= p.lo && entry <= p.hi && !p.dead[entry-p.lo] {
+		p.sink.ProbeEvent(ProbeRead)
+	}
+}
+
+// onFill reports a refill landing on a watched live entry, erasing it.
+func (p *TLBProbe) onFill(entry int) {
+	if entry >= p.lo && entry <= p.hi && !p.dead[entry-p.lo] {
+		p.dead[entry-p.lo] = true
+		p.liveN--
+		p.sink.ProbeEvent(ProbeOverwrite)
+	}
+}

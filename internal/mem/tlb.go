@@ -20,6 +20,10 @@ type TLB struct {
 	touched []int32
 	marked  []bool
 
+	// probe, when non-nil, observes consumption and erasure of the
+	// entries covered by an injected fault (see probe.go).
+	probe *TLBProbe
+
 	// Accesses and Misses are running statistics (protected).
 	Accesses uint64
 	Misses   uint64
@@ -62,8 +66,11 @@ func (t *TLB) Translate(vaddr uint64, pt *PageTable) (paddr uint64, lat uint64, 
 	t.Accesses++
 	vpn := (vaddr / PageBytes) & pageNumMask
 	off := vaddr % PageBytes
-	for _, e := range t.entries {
+	for i, e := range t.entries {
 		if e&tlbValidBit != 0 && (e>>tlbVPNShift)&pageNumMask == vpn {
+			if t.probe != nil {
+				t.probe.onHit(i)
+			}
 			ppn := (e >> tlbPPNShift) & pageNumMask
 			if ppn >= pt.NumPages() {
 				// A corrupted PPN can point outside RAM; the
@@ -98,6 +105,9 @@ func (t *TLB) fill(vpn, ppn uint64) {
 		t.rr = (t.rr + 1) % len(t.entries)
 	}
 	t.touch(victim)
+	if t.probe != nil {
+		t.probe.onFill(victim)
+	}
 	t.entries[victim] = tlbValidBit | (vpn&pageNumMask)<<tlbVPNShift | (ppn&pageNumMask)<<tlbPPNShift
 }
 
@@ -108,6 +118,7 @@ func (t *TLB) Clone() *TLB {
 	c.track = false
 	c.touched = nil
 	c.marked = nil
+	c.probe = nil
 	return &c
 }
 

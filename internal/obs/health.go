@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// StartHealth publishes process-health gauges into the observer's registry
+// and refreshes them on a background ticker every interval (values are also
+// published synchronously once before it returns, so even a short-lived
+// process exposes them). It returns a stop function; stopping is idempotent.
+// Nil-safe: with no registry it is a no-op.
+//
+//	avgi_process_goroutines              live goroutine count
+//	avgi_process_heap_inuse_bytes        bytes in in-use heap spans
+//	avgi_process_gc_pause_seconds_total  cumulative stop-the-world GC pause
+//	avgi_process_gomaxprocs              scheduler parallelism limit
+func (o *Observer) StartHealth(interval time.Duration) (stop func()) {
+	if o == nil || o.Metrics == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	goroutines := o.Metrics.Gauge("avgi_process_goroutines",
+		"live goroutine count", nil)
+	heapInuse := o.Metrics.Gauge("avgi_process_heap_inuse_bytes",
+		"bytes in in-use heap spans", nil)
+	gcPause := o.Metrics.Gauge("avgi_process_gc_pause_seconds_total",
+		"cumulative stop-the-world GC pause seconds", nil)
+	maxprocs := o.Metrics.Gauge("avgi_process_gomaxprocs",
+		"scheduler parallelism limit (GOMAXPROCS)", nil)
+
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapInuse.Set(float64(ms.HeapInuse))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		maxprocs.Set(float64(runtime.GOMAXPROCS(0)))
+	}
+	sample()
+
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if !stopped {
+			stopped = true
+			close(done)
+		}
+	}
+}

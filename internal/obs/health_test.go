@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStartHealthPublishesGauges(t *testing.T) {
+	o := &Observer{Metrics: NewRegistry()}
+	stop := o.StartHealth(time.Hour) // ticker never fires; the sync sample must
+	defer stop()
+	want := map[string]bool{
+		"avgi_process_goroutines":             true,
+		"avgi_process_heap_inuse_bytes":       true,
+		"avgi_process_gc_pause_seconds_total": true,
+		"avgi_process_gomaxprocs":             true,
+	}
+	for _, fam := range o.Metrics.Snapshot() {
+		if want[fam.Name] {
+			delete(want, fam.Name)
+			if len(fam.Series) != 1 {
+				t.Errorf("%s: %d series", fam.Name, len(fam.Series))
+			}
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("gauges missing from registry: %v", want)
+	}
+	g := o.Metrics.Gauge("avgi_process_goroutines", "", nil)
+	if g.Value() < 1 {
+		t.Errorf("goroutines gauge %v", g.Value())
+	}
+	mp := o.Metrics.Gauge("avgi_process_gomaxprocs", "", nil)
+	if mp.Value() < 1 {
+		t.Errorf("gomaxprocs gauge %v", mp.Value())
+	}
+	stop()
+	stop() // idempotent
+}
+
+func TestStartHealthNilSafe(t *testing.T) {
+	var o *Observer
+	o.StartHealth(time.Second)() // must not panic
+	(&Observer{}).StartHealth(0)()
+}

@@ -2,14 +2,25 @@ package obs
 
 import "io"
 
-// Observer bundles the three telemetry components a study threads through
-// the stack. Any field may be nil to disable that component; a nil
-// *Observer disables everything. The helper methods below are nil-safe so
+// JSONSource is anything that can serve itself as one JSON document —
+// the shape of the forensics explorer, kept as an interface so obs does
+// not import the packages it observes.
+type JSONSource interface {
+	WriteJSON(w io.Writer) error
+}
+
+// Observer bundles the telemetry components a study threads through the
+// stack. Any field may be nil to disable that component; a nil *Observer
+// disables everything. The helper methods below are nil-safe so
 // instrumented code does not need guard clauses.
 type Observer struct {
 	Metrics  *Registry
 	Progress *Progress
 	Trace    *Tracer
+
+	// Forensics, when set, is served at /forensics.json (typically a
+	// *forensics.Explorer).
+	Forensics JSONSource
 }
 
 // New returns an Observer with all three components enabled. Progress log

@@ -4,15 +4,18 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
 // Handler returns an http.Handler exposing the observer's state:
 //
-//	/metrics        Prometheus text exposition
-//	/metrics.json   registry snapshot as JSON
-//	/progress.json  live ProgressSnapshot
-//	/trace.json     Chrome trace_event JSON of the spans so far
+//	/metrics         Prometheus text exposition
+//	/metrics.json    registry snapshot as JSON
+//	/progress.json   live ProgressSnapshot
+//	/trace.json      Chrome trace_event JSON of the spans so far
+//	/forensics.json  masking-source breakdown (when Forensics is set)
+//	/debug/pprof/    live Go profiling (heap, goroutine, CPU, ...)
 func (o *Observer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -26,6 +29,8 @@ func (o *Observer) Handler() http.Handler {
 <li><a href="/metrics.json">/metrics.json</a></li>
 <li><a href="/progress.json">/progress.json</a></li>
 <li><a href="/trace.json">/trace.json</a> (chrome://tracing)</li>
+<li><a href="/forensics.json">/forensics.json</a> (masking-source breakdown)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> (live profiling)</li>
 </ul></body></html>`)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -60,6 +65,19 @@ func (o *Observer) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		o.Trace.WriteChromeTrace(w)
 	})
+	mux.HandleFunc("/forensics.json", func(w http.ResponseWriter, r *http.Request) {
+		if o == nil || o.Forensics == nil {
+			http.Error(w, "forensics disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		o.Forensics.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

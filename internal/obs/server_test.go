@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	return rr
+}
+
+func TestHandlerUnknownPath404s(t *testing.T) {
+	h := New(nil).Handler()
+	for _, path := range []string{"/nope", "/metrics/extra", "/metricsjson"} {
+		if rr := get(t, h, path); rr.Code != http.StatusNotFound {
+			t.Errorf("GET %s: %d, want 404", path, rr.Code)
+		}
+	}
+}
+
+func TestHandlerDisabledComponentBodies(t *testing.T) {
+	// An all-nil observer still serves the index but reports every
+	// component as disabled.
+	h := (&Observer{}).Handler()
+	for path, want := range map[string]string{
+		"/metrics":        "metrics disabled",
+		"/metrics.json":   "metrics disabled",
+		"/progress.json":  "progress disabled",
+		"/trace.json":     "tracing disabled",
+		"/forensics.json": "forensics disabled",
+	} {
+		rr := get(t, h, path)
+		if rr.Code != http.StatusNotFound {
+			t.Errorf("GET %s: %d, want 404", path, rr.Code)
+		}
+		if got := strings.TrimSpace(rr.Body.String()); got != want {
+			t.Errorf("GET %s: body %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestHandlerContentTypes(t *testing.T) {
+	o := New(io.Discard)
+	o.Forensics = jsonSourceFunc(func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"entries":[]}`)
+		return err
+	})
+	h := o.Handler()
+	for path, want := range map[string]string{
+		"/":               "text/html; charset=utf-8",
+		"/metrics":        "text/plain; version=0.0.4; charset=utf-8",
+		"/metrics.json":   "application/json",
+		"/progress.json":  "application/json",
+		"/trace.json":     "application/json",
+		"/forensics.json": "application/json",
+	} {
+		rr := get(t, h, path)
+		if rr.Code != http.StatusOK {
+			t.Errorf("GET %s: %d", path, rr.Code)
+		}
+		if got := rr.Header().Get("Content-Type"); got != want {
+			t.Errorf("GET %s: Content-Type %q, want %q", path, got, want)
+		}
+	}
+}
+
+type jsonSourceFunc func(io.Writer) error
+
+func (f jsonSourceFunc) WriteJSON(w io.Writer) error { return f(w) }
+
+func TestHandlerServesForensicsBody(t *testing.T) {
+	o := &Observer{Forensics: jsonSourceFunc(func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"causes":[],"entries":[]}`)
+		return err
+	})}
+	rr := get(t, o.Handler(), "/forensics.json")
+	if rr.Body.String() != `{"causes":[],"entries":[]}` {
+		t.Errorf("body %q", rr.Body.String())
+	}
+}
+
+func TestHandlerMountsPprof(t *testing.T) {
+	h := (&Observer{}).Handler()
+	rr := get(t, h, "/debug/pprof/")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: %d", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), "goroutine") {
+		t.Error("pprof index does not list profiles")
+	}
+	if rr := get(t, h, "/debug/pprof/goroutine"); rr.Code != http.StatusOK {
+		t.Errorf("GET /debug/pprof/goroutine: %d", rr.Code)
+	}
+}

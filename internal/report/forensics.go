@@ -1,0 +1,72 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"avgi/internal/forensics"
+)
+
+// causeHeaders are compact column titles for the attribution causes, in
+// forensics.Causes order.
+var causeHeaders = [forensics.NumCauses]string{
+	"Overwrit", "Squashed", "EvictCln", "LogMask", "NeverRead", "Visible",
+}
+
+// MaskingSources renders the forensics explorer's breakdown as one
+// per-structure table: cause counts as percentages of the sampled faults
+// (aggregated across workloads and modes), plus the mean injection-to-
+// divergence latency of the visible ones.
+func MaskingSources(entries []forensics.Entry) *Table {
+	type agg struct {
+		faults, sampled  uint64
+		causes           [forensics.NumCauses]uint64
+		divCount, divSum uint64
+	}
+	byStruct := make(map[string]*agg)
+	for _, e := range entries {
+		a := byStruct[e.Structure]
+		if a == nil {
+			a = &agg{}
+			byStruct[e.Structure] = a
+		}
+		a.faults += e.Faults
+		a.sampled += e.Sampled
+		for _, c := range forensics.Causes {
+			a.causes[c] += e.Causes[c.String()]
+		}
+		a.divCount += e.DivCount
+		a.divSum += e.DivSum
+	}
+	structs := make([]string, 0, len(byStruct))
+	for s := range byStruct {
+		structs = append(structs, s)
+	}
+	sort.Strings(structs)
+
+	t := &Table{
+		Title:   "Masking sources (forensic attribution of sampled faults)",
+		Columns: append([]string{"Structure", "Faults", "Sampled"}, causeHeaders[:]...),
+	}
+	t.Columns = append(t.Columns, "DivMean")
+	for _, s := range structs {
+		a := byStruct[s]
+		row := []string{s,
+			fmt.Sprintf("%d", a.faults),
+			fmt.Sprintf("%d", a.sampled)}
+		for _, c := range forensics.Causes {
+			if a.sampled == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, Pct(float64(a.causes[c])/float64(a.sampled)))
+		}
+		if a.divCount > 0 {
+			row = append(row, Cycles(a.divSum/a.divCount))
+		} else {
+			row = append(row, "-")
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -57,6 +57,18 @@ type StudyConfig struct {
 	// shard resumes from its missing fault indices. Requires JournalDir.
 	// Results are byte-identical to an uninterrupted run.
 	Resume bool
+
+	// Forensics, when non-nil, turns on per-fault outcome attribution:
+	// every sampled fault is probed during its faulty run and its fate
+	// (overwritten, squashed, evicted clean, logically masked, never
+	// read, or visible — with first-divergence capture) is folded into
+	// this explorer. See docs/OBSERVABILITY.md.
+	Forensics *Explorer
+
+	// ForensicsSample probes every Nth fault by stable fault ID (0 or 1 =
+	// every fault). Skipped faults still count toward the explorer's
+	// campaign totals.
+	ForensicsSample int
 }
 
 func (c *StudyConfig) fill() {
@@ -128,6 +140,8 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		r.Obs = cfg.Obs
 		r.ForkPolicy = cfg.ForkPolicy
 		r.CheckpointInterval = cfg.CheckpointInterval
+		r.Forensics = cfg.Forensics
+		r.ForensicsSample = cfg.ForensicsSample
 		r.PublishGolden()
 		st.runners[w.Name] = r
 	}
