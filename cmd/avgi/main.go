@@ -23,12 +23,11 @@ import (
 	"io"
 	"log/slog"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
 	"avgi"
+	"avgi/internal/cliflags"
 	"avgi/internal/clilog"
 	"avgi/internal/core"
 	"avgi/internal/report"
@@ -39,28 +38,17 @@ var (
 	flagWorkloads  = flag.String("workloads", "", "comma-separated workload subset (default: all 13)")
 	flagStructures = flag.String("structures", "", "comma-separated structure subset (default: all 12)")
 	flagSeed       = flag.Int64("seed", 1, "seed base for fault sampling")
-	flagWorkers    = flag.Int("workers", 0, "study-wide worker budget shared by all concurrent campaigns (0 = all CPUs; see docs/SCHEDULING.md)")
 	flagCSV        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	flagBars       = flag.Bool("bars", false, "also render distribution figures as terminal bar charts")
 	flagCores      = flag.Int("cores", 192, "cluster cores for the Table II days model")
 
-	flagFork         = flag.String("fork", "cursor", "per-fault fork policy: cursor (golden cursor + dirty-delta), snapshot (checkpoint store) or clone (legacy deep copy)")
-	flagCkptInterval = flag.Uint64("ckpt-interval", 0, "checkpoint spacing in cycles for the cursor/snapshot fork policies (0 = derive from golden length)")
+	flagTraceOut = flag.String("trace-out", "", "write a Chrome trace_event JSON of the study phases to this file (open in chrome://tracing)")
+	flagTraceND  = flag.String("trace-ndjson", "", "write the study-phase spans as NDJSON to this file")
 
-	flagCPUProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (see docs/OBSERVABILITY.md)")
-	flagMemProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
-
-	flagJournal = flag.String("journal", "", "append completed per-fault results as NDJSON shards under this directory (see docs/ROBUSTNESS.md)")
-	flagResume  = flag.Bool("resume", false, "with -journal: load fully journalled campaigns and resume partial ones instead of re-simulating")
-
-	flagProgress    = flag.Bool("progress", false, "print live throughput/ETA progress lines to stderr")
-	flagMetricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /progress.json on this address (e.g. localhost:9090)")
-	flagTraceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON of the study phases to this file (open in chrome://tracing)")
-	flagTraceND     = flag.String("trace-ndjson", "", "write the study-phase spans as NDJSON to this file")
-
-	flagForensics       = flag.Bool("forensics", false, "attribute every sampled fault's fate (masking source, first divergence) and print the per-structure breakdown (see docs/OBSERVABILITY.md)")
 	flagForensicsSample = flag.Int("forensics-sample", 1, "with -forensics: probe every Nth fault by fault ID (1 = all)")
-	flagLog             = flag.String("log", "text", "stderr log format: text (classic `avgi: msg` lines) or json")
+
+	// Shared campaign/telemetry/profiling flags (see internal/cliflags).
+	common = cliflags.Register(flag.CommandLine, 0)
 )
 
 // logger carries harness diagnostics to stderr per -log; set in main
@@ -83,28 +71,28 @@ func main() {
 		return
 	}
 	var err error
-	logger, err = clilog.New(os.Stderr, "avgi", *flagLog)
+	logger, err = clilog.New(os.Stderr, "avgi", common.Log)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avgi:", err)
 		os.Exit(2)
 	}
-	stopProf, err := startProfiles(*flagCPUProfile, *flagMemProfile)
+	stopProf, err := common.StartProfiles(func(msg string) { logger.Error(msg) })
 	if err != nil {
 		logger.Error(err.Error())
 		os.Exit(1)
 	}
 	defer stopProf()
 	obsv := avgi.NewObserver(os.Stderr)
-	if *flagForensics {
+	if common.Forensics {
 		explorer = avgi.NewExplorer()
 		obsv.Forensics = explorer
 	}
-	if *flagProgress {
+	if common.Progress {
 		stop := obsv.Progress.StartTicker(2 * time.Second)
 		defer stop()
 	}
-	if *flagMetricsAddr != "" {
-		srv, err := obsv.Serve(*flagMetricsAddr)
+	if common.MetricsAddr != "" {
+		srv, err := obsv.Serve(common.MetricsAddr)
 		if err != nil {
 			logger.Error(err.Error())
 			os.Exit(1)
@@ -123,47 +111,6 @@ func main() {
 		logger.Error(err.Error())
 		os.Exit(1)
 	}
-}
-
-// startProfiles begins CPU profiling and arms a heap-profile dump, per the
-// -cpuprofile/-memprofile flags. The returned stop function is idempotent
-// and must run before process exit for either profile to be complete.
-func startProfiles(cpuPath, memPath string) (func(), error) {
-	var cpuFile *os.File
-	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
-		if err != nil {
-			return nil, err
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return nil, err
-		}
-		cpuFile = f
-	}
-	done := false
-	return func() {
-		if done {
-			return
-		}
-		done = true
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			cpuFile.Close()
-		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				logger.Error("memprofile: " + err.Error())
-				return
-			}
-			runtime.GC() // materialize final live-heap numbers
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				logger.Error("memprofile: " + err.Error())
-			}
-			f.Close()
-		}
-	}, nil
 }
 
 // writeTraces exports the recorded spans to the files requested by
@@ -290,25 +237,12 @@ func selectedStructures() []string {
 	return out
 }
 
-// forkPolicy resolves the -fork flag.
-func forkPolicy() (avgi.ForkPolicy, error) {
-	switch *flagFork {
-	case "cursor":
-		return avgi.ForkCursor, nil
-	case "snapshot":
-		return avgi.ForkSnapshot, nil
-	case "clone":
-		return avgi.ForkLegacyClone, nil
-	}
-	return 0, fmt.Errorf("unknown -fork policy %q (want cursor, snapshot or clone)", *flagFork)
-}
-
 func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload, obsv *avgi.Observer) (*avgi.Study, error) {
-	policy, err := forkPolicy()
+	policy, err := common.ForkPolicy()
 	if err != nil {
 		return nil, err
 	}
-	if *flagResume && *flagJournal == "" {
+	if common.Resume && common.Journal == "" {
 		return nil, fmt.Errorf("-resume requires -journal DIR")
 	}
 	obsv.Logf("building study: %s, %d workloads, %d structures, %d faults each...",
@@ -319,13 +253,13 @@ func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload, obsv *avg
 		Workloads:          workloads,
 		Structures:         selectedStructures(),
 		FaultsPerStructure: *flagFaults,
-		Workers:            *flagWorkers,
+		Workers:            common.Workers,
 		SeedBase:           *flagSeed,
 		Obs:                obsv,
 		ForkPolicy:         policy,
-		CheckpointInterval: *flagCkptInterval,
-		JournalDir:         *flagJournal,
-		Resume:             *flagResume,
+		CheckpointInterval: common.CkptInterval,
+		JournalDir:         common.Journal,
+		Resume:             common.Resume,
 		Forensics:          explorer,
 		ForensicsSample:    *flagForensicsSample,
 	})

@@ -12,6 +12,8 @@
 //	avgisim sha                         # golden run + stats
 //	avgisim -machine a15 -disasm crc32  # disassemble the 32-bit image
 //	avgisim -inject "RF:100:5000" sha   # flip RF bit 100 at cycle 5000
+//	avgisim -cores 2 sha                # 2-core shared-L2 cluster golden run
+//	avgisim -cores 2 -inject "c1/RF:100:5000" sha  # flip core 1's RF
 package main
 
 import (
@@ -20,8 +22,6 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -29,6 +29,7 @@ import (
 	"avgi"
 	"avgi/internal/asm"
 	"avgi/internal/campaign"
+	"avgi/internal/cliflags"
 	"avgi/internal/clilog"
 	"avgi/internal/cpu"
 	"avgi/internal/fault"
@@ -38,27 +39,15 @@ import (
 
 var (
 	flagMachine = flag.String("machine", "a72", "machine model: a72 (64-bit) or a15 (32-bit)")
+	flagCores   = flag.Int("cores", 1, "number of cores: 1 = single-core machine, N >= 2 = shared-L2 cluster (fault targets take a core prefix, e.g. -inject \"c1/RF:100:5000\")")
 	flagDisasm  = flag.Bool("disasm", false, "print the program disassembly and exit")
 	flagInject  = flag.String("inject", "", "inject one fault: STRUCTURE:BIT:CYCLE")
-	flagTrace   = flag.Int("trace", 0, "print the first N commit-trace records")
-	flagStats   = flag.Bool("stats", false, "print pipeline and memory-system counters")
+	flagTrace   = flag.Int("trace", 0, "print the first N commit-trace records (core 0 on a cluster)")
+	flagStats   = flag.Bool("stats", false, "print pipeline and memory-system counters (single-core only)")
 	flagRunAsm  = flag.Bool("s", false, "treat the argument as an assembly source file (.s) instead of a workload name")
 
-	flagProgress    = flag.Bool("progress", false, "print live campaign progress lines to stderr")
-	flagMetricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /progress.json on this address for the duration of the run")
-
-	flagFork         = flag.String("fork", "cursor", "per-fault fork policy: cursor (golden cursor + dirty-delta), snapshot (checkpoint store) or clone (legacy deep copy)")
-	flagCkptInterval = flag.Uint64("ckpt-interval", 0, "checkpoint spacing in cycles for the cursor/snapshot fork policies (0 = derive from golden length)")
-	flagWorkers      = flag.Int("workers", 1, "worker budget for the injection run (0 = all CPUs; see docs/SCHEDULING.md)")
-
-	flagCPUProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (see docs/OBSERVABILITY.md)")
-	flagMemProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
-
-	flagJournal = flag.String("journal", "", "journal the -inject result as an NDJSON shard under this directory (see docs/ROBUSTNESS.md)")
-	flagResume  = flag.Bool("resume", false, "with -journal: reuse a journalled result for the same fault instead of re-simulating")
-
-	flagForensics = flag.Bool("forensics", false, "with -inject: probe the faulty run and print the fault's forensic attribution (masking source / first divergence)")
-	flagLog       = flag.String("log", "text", "stderr log format: text (classic `avgisim: msg` lines) or json")
+	// Shared campaign/telemetry/profiling flags (see internal/cliflags).
+	common = cliflags.Register(flag.CommandLine, 1)
 )
 
 // logger carries diagnostics to stderr per -log; set in main before any use.
@@ -71,24 +60,24 @@ func main() {
 		os.Exit(2)
 	}
 	var err error
-	logger, err = clilog.New(os.Stderr, "avgisim", *flagLog)
+	logger, err = clilog.New(os.Stderr, "avgisim", common.Log)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avgisim:", err)
 		os.Exit(2)
 	}
-	stopProf, err := startProfiles(*flagCPUProfile, *flagMemProfile)
+	stopProf, err := common.StartProfiles(func(msg string) { logger.Error(msg) })
 	if err != nil {
 		logger.Error(err.Error())
 		os.Exit(1)
 	}
 	defer stopProf()
 	obsv := avgi.NewObserver(os.Stderr)
-	if *flagProgress {
+	if common.Progress {
 		stop := obsv.Progress.StartTicker(2 * time.Second)
 		defer stop()
 	}
-	if *flagMetricsAddr != "" {
-		srv, err := obsv.Serve(*flagMetricsAddr)
+	if common.MetricsAddr != "" {
+		srv, err := obsv.Serve(common.MetricsAddr)
 		if err != nil {
 			logger.Error(err.Error())
 			os.Exit(1)
@@ -103,47 +92,6 @@ func main() {
 		logger.Error(err.Error())
 		os.Exit(1)
 	}
-}
-
-// startProfiles begins CPU profiling and arms a heap-profile dump, per the
-// -cpuprofile/-memprofile flags. The returned stop function is idempotent
-// and must run before process exit for either profile to be complete.
-func startProfiles(cpuPath, memPath string) (func(), error) {
-	var cpuFile *os.File
-	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
-		if err != nil {
-			return nil, err
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return nil, err
-		}
-		cpuFile = f
-	}
-	done := false
-	return func() {
-		if done {
-			return
-		}
-		done = true
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			cpuFile.Close()
-		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				logger.Error("memprofile: " + err.Error())
-				return
-			}
-			runtime.GC() // materialize final live-heap numbers
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				logger.Error("memprofile: " + err.Error())
-			}
-			f.Close()
-		}
-	}, nil
 }
 
 func machineConfig() (avgi.MachineConfig, error) {
@@ -188,45 +136,52 @@ func run(name string, obsv *avgi.Observer) error {
 		return nil
 	}
 
-	r, err := campaign.NewRunner(cfg, p)
+	if *flagCores < 1 {
+		return fmt.Errorf("-cores %d: want >= 1", *flagCores)
+	}
+	r, err := campaign.NewRunnerCores(cfg, p, *flagCores)
 	if err != nil {
 		return err
 	}
 	r.Obs = obsv
-	switch *flagFork {
-	case "cursor":
-		r.ForkPolicy = campaign.ForkCursor
-	case "snapshot":
-		r.ForkPolicy = campaign.ForkSnapshot
-	case "clone":
-		r.ForkPolicy = campaign.ForkLegacyClone
-	default:
-		return fmt.Errorf("unknown -fork policy %q (want cursor, snapshot or clone)", *flagFork)
+	if r.ForkPolicy, err = common.ForkPolicy(); err != nil {
+		return err
 	}
-	r.CheckpointInterval = *flagCkptInterval
-	if *flagForensics {
+	r.CheckpointInterval = common.CkptInterval
+	if common.Forensics {
 		r.Forensics = avgi.NewExplorer()
 		r.ForensicsSample = 1
 	}
 	r.PublishGolden()
-	fmt.Printf("workload  %s (%s)\n", name, cfg.Name)
+	if *flagCores > 1 {
+		fmt.Printf("workload  %s (%s, %d cores, shared L2)\n", name, cfg.Name, *flagCores)
+	} else {
+		fmt.Printf("workload  %s (%s)\n", name, cfg.Name)
+	}
 	fmt.Printf("golden    %d cycles, %d commits, IPC %.2f\n",
 		r.Golden.Cycles, r.Golden.Commits,
 		float64(r.Golden.Commits)/float64(r.Golden.Cycles))
 	fmt.Printf("output    %d bytes\n", len(r.Golden.Output))
 
 	if *flagStats {
+		if *flagCores > 1 {
+			return fmt.Errorf("-stats is single-core only (drop -cores)")
+		}
 		m := cpu.New(cfg, p)
 		m.Run(avgi.RunOptions{MaxCycles: r.Golden.Cycles + 10})
 		fmt.Print(m.StatsReport())
 	}
 
 	if *flagTrace > 0 {
-		n := *flagTrace
-		if n > len(r.Golden.Trace) {
-			n = len(r.Golden.Trace)
+		goldenTrace := r.Golden.Trace
+		if *flagCores > 1 {
+			goldenTrace = r.CoreGolden[0].Trace
 		}
-		for _, rec := range r.Golden.Trace[:n] {
+		n := *flagTrace
+		if n > len(goldenTrace) {
+			n = len(goldenTrace)
+		}
+		for _, rec := range goldenTrace[:n] {
 			fmt.Printf("  cyc %6d  pc %06x  %-28s", rec.Cycle, rec.PC, isa.DisasmWord(rec.Word, cfg.Variant))
 			if rec.HasDest {
 				fmt.Printf("  r%d=%#x", rec.Dest, rec.Value)
@@ -251,6 +206,16 @@ func run(name string, obsv *avgi.Observer) error {
 		f := fault.Fault{Structure: parts[0], Bit: bit, Cycle: cyc}
 		if err := cpu.ValidateStructure(f.Structure); err != nil {
 			return err
+		}
+		// Catch the shape mismatch here with a usable message instead of
+		// letting the campaign panic on a structure with no bits.
+		_, _, prefixed := cpu.SplitCoreTarget(f.Structure)
+		if *flagCores > 1 && !prefixed {
+			return fmt.Errorf("-cores %d needs a per-core target: -inject %q", *flagCores,
+				"c0/"+*flagInject)
+		}
+		if *flagCores == 1 && prefixed {
+			return fmt.Errorf("core-prefixed target %q needs -cores >= 2", f.Structure)
 		}
 		res, err := injectJournalled(r, f, name, cfg)
 		if err != nil {
@@ -292,15 +257,15 @@ func run(name string, obsv *avgi.Observer) error {
 // is keyed like a one-fault exhaustive campaign of the study scheduler.
 func injectJournalled(r *avgi.Runner, f fault.Fault, workload string, cfg avgi.MachineConfig) (campaign.Result, error) {
 	run := func() campaign.Result {
-		return r.Run([]fault.Fault{f}, campaign.ModeExhaustive, 0, *flagWorkers)[0]
+		return r.Run([]fault.Fault{f}, campaign.ModeExhaustive, 0, common.Workers)[0]
 	}
-	if *flagJournal == "" {
-		if *flagResume {
+	if common.Journal == "" {
+		if common.Resume {
 			return campaign.Result{}, fmt.Errorf("-resume requires -journal DIR")
 		}
 		return run(), nil
 	}
-	j, err := journal.Open(*flagJournal)
+	j, err := journal.Open(common.Journal)
 	if err != nil {
 		return campaign.Result{}, err
 	}
@@ -312,7 +277,7 @@ func injectJournalled(r *avgi.Runner, f fault.Fault, workload string, cfg avgi.M
 		Seed:        0, // targeted injection: no sampled list
 		Faults:      1,
 	}
-	if *flagResume {
+	if common.Resume {
 		prior, err := j.Load(key, bind)
 		if err == nil {
 			// The shard is keyed by (structure, workload); the record
@@ -337,7 +302,8 @@ func injectJournalled(r *avgi.Runner, f fault.Fault, workload string, cfg avgi.M
 }
 
 // goldenDigest prints the golden-output head and verifies it against the
-// reference model.
+// reference model. On a cluster every core runs the same program, so the
+// expected output is the reference repeated once per core.
 func goldenDigest(r *avgi.Runner, ref []byte) error {
 	out := r.Golden.Output
 	if len(out) > 32 {
@@ -345,6 +311,9 @@ func goldenDigest(r *avgi.Runner, ref []byte) error {
 	}
 	fmt.Printf("head      % x%s\n", out, map[bool]string{true: " ...", false: ""}[len(r.Golden.Output) > 32])
 	if ref != nil {
+		if r.Cores > 1 {
+			ref = bytes.Repeat(ref, r.Cores)
+		}
 		if !bytes.Equal(r.Golden.Output, ref) {
 			return fmt.Errorf("golden output does not match the reference model")
 		}

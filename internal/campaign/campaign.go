@@ -37,6 +37,7 @@ import (
 	"avgi/internal/asm"
 	"avgi/internal/ckpt"
 	"avgi/internal/cpu"
+	"avgi/internal/engine"
 	"avgi/internal/fault"
 	"avgi/internal/forensics"
 	"avgi/internal/imm"
@@ -189,7 +190,28 @@ type Runner struct {
 	Cfg  cpu.Config
 	Prog *asm.Program
 
+	// Cores is the machine shape: 0 or 1 is the single-core Machine, >= 2
+	// the shared-L2 cluster (see cpu.NewCluster). On a cluster, fault
+	// structures carry a core prefix ("c1/RF") and faulty runs fork the
+	// whole cluster by deep clone (the cursor/checkpoint policies are
+	// single-core machinery).
+	Cores int
+
+	// Golden is the fault-free reference. On a cluster, Cycles is the
+	// cluster clock, Commits the sum over cores, Output the concatenation
+	// of per-core outputs (which is what makes cross-core escapes through
+	// the shared L2 observable), and Trace is nil — per-core traces live
+	// in CoreGolden.
 	Golden Golden
+
+	// CoreGolden holds each core's own golden trace/commits/output on a
+	// cluster runner (nil on single-core).
+	CoreGolden []Golden
+
+	// GoldenEngine is the event-engine telemetry of the golden run
+	// (events fired, per-component tick counts), published with the
+	// golden gauges by PublishGolden.
+	GoldenEngine engine.Stats
 
 	// BitCounts maps structure name to its injectable bit count.
 	BitCounts map[string]uint64
@@ -297,9 +319,63 @@ func NewRunner(cfg cpu.Config, p *asm.Program) (*Runner, error) {
 			Commits: res.Commits,
 			Output:  res.Output,
 		},
-		BitCounts: bits,
+		BitCounts:    bits,
+		GoldenEngine: res.Engine,
 	}
 	r.OutputExposure = r.computeExposure(m)
+	return r, nil
+}
+
+// NewRunnerCores performs the golden run for an n-core shared-L2 cluster
+// and prepares the campaign state. cores <= 1 delegates to NewRunner (the
+// single-core Machine with its full fork-policy/checkpoint machinery); a
+// cluster runner forks faults by whole-cluster clone and validates targets
+// by core-prefixed name ("c1/RF").
+func NewRunnerCores(cfg cpu.Config, p *asm.Program, cores int) (*Runner, error) {
+	if cores <= 1 {
+		return NewRunner(cfg, p)
+	}
+	cl := cpu.NewCluster(cfg, p, cores)
+	caps := make([]trace.Capture, cores)
+	for k := range caps {
+		cl.SetSink(k, &caps[k])
+	}
+	res := cl.Run(cpu.RunOptions{MaxCycles: 50_000_000})
+	if res.Status != cpu.StatusHalted {
+		return nil, fmt.Errorf("campaign: golden run of %s on %d cores ended %v (crash %v) after %d cycles",
+			p.Name, cores, res.Status, res.Crash, res.Cycles)
+	}
+	bits := make(map[string]uint64)
+	for name, tg := range cl.Targets() {
+		bits[name] = tg.BitCount()
+	}
+	r := &Runner{
+		Cfg:   cfg,
+		Prog:  p,
+		Cores: cores,
+		Golden: Golden{
+			Cycles:  res.Cycles,
+			Commits: res.Commits,
+			Output:  res.Output,
+		},
+		BitCounts:    bits,
+		GoldenEngine: res.Engine,
+		// Output-exposure profiling (the ESC predictor's runtime input) is
+		// a single-core analysis; a cluster campaign classifies escapes
+		// from the output diff alone.
+		OutputExposure: map[string]float64{
+			"L1D (Tag)": 0, "L1D (Data)": 0, "L2 (Tag)": 0, "L2 (Data)": 0,
+		},
+	}
+	for k := 0; k < cores; k++ {
+		m := cl.Core(k)
+		r.CoreGolden = append(r.CoreGolden, Golden{
+			Trace:   caps[k].Records,
+			Cycles:  m.Cycle(),
+			Commits: m.Stats.Commits,
+			Output:  append([]byte(nil), m.Output()...),
+		})
+	}
 	return r, nil
 }
 
@@ -461,7 +537,7 @@ func (r *Runner) RunBudgetResume(faults []fault.Fault, mode Mode, ert uint64, bu
 	ro := r.newRunObs(faults, mode, prior)
 	var store *ckpt.Store
 	var pool *ckpt.Pool
-	if r.ForkPolicy != ForkLegacyClone {
+	if r.Cores <= 1 && r.ForkPolicy != ForkLegacyClone {
 		store, pool = r.checkpoints()
 	}
 	// Contiguous chunks keep each worker's forks advancing monotonically
@@ -617,10 +693,11 @@ type worker struct {
 	store *ckpt.Store
 	pool  *ckpt.Pool
 
-	m      *cpu.Machine  // ForkCursor/ForkSnapshot: pooled scratch machine
-	mother *cpu.Machine  // ForkLegacyClone: golden-prefix machine
-	csnap  *cpu.Snapshot // ForkCursor: worker-local fault-point snapshot
-	cmp    trace.Comparator
+	m        *cpu.Machine  // ForkCursor/ForkSnapshot: pooled scratch machine
+	mother   *cpu.Machine  // ForkLegacyClone: golden-prefix machine
+	motherCl *cpu.Cluster  // cluster campaigns: golden-prefix cluster
+	csnap    *cpu.Snapshot // ForkCursor: worker-local fault-point snapshot
+	cmp      trace.Comparator
 }
 
 func (r *Runner) newWorker(mode Mode, ert uint64, store *ckpt.Store, pool *ckpt.Pool, ro *runObs) *worker {
@@ -647,6 +724,7 @@ func (w *worker) close() {
 func (w *worker) discard() {
 	w.m = nil
 	w.mother = nil
+	w.motherCl = nil
 	w.csnap = nil
 }
 
@@ -667,6 +745,11 @@ func (w *worker) runGuarded(f fault.Fault) (res Result, delta cpu.Stats, fm fork
 
 // run simulates one fault under the runner's fork policy.
 func (w *worker) run(f fault.Fault) (Result, cpu.Stats, forkMeta) {
+	if w.r.Cores > 1 {
+		// Clusters always fork by whole-cluster clone: the cursor and
+		// checkpoint subsystems capture single-core machine state.
+		return w.runCluster(f)
+	}
 	switch w.r.ForkPolicy {
 	case ForkSnapshot:
 		return w.runSnapshot(f)
@@ -771,6 +854,24 @@ func (w *worker) runLegacy(f fault.Fault) (Result, cpu.Stats, forkMeta) {
 	return res, delta, forkMeta{}
 }
 
+// runCluster is the multi-core flow, shaped like runLegacy: a per-worker
+// golden mother cluster advances monotonically through the chunk's
+// cycle-sorted faults and is deep-cloned per fault (the shared memory spine
+// is cloned once per fault, every core rebound onto it).
+func (w *worker) runCluster(f fault.Fault) (Result, cpu.Stats, forkMeta) {
+	r := w.r
+	if w.motherCl == nil {
+		w.motherCl = cpu.NewCluster(r.Cfg, r.Prog, r.Cores)
+	}
+	mother := w.motherCl
+	if mother.Cycle() < f.Cycle && mother.Status() == cpu.StatusRunning {
+		mother.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
+	}
+	cl := mother.Clone()
+	res, delta := r.injectAndObserveCluster(cl, f, w.mode, w.ert, &w.cmp)
+	return res, delta, forkMeta{}
+}
+
 // injectAndObserve flips the fault's bits on a machine positioned at the
 // injection cycle and observes the outcome under mode — the half of the
 // per-fault flow shared by all fork policies. cmp is the caller's
@@ -871,6 +972,104 @@ func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert 
 			// An escape through a dirty line is architecturally visible
 			// in the program output even though the commit trace never
 			// deviates; the whole post-injection run is its latency.
+			oc.Visible = true
+			oc.Escaped = true
+			oc.ManifestLatency = out.SimCycles
+		}
+		rec := forensics.Attribute(probe.Facts(), oc)
+		out.Forensics = &rec
+	}
+	return out, statsDelta(m.Stats, statsAtFork)
+}
+
+// injectAndObserveCluster is injectAndObserve for a cluster fault: the
+// structure name carries the injected core's prefix ("c1/RF"), the commit
+// comparator watches the injected core against that core's own golden
+// trace, and the final-output classification compares the whole cluster's
+// concatenated output — which is exactly what lets a fault in c0's shared
+// L2 lines manifest as an SDC or escape in c1's section of the output.
+func (r *Runner) injectAndObserveCluster(cl *cpu.Cluster, f fault.Fault, mode Mode, ert uint64, cmp *trace.Comparator) (Result, cpu.Stats) {
+	core, base, ok := cpu.SplitCoreTarget(f.Structure)
+	if !ok || core >= cl.Cores() {
+		panic(fmt.Sprintf("campaign: cluster fault structure %q needs a c<k>/ prefix with k < %d",
+			f.Structure, cl.Cores()))
+	}
+	m := cl.Core(core)
+	statsAtFork := m.Stats
+	tg := cl.Target(f.Structure)
+	if tg == nil {
+		panic("campaign: unknown structure " + f.Structure)
+	}
+	width := uint64(f.Bits())
+	if f.Bit+width > tg.BitCount() {
+		panic(fmt.Sprintf("campaign: fault %s wraps past the end of %s (%d bits)",
+			f, f.Structure, tg.BitCount()))
+	}
+	for i := uint64(0); i < width; i++ {
+		tg.FlipBit(f.Bit + i)
+	}
+	var probe *cpu.FaultProbe
+	if r.forensicsOn(f) {
+		probe = m.ArmProbe(base, f.Bit, int(width))
+	}
+
+	// The worker's one comparator is re-aimed at the injected core's golden
+	// trace; Reset keeps the Golden slice, so re-aim first.
+	cmp.Golden = r.CoreGolden[core].Trace
+	cmp.Reset()
+	cmp.StartAt(int(m.Stats.Commits))
+	switch mode {
+	case ModeHVF:
+		cmp.StopAtFirst = true
+	case ModeAVGI:
+		cmp.StopAtFirst = true
+		cmp.StopCycle = f.Cycle + ert
+	}
+	cl.SetSink(core, cmp)
+	res := cl.Run(cpu.RunOptions{MaxCycles: r.RunawayLimit()})
+
+	crashed := res.Status == cpu.StatusCrashed || res.Status == cpu.StatusCycleLimit
+	produced := res.Status == cpu.StatusHalted
+	matches := produced && bytes.Equal(res.Output, r.Golden.Output)
+
+	out := Result{
+		Fault:     f,
+		SimCycles: res.Cycles - f.Cycle,
+		Crash:     res.Crash,
+		Runaway:   res.Status == cpu.StatusCycleLimit,
+	}
+	switch {
+	case cmp.Dev.Kind != trace.DevNone:
+		out.Manifested = true
+		if cmp.Dev.Cycle > f.Cycle {
+			out.ManifestLatency = cmp.Dev.Cycle - f.Cycle
+		}
+		out.IMM = imm.Classify(imm.Inputs{Dev: cmp.Dev, Variant: r.Cfg.Variant})
+	case res.Status == cpu.StatusStopped:
+		out.IMM = imm.Benign
+	default:
+		out.IMM = imm.Classify(imm.Inputs{
+			Crashed:        crashed,
+			OutputProduced: produced,
+			OutputMatches:  matches,
+		})
+		if out.IMM == imm.PRE {
+			out.Manifested = true
+			out.ManifestLatency = res.Cycles - f.Cycle
+		}
+	}
+	if mode == ModeExhaustive {
+		out.Effect = imm.FinalEffect(crashed, produced, matches)
+		out.HasEffect = true
+	}
+	if probe != nil {
+		m.ClearProbe()
+		oc := forensics.Outcome{
+			Visible:         out.Manifested,
+			ManifestLatency: out.ManifestLatency,
+			Dev:             cmp.Dev,
+		}
+		if out.IMM == imm.ESC {
 			oc.Visible = true
 			oc.Escaped = true
 			oc.ManifestLatency = out.SimCycles

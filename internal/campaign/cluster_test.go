@@ -1,0 +1,155 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"avgi/internal/cpu"
+	"avgi/internal/imm"
+	"avgi/internal/prog"
+)
+
+func shaClusterRunner(t *testing.T, cores int) *Runner {
+	t.Helper()
+	w, err := prog.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.ConfigA72()
+	r, err := NewRunnerCores(cfg, w.Build(cfg.Variant), cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestClusterRunnerGolden(t *testing.T) {
+	single := shaRunner(t)
+	r := shaClusterRunner(t, 2)
+
+	if r.Cores != 2 {
+		t.Fatalf("Cores = %d", r.Cores)
+	}
+	// Cluster output is both cores' sha digests back to back.
+	want := append(append([]byte(nil), single.Golden.Output...), single.Golden.Output...)
+	if !bytes.Equal(r.Golden.Output, want) {
+		t.Fatalf("cluster golden output %d bytes, want %d matching two digests",
+			len(r.Golden.Output), len(want))
+	}
+	if r.Golden.Commits != 2*single.Golden.Commits {
+		t.Errorf("cluster commits %d, want %d", r.Golden.Commits, 2*single.Golden.Commits)
+	}
+	// Targets are core-prefixed: 12 structures per core.
+	if len(r.BitCounts) != 24 {
+		t.Errorf("bit counts for %d structures, want 24", len(r.BitCounts))
+	}
+	if r.BitCounts["c0/RF"] == 0 || r.BitCounts["c1/RF"] == 0 {
+		t.Error("missing per-core RF bit counts")
+	}
+	// Per-core goldens carry each core's own trace and output.
+	if len(r.CoreGolden) != 2 {
+		t.Fatalf("CoreGolden len %d", len(r.CoreGolden))
+	}
+	for k, g := range r.CoreGolden {
+		if len(g.Trace) != int(g.Commits) {
+			t.Errorf("core %d: trace %d records, commits %d", k, len(g.Trace), g.Commits)
+		}
+		if !bytes.Equal(g.Output, single.Golden.Output) {
+			t.Errorf("core %d golden output differs from single-core run", k)
+		}
+	}
+}
+
+func TestClusterRunnerDelegatesSingleCore(t *testing.T) {
+	w, err := prog.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.ConfigA72()
+	r, err := NewRunnerCores(cfg, w.Build(cfg.Variant), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cores != 0 || r.Golden.Trace == nil || r.CoreGolden != nil {
+		t.Fatalf("cores=1 should build a plain single-core runner, got Cores=%d", r.Cores)
+	}
+}
+
+func TestClusterCampaignInjectsEitherCore(t *testing.T) {
+	r := shaClusterRunner(t, 2)
+	for _, structure := range []string{"c0/RF", "c1/RF"} {
+		fs := r.FaultList(structure, 25, 1)
+		results := r.Run(fs, ModeExhaustive, 0, 4)
+		s := Summarize(results)
+		if s.Total != 25 {
+			t.Fatalf("%s: total %d", structure, s.Total)
+		}
+		if s.ByEffect[imm.Masked]+s.ByEffect[imm.SDC]+s.ByEffect[imm.Crash] != 25 {
+			t.Errorf("%s: effects don't partition: %v", structure, s.ByEffect)
+		}
+		for _, res := range results {
+			if res.Quarantined {
+				t.Fatalf("%s: quarantined fault %s: %s", structure, res.Fault, res.Err)
+			}
+			if !res.HasEffect {
+				t.Fatalf("%s: exhaustive result without effect", structure)
+			}
+		}
+	}
+}
+
+func TestClusterCampaignSharedL2Fault(t *testing.T) {
+	r := shaClusterRunner(t, 2)
+	// The L2 is one physical structure aliased under both core prefixes, so
+	// the same fault list injected through either prefix must classify
+	// identically (only the watched core's commit comparator differs, and
+	// L2 data corruption becomes architecturally visible the same way).
+	f0 := r.FaultList("c0/L2 (Data)", 20, 5)
+	s0 := Summarize(r.Run(f0, ModeExhaustive, 0, 2))
+	if s0.Total != 20 || s0.Quarantined != 0 {
+		t.Fatalf("c0/L2 campaign: %+v", s0)
+	}
+	f1 := r.FaultList("c1/L2 (Data)", 20, 5)
+	s1 := Summarize(r.Run(f1, ModeExhaustive, 0, 2))
+	if s1.Total != 20 || s1.Quarantined != 0 {
+		t.Fatalf("c1/L2 campaign: %+v", s1)
+	}
+	// Final effects are decided from the whole-cluster output, which is the
+	// same physical experiment under either prefix.
+	if s0.ByEffect[imm.SDC] != s1.ByEffect[imm.SDC] ||
+		s0.ByEffect[imm.Crash] != s1.ByEffect[imm.Crash] {
+		t.Errorf("aliased L2 fault lists diverged: c0 %v vs c1 %v", s0.ByEffect, s1.ByEffect)
+	}
+}
+
+func TestClusterCampaignDeterministicAcrossWorkers(t *testing.T) {
+	r := shaClusterRunner(t, 2)
+	fs := r.FaultList("c1/RF", 16, 2)
+	a := r.Run(fs, ModeExhaustive, 0, 1)
+	b := r.Run(fs, ModeExhaustive, 0, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs across worker counts:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClusterCampaignHVFMode(t *testing.T) {
+	r := shaClusterRunner(t, 2)
+	fs := r.FaultList("c0/RF", 16, 3)
+	ex := Summarize(r.Run(fs, ModeExhaustive, 0, 0))
+	hv := Summarize(r.Run(fs, ModeHVF, 0, 0))
+	if hv.SimCycles > ex.SimCycles {
+		t.Errorf("HVF simulated more cycles (%d) than exhaustive (%d)", hv.SimCycles, ex.SimCycles)
+	}
+	// Stopping at the first deviation must not change what the deviation
+	// was, per-core comparator or not.
+	for _, c := range imm.Classes {
+		if c == imm.ESC || c == imm.Benign {
+			continue
+		}
+		if hv.ByIMM[c] != ex.ByIMM[c] {
+			t.Errorf("IMM %v differs: hvf %d vs exhaustive %d", c, hv.ByIMM[c], ex.ByIMM[c])
+		}
+	}
+}

@@ -334,4 +334,5 @@ func (r *Runner) PublishGolden() {
 	reg.Gauge("avgi_golden_cycles", "golden run length in cycles", lb).Set(float64(r.Golden.Cycles))
 	reg.Gauge("avgi_golden_commits", "golden run committed instructions", lb).Set(float64(r.Golden.Commits))
 	reg.Gauge("avgi_golden_output_bytes", "golden run output size in bytes", lb).Set(float64(len(r.Golden.Output)))
+	obs.PublishEngineStats(reg, lb, r.GoldenEngine)
 }

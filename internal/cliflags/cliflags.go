@@ -1,0 +1,129 @@
+// Package cliflags holds the flag set and startup helpers shared by the
+// avgi and avgisim commands: campaign tuning (fork policy, checkpoint
+// interval, worker budget), telemetry (progress, metrics endpoint,
+// forensics, log format), durable journalling, and pprof profile capture.
+// Each command registers these once and adds its own tool-specific flags on
+// top, so the two CLIs cannot drift apart in spelling, defaults or help
+// text for the options they share.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"avgi/internal/campaign"
+)
+
+// Common is the flag state shared by both commands, populated by Register
+// and read after flag.Parse.
+type Common struct {
+	Fork         string
+	CkptInterval uint64
+	Workers      int
+
+	CPUProfile string
+	MemProfile string
+
+	Journal string
+	Resume  bool
+
+	Progress    bool
+	MetricsAddr string
+
+	Forensics bool
+	Log       string
+}
+
+// Register installs the shared flags on fs (normally flag.CommandLine) and
+// returns the struct they populate. workersDefault is the one shared flag
+// whose default legitimately differs per tool: the avgi study harness wants
+// all CPUs (0), the avgisim single-shot tool wants 1.
+func Register(fs *flag.FlagSet, workersDefault int) *Common {
+	c := &Common{}
+	fs.StringVar(&c.Fork, "fork", "cursor",
+		"per-fault fork policy: cursor (golden cursor + dirty-delta), snapshot (checkpoint store) or clone (legacy deep copy)")
+	fs.Uint64Var(&c.CkptInterval, "ckpt-interval", 0,
+		"checkpoint spacing in cycles for the cursor/snapshot fork policies (0 = derive from golden length)")
+	fs.IntVar(&c.Workers, "workers", workersDefault,
+		"worker budget shared by all concurrent campaigns (0 = all CPUs; see docs/SCHEDULING.md)")
+
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile of the run to this file (see docs/OBSERVABILITY.md)")
+	fs.StringVar(&c.MemProfile, "memprofile", "",
+		"write a pprof heap profile at exit to this file")
+
+	fs.StringVar(&c.Journal, "journal", "",
+		"append completed per-fault results as durable NDJSON shards under this directory (see docs/ROBUSTNESS.md)")
+	fs.BoolVar(&c.Resume, "resume", false,
+		"with -journal: reuse journalled results instead of re-simulating")
+
+	fs.BoolVar(&c.Progress, "progress", false,
+		"print live campaign progress lines to stderr")
+	fs.StringVar(&c.MetricsAddr, "metrics-addr", "",
+		"serve /metrics (Prometheus) and /progress.json on this address for the duration of the run")
+
+	fs.BoolVar(&c.Forensics, "forensics", false,
+		"attribute sampled faults' fates (masking source, first divergence); see docs/OBSERVABILITY.md")
+	fs.StringVar(&c.Log, "log", "text",
+		"stderr log format: text (classic prefixed lines) or json")
+	return c
+}
+
+// ForkPolicy resolves the -fork flag.
+func (c *Common) ForkPolicy() (campaign.ForkPolicy, error) {
+	switch c.Fork {
+	case "cursor":
+		return campaign.ForkCursor, nil
+	case "snapshot":
+		return campaign.ForkSnapshot, nil
+	case "clone":
+		return campaign.ForkLegacyClone, nil
+	}
+	return 0, fmt.Errorf("unknown -fork policy %q (want cursor, snapshot or clone)", c.Fork)
+}
+
+// StartProfiles begins CPU profiling and arms a heap-profile dump per the
+// -cpuprofile/-memprofile flags. The returned stop function is idempotent
+// and must run before process exit for either profile to be complete;
+// logErr receives any error encountered while writing the heap profile at
+// stop time (the CPU-profile path fails fast instead).
+func (c *Common) StartProfiles(logErr func(msg string)) (func(), error) {
+	var cpuFile *os.File
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if c.MemProfile != "" {
+			f, err := os.Create(c.MemProfile)
+			if err != nil {
+				logErr("memprofile: " + err.Error())
+				return
+			}
+			runtime.GC() // materialize final live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				logErr("memprofile: " + err.Error())
+			}
+			f.Close()
+		}
+	}, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"avgi/internal/asm"
+	"avgi/internal/engine"
 	"avgi/internal/isa"
 	"avgi/internal/mem"
 	"avgi/internal/trace"
@@ -262,6 +263,10 @@ type Machine struct {
 	// before the faulty machine is rewound; a nil probe keeps every
 	// pipeline stage on the exact pre-forensics code.
 	probe *FaultProbe
+
+	// name is the engine component name ("" reads as "core"; cluster
+	// cores are "c0", "c1", ...).
+	name string
 }
 
 // outputProfile records how much of each cache array holds dirty data
@@ -280,12 +285,20 @@ type outputProfile struct {
 
 // New builds a machine for cfg and loads the program image.
 func New(cfg Config, prog *asm.Program) *Machine {
+	return NewWithMem(cfg, prog, mem.NewHierarchy(cfg.Mem))
+}
+
+// NewWithMem builds a machine over an externally assembled memory system —
+// the cluster path, where per-core hierarchies share an L2 and RAM (see
+// NewCluster). The program image is loaded into the hierarchy's physical
+// window.
+func NewWithMem(cfg Config, prog *asm.Program, h *mem.Hierarchy) *Machine {
 	if prog.Variant != cfg.Variant {
 		panic(fmt.Sprintf("cpu: program %s assembled for %s but machine is %s",
 			prog.Name, prog.Variant, cfg.Variant))
 	}
 	m := &Machine{Cfg: cfg, Prog: prog}
-	m.Mem = mem.NewHierarchy(cfg.Mem)
+	m.Mem = h
 
 	// Load the program image into physical memory.
 	text := make([]byte, len(prog.Text)*4)
@@ -295,8 +308,9 @@ func New(cfg Config, prog *asm.Program) *Machine {
 		text[i*4+2] = byte(w >> 16)
 		text[i*4+3] = byte(w >> 24)
 	}
-	m.Mem.RAM.WriteBlock(prog.TextBase, text)
-	m.Mem.RAM.WriteBlock(prog.DataBase, prog.Data)
+	base := h.Base()
+	m.Mem.RAM.WriteBlock(base+prog.TextBase, text)
+	m.Mem.RAM.WriteBlock(base+prog.DataBase, prog.Data)
 
 	n := cfg.Variant.NumArchRegs()
 	m.prf = make([]uint64, cfg.PhysRegs)
@@ -372,10 +386,46 @@ func (m *Machine) OutputProfile() (cycles []uint64, l1d, l2 []uint32) {
 	return p.cycles, p.l1d, p.l2
 }
 
-// Step advances the machine one clock cycle. Stages run in reverse pipeline
-// order so that a cycle's results are visible to earlier stages only on the
-// next cycle.
+// Name implements engine.Component: "core" for a single-core machine,
+// "c<k>" for cluster cores.
+func (m *Machine) Name() string {
+	if m.name == "" {
+		return "core"
+	}
+	return m.name
+}
+
+// CaptureState implements engine.StateCapturer, mapping the machine's
+// buffer-reusing Snapshot machinery onto per-component capture. The token
+// is a *Snapshot; passing a prior token back reuses its buffers. (Cluster
+// cores share an L2 and RAM, so their capture path is the cluster-level
+// Clone, not per-component snapshots.)
+func (m *Machine) CaptureState(prior any) any {
+	var s *Snapshot
+	if prior != nil {
+		s = prior.(*Snapshot)
+	}
+	return m.Snapshot(s)
+}
+
+// RestoreState implements engine.StateCapturer.
+func (m *Machine) RestoreState(state any) {
+	m.Restore(state.(*Snapshot))
+}
+
+// Step advances the machine one clock cycle. It is a thin wrapper over Tick
+// for callers that drive the machine directly rather than through an
+// engine (tests, the campaign cursor's single-cycle seeks).
 func (m *Machine) Step() {
+	m.Tick(m.cycle + 1)
+}
+
+// Tick implements engine.Ticker: one clock cycle of the core. Stages run in
+// reverse pipeline order so that a cycle's results are visible to earlier
+// stages only on the next cycle. The machine keeps its own cycle counter
+// (the engine's clock and m.cycle coincide only when the machine starts at
+// cycle 0, which is all the engine needs — ordering, not absolute time).
+func (m *Machine) Tick(uint64) {
 	if m.status != StatusRunning {
 		return
 	}
@@ -429,11 +479,20 @@ type Result struct {
 	Cycles  uint64
 	Commits uint64
 	Output  []byte
+
+	// Engine holds the event-engine activity counters of the Run call
+	// that produced this result (telemetry; not machine state).
+	Engine engine.Stats
 }
 
 // Run advances the machine until it halts, crashes, is stopped by the sink,
-// or exhausts the cycle budget.
+// or exhausts the cycle budget. Each Run drives a fresh serial engine with
+// the machine registered as its only ticking component; the engine is
+// per-call state, so snapshots, clones and restores of the machine never
+// carry scheduler state with them.
 func (m *Machine) Run(opts RunOptions) Result {
+	eng := engine.New()
+	eng.Register(m)
 	max := opts.MaxCycles
 	if max == 0 {
 		max = 100_000_000
@@ -446,7 +505,7 @@ func (m *Machine) Run(opts RunOptions) Result {
 		if opts.StopAtCycle > 0 && m.cycle >= opts.StopAtCycle {
 			break
 		}
-		m.Step()
+		eng.RunCycle()
 	}
 	return Result{
 		Status:  m.status,
@@ -454,6 +513,7 @@ func (m *Machine) Run(opts RunOptions) Result {
 		Cycles:  m.cycle,
 		Commits: m.Stats.Commits,
 		Output:  m.output,
+		Engine:  eng.Stats(),
 	}
 }
 

@@ -195,14 +195,36 @@ func (m *Machine) Target(name string) Target {
 	return nil
 }
 
+// SplitCoreTarget parses a per-core structure name of the form
+// "c<k>/<structure>" (e.g. "c1/RF") as used by cluster fault targets. ok is
+// false when name carries no well-formed core prefix.
+func SplitCoreTarget(name string) (core int, structure string, ok bool) {
+	prefix, rest, found := strings.Cut(name, "/")
+	if !found || len(prefix) < 2 || prefix[0] != 'c' {
+		return 0, "", false
+	}
+	for _, r := range prefix[1:] {
+		if r < '0' || r > '9' {
+			return 0, "", false
+		}
+		core = core*10 + int(r-'0')
+	}
+	return core, rest, true
+}
+
 // ValidateStructure returns a descriptive error for structure names that
-// are not one of the twelve Table II fault targets.
+// are not one of the twelve Table II fault targets, optionally carrying a
+// cluster core prefix ("c0/RF" validates like "RF").
 func ValidateStructure(name string) error {
+	base := name
+	if _, rest, ok := SplitCoreTarget(name); ok {
+		base = rest
+	}
 	for _, s := range StructureNames {
-		if s == name {
+		if s == base {
 			return nil
 		}
 	}
-	return fmt.Errorf("unknown structure %q (known: %s)",
+	return fmt.Errorf("unknown structure %q (known: %s, each optionally behind a c<k>/ core prefix)",
 		name, strings.Join(StructureNames, ", "))
 }

@@ -1,0 +1,84 @@
+package engine
+
+import "fmt"
+
+// Port is a named message endpoint on a component. Ports come in connected
+// pairs: Send on one side schedules a delivery into the peer's inbound
+// queue after a latency, and the peer Retrieves messages in delivery order.
+// Delivery order is fully deterministic — messages arriving the same cycle
+// are queued in the order their delivery events were scheduled.
+//
+// This is the request/response idiom of gem5 and akita: a cache component
+// exposes a "Top" port for the core side and a "Bottom" port toward the
+// next level, latencies travel as event delays rather than return values,
+// and components never call into each other directly.
+type Port struct {
+	name  string
+	owner Component
+	eng   *Engine
+	peer  *Port
+
+	inbound []any
+}
+
+// NewPort creates a port named name on owner, managed by eng.
+func NewPort(eng *Engine, owner Component, name string) *Port {
+	return &Port{name: name, owner: owner, eng: eng}
+}
+
+// Name returns the port's name qualified by its owner, e.g. "L2.Top".
+func (p *Port) Name() string {
+	if p.owner != nil {
+		return p.owner.Name() + "." + p.name
+	}
+	return p.name
+}
+
+// Owner returns the component the port belongs to.
+func (p *Port) Owner() Component { return p.owner }
+
+// Peer returns the connected far end (nil before Connect).
+func (p *Port) Peer() *Port { return p.peer }
+
+// Connect wires two ports together. Each port may be connected once.
+func Connect(a, b *Port) {
+	if a.peer != nil || b.peer != nil {
+		panic(fmt.Sprintf("engine: reconnecting port %s <-> %s", a.Name(), b.Name()))
+	}
+	if a.eng != b.eng {
+		panic(fmt.Sprintf("engine: ports %s and %s live on different engines", a.Name(), b.Name()))
+	}
+	a.peer = b
+	b.peer = a
+}
+
+// Send delivers msg to the peer port after delay cycles (0 delivers at the
+// start of the next cycle — a component never observes its own cycle's
+// sends, matching the stage-visibility rule of the tick machines).
+func (p *Port) Send(msg any, delay uint64) {
+	if p.peer == nil {
+		panic(fmt.Sprintf("engine: send on unconnected port %s", p.Name()))
+	}
+	dst := p.peer
+	if delay == 0 {
+		delay = 1
+	}
+	p.eng.ScheduleDelta(delay, func(uint64) {
+		dst.inbound = append(dst.inbound, msg)
+	})
+}
+
+// Retrieve pops the oldest delivered message, or nil if none is pending.
+func (p *Port) Retrieve() any {
+	if len(p.inbound) == 0 {
+		return nil
+	}
+	msg := p.inbound[0]
+	copy(p.inbound, p.inbound[1:])
+	p.inbound[len(p.inbound)-1] = nil
+	p.inbound = p.inbound[:len(p.inbound)-1]
+	return msg
+}
+
+// Pending returns the number of delivered-but-unretrieved messages.
+func (p *Port) Pending() int { return len(p.inbound) }

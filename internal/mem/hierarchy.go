@@ -14,8 +14,11 @@ type HierarchyConfig struct {
 	DRAMLat     uint64 // RAM read latency beyond L2
 }
 
-// Hierarchy is the assembled memory system: split L1s over a unified L2
-// over RAM, with per-side TLBs and an identity page table.
+// Hierarchy is the assembled memory system seen by one core: split L1s over
+// a unified L2 over RAM, with per-side TLBs and a linear page table. On a
+// single-core machine the hierarchy owns every level; on a shared-memory
+// cluster (see SharedMem) the RAM and L2 are shared between the per-core
+// hierarchies and base locates this core's physical window.
 type Hierarchy struct {
 	Cfg HierarchyConfig
 
@@ -28,6 +31,15 @@ type Hierarchy struct {
 	L2        *Cache
 
 	ramLevel *RAMLevel
+
+	// base is the physical address of this core's RAM window (always 0 on
+	// a single-core hierarchy). The page table applies it to translations;
+	// physical-side consumers (program loading, output DMA) add it
+	// explicitly.
+	base uint64
+
+	// name is the engine component name ("" reads as "mem").
+	name string
 }
 
 // NewHierarchy builds the memory system.
@@ -43,6 +55,10 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	h.L1D = NewCache(cfg.L1D, h.L2)
 	return h
 }
+
+// Base returns the physical address of this core's RAM window: 0 on a
+// single-core hierarchy, core-index × RAMSize on a cluster core.
+func (h *Hierarchy) Base() uint64 { return h.base }
 
 // FetchWord reads one 32-bit instruction word through the ITLB and L1I.
 func (h *Hierarchy) FetchWord(vaddr uint64) (word uint32, lat uint64, fault Fault) {
@@ -124,18 +140,18 @@ func (h *Hierarchy) DrainOutput(outBase, outLenAddr uint64, lenBytes uint64) []b
 	h.L1D.Flush()
 	h.L2.Flush()
 	var buf [8]byte
-	h.RAM.ReadBlock(outLenAddr, buf[:lenBytes])
+	h.RAM.ReadBlock(h.base+outLenAddr, buf[:lenBytes])
 	n := uint64LE(buf[:lenBytes])
 	// A faulty run can leave an arbitrary (even near-2^64) length word;
-	// clamp without overflowing outBase+n.
-	if outBase >= h.RAM.Size() {
+	// clamp to this core's RAM window without overflowing outBase+n.
+	if outBase >= h.Cfg.RAMSize {
 		return nil
 	}
-	if max := h.RAM.Size() - outBase; n > max {
+	if max := h.Cfg.RAMSize - outBase; n > max {
 		n = max
 	}
 	out := make([]byte, n)
-	h.RAM.ReadBlock(outBase, out)
+	h.RAM.ReadBlock(h.base+outBase, out)
 	return out
 }
 
@@ -238,6 +254,31 @@ func (s *HierarchySnap) Bytes() uint64 {
 	ramPtrs := uint64(len(s.ram.pages)) * 9 // 8-byte pointer + owned flag
 	return ramPtrs + s.itlb.Bytes() + s.dtlb.Bytes() +
 		s.l1i.Bytes() + s.l1d.Bytes() + s.l2.Bytes()
+}
+
+// Name implements engine.Component. Single-core hierarchies are "mem";
+// cluster cores are named by SharedMem ("c0.mem", "c1.mem", ...).
+func (h *Hierarchy) Name() string {
+	if h.name == "" {
+		return "mem"
+	}
+	return h.name
+}
+
+// CaptureState implements engine.StateCapturer, mapping the hierarchy's
+// buffer-reusing Snapshot machinery onto per-component capture: the token is
+// a *HierarchySnap, and passing a prior token back reuses its buffers.
+func (h *Hierarchy) CaptureState(prior any) any {
+	var snap *HierarchySnap
+	if prior != nil {
+		snap = prior.(*HierarchySnap)
+	}
+	return h.Snapshot(snap)
+}
+
+// RestoreState implements engine.StateCapturer.
+func (h *Hierarchy) RestoreState(state any) {
+	h.Restore(state.(*HierarchySnap))
 }
 
 // Clone deep-copies the entire memory system.

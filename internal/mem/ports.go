@@ -1,0 +1,80 @@
+package mem
+
+import "avgi/internal/engine"
+
+// MemOp selects the access kind of a MemReq.
+type MemOp uint8
+
+const (
+	// OpFetch is an instruction-side word fetch (ITLB + L1I).
+	OpFetch MemOp = iota
+	// OpLoad is a data-side read (DTLB + L1D).
+	OpLoad
+	// OpStore is a data-side write (DTLB + L1D).
+	OpStore
+)
+
+// MemReq is a memory request message sent to a PortAdapter's Top port.
+type MemReq struct {
+	Op   MemOp
+	Addr uint64 // virtual address
+	Size uint64 // bytes (loads/stores)
+	Data uint64 // store data
+	ID   uint64 // caller's correlation tag, echoed in the response
+}
+
+// MemResp is the response to a MemReq, delivered back on the requester's
+// port Lat cycles after the request was processed (minimum one cycle: a
+// same-cycle response would let a component observe its own cycle's work,
+// which the tick model forbids).
+type MemResp struct {
+	ID    uint64
+	Word  uint32 // OpFetch result
+	Val   uint64 // OpLoad result
+	Lat   uint64 // the access latency, identical to the synchronous API's lat
+	Fault Fault
+}
+
+// PortAdapter exposes a Hierarchy as an engine component with a
+// request/response port. Requests retrieved on a cycle are performed
+// through the synchronous hierarchy in arrival order, and each response is
+// scheduled back Lat cycles out — so the latency a requester observes on
+// the port is exactly the lat the synchronous API returns for the same
+// access sequence. This is the incremental porting path the engine refactor
+// promises: stage logic can move from calling Load/Store/FetchWord directly
+// to exchanging messages without changing a single timing.
+type PortAdapter struct {
+	h *Hierarchy
+
+	// Top is the core-facing port; connect it to the requester's port.
+	Top *engine.Port
+}
+
+// NewPortAdapter wraps h as a port-driven component on eng. The caller
+// registers the adapter (it must tick after the requester registers sends).
+func NewPortAdapter(eng *engine.Engine, h *Hierarchy) *PortAdapter {
+	a := &PortAdapter{h: h}
+	a.Top = engine.NewPort(eng, a, "Top")
+	return a
+}
+
+// Name implements engine.Component.
+func (a *PortAdapter) Name() string { return a.h.Name() }
+
+// Tick implements engine.Ticker: drain this cycle's requests in arrival
+// order and schedule their responses.
+func (a *PortAdapter) Tick(cycle uint64) {
+	for a.Top.Pending() > 0 {
+		req := a.Top.Retrieve().(MemReq)
+		resp := MemResp{ID: req.ID}
+		switch req.Op {
+		case OpFetch:
+			resp.Word, resp.Lat, resp.Fault = a.h.FetchWord(req.Addr)
+		case OpLoad:
+			resp.Val, resp.Lat, resp.Fault = a.h.Load(req.Addr, req.Size)
+		case OpStore:
+			resp.Lat, resp.Fault = a.h.Store(req.Addr, req.Size, req.Data)
+		}
+		a.Top.Send(resp, resp.Lat)
+	}
+}

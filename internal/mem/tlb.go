@@ -72,11 +72,14 @@ func (t *TLB) Translate(vaddr uint64, pt *PageTable) (paddr uint64, lat uint64, 
 				t.probe.onHit(i)
 			}
 			ppn := (e >> tlbPPNShift) & pageNumMask
-			if ppn >= pt.NumPages() {
+			if ppn >= pt.PhysPages() {
 				// A corrupted PPN can point outside RAM; the
 				// access raises a page fault exactly as a
 				// hardware translation to an unbacked page
-				// would.
+				// would. (On a cluster the bound is the whole
+				// shared RAM, so a corrupted PPN may legally
+				// land in another core's window — physically
+				// backed, so no fault, exactly as on hardware.)
 				return 0, 0, FaultPage
 			}
 			return ppn*PageBytes + off, 0, FaultNone
