@@ -15,6 +15,13 @@
 //	avgi -faults 200 fig3
 //	avgi -workloads sha,crc32,qsort -faults 100 table2
 //	avgi -csv fig10 > fig10.csv
+//	avgi -early-exit=false -faults 200 fig3   # force full ERT windows
+//
+// AVGI-mode campaigns end each faulty window as soon as the injected
+// corruption is provably erased (see docs/PERFORMANCE.md); the
+// classification is identical to a full-window run, only faster.
+// -early-exit=false disables the oracle, e.g. to compare simulated-cycle
+// costs against the paper's full-window accounting.
 package main
 
 import (
@@ -262,6 +269,7 @@ func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload, obsv *avg
 		Resume:             common.Resume,
 		Forensics:          explorer,
 		ForensicsSample:    *flagForensicsSample,
+		EarlyExit:          common.EarlyExit,
 	})
 	if err != nil {
 		return nil, err

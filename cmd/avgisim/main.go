@@ -14,6 +14,10 @@
 //	avgisim -inject "RF:100:5000" sha   # flip RF bit 100 at cycle 5000
 //	avgisim -cores 2 sha                # 2-core shared-L2 cluster golden run
 //	avgisim -cores 2 -inject "c1/RF:100:5000" sha  # flip core 1's RF
+//
+// Like cmd/avgi, AVGI-mode windows end early once the injected corruption
+// is provably erased; -early-exit=false forces full ERT windows
+// (docs/PERFORMANCE.md).
 package main
 
 import (
@@ -148,6 +152,7 @@ func run(name string, obsv *avgi.Observer) error {
 		return err
 	}
 	r.CheckpointInterval = common.CkptInterval
+	r.EarlyExit = common.EarlyExit
 	if common.Forensics {
 		r.Forensics = avgi.NewExplorer()
 		r.ForensicsSample = 1

@@ -37,6 +37,19 @@ func benchCampaignRFWindow(b *testing.B, policy ForkPolicy) {
 
 func BenchmarkCampaignCursor(b *testing.B) { benchCampaignRFWindow(b, ForkCursor) }
 
+// BenchmarkCampaignCursorEarlyExit is the cursor campaign with the
+// convergence oracle armed: faults whose corruption is provably erased end
+// their window at the erasure instead of simulating the full ERT. The gap
+// to BenchmarkCampaignCursor is the early-exit payoff on the standard RF
+// shape.
+func BenchmarkCampaignCursorEarlyExit(b *testing.B) {
+	r := sharedBenchRunner(b)
+	prev := r.EarlyExit
+	r.EarlyExit = true
+	defer func() { r.EarlyExit = prev }()
+	benchCampaignRFWindow(b, ForkCursor)
+}
+
 func BenchmarkCampaignWindowSnapshot(b *testing.B) { benchCampaignRFWindow(b, ForkSnapshot) }
 
 func BenchmarkCampaignWindowClone(b *testing.B) { benchCampaignRFWindow(b, ForkLegacyClone) }

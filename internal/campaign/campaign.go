@@ -257,6 +257,18 @@ type Runner struct {
 	// worker layouts). 0 or 1 probes every fault.
 	ForensicsSample int
 
+	// EarlyExit arms the convergence termination oracle on ModeAVGI
+	// faults: a fate probe watches every injected fault, and the faulty
+	// window ends the moment the probe proves the machine state is
+	// bit-identical to golden again (every latched site erased by
+	// golden-valued writes, nothing consumed first) instead of running to
+	// the full ERT horizon. Classification is identical to the full-window
+	// run — only SimCycles shrinks (proven by TestEarlyExitDifferential).
+	// Off by default so recorded SimCycles stay comparable; both CLIs turn
+	// it on unless -early-exit=false. Single-core campaigns only; cluster
+	// campaigns ignore it.
+	EarlyExit bool
+
 	// ckptOnce lazily records the checkpoint store on first snapshot-mode
 	// Run, so legacy-only and fault-list-only uses never pay for it.
 	ckptOnce sync.Once
@@ -467,6 +479,26 @@ func (r *Runner) MultiBitFaultList(structure string, n, width int, seedBase int6
 	return faults
 }
 
+// UniqueBitCounts returns the runner's injectable-bit populations with
+// each physical array counted exactly once. On a cluster runner BitCounts
+// aliases the shared-L2 arrays under every c<k>/ prefix (the aliases are
+// real, equally valid injection names that flip the same physical bits),
+// so summing BitCounts across structures would count the one physical L2
+// once per core; here every non-canonical alias is dropped (only the c0/
+// name survives, see cpu.CanonicalTarget). Single-core runners get a plain
+// copy of BitCounts. Use this map — never raw BitCounts — for any
+// population total spanning structures (AVF denominators, bit×cycle fault
+// spaces, protection-coverage weighting).
+func (r *Runner) UniqueBitCounts() map[string]uint64 {
+	out := make(map[string]uint64, len(r.BitCounts))
+	for name, n := range r.BitCounts {
+		if cpu.CanonicalTarget(name) == name {
+			out[name] = n
+		}
+	}
+	return out
+}
+
 // assertTemporal enforces the temporal-sampling invariant: every injection
 // cycle lies in [1, golden cycles]. A cycle outside the population would
 // silently inject into a halted (or never-reached) machine state and bias
@@ -664,9 +696,12 @@ func (r *Runner) checkQuarantine(results []Result, prior map[int]Result) {
 // is the checkpoint-to-injection re-simulation distance; under ForkCursor,
 // advCycles is the golden distance the cursor advanced for this fault
 // (amortized replay), deltaBytes the volume moved by the dirty-delta
-// snapshot/restore pair, and fullSync marks faults that paid a full
-// capture (first fault after a cursor (re)build). Zero under
-// ForkLegacyClone.
+// snapshot/restore pair, fullSync marks faults that paid a full capture
+// (first fault after a cursor (re)build), and batched marks faults that
+// reused the previous fault's snapshot outright (same injection cycle, no
+// cursor advance, so the restored machine already matches it). Zero under
+// ForkLegacyClone. earlyExit/cyclesSaved carry the window-oracle outcome
+// regardless of policy.
 type forkMeta struct {
 	restored   bool
 	seekCycles uint64
@@ -676,6 +711,10 @@ type forkMeta struct {
 	advCycles  uint64
 	deltaBytes uint64
 	fullSync   bool
+	batched    bool
+
+	earlyExit   bool
+	cyclesSaved uint64
 }
 
 // worker is one dispatch goroutine's simulation state: under
@@ -794,22 +833,33 @@ func (w *worker) runCursor(f fault.Fault) (Result, cpu.Stats, forkMeta) {
 	}
 	var deltaBytes uint64
 	fullSync := w.csnap == nil
-	if fullSync {
+	batched := false
+	switch {
+	case fullSync:
 		w.csnap = m.Snapshot(nil)
-	} else {
+	case adv != 0:
 		deltaBytes = m.SyncSnapshot(w.csnap)
+	default:
+		// Same-cycle batch: the previous fault's SyncRestore left the
+		// machine bit-identical to csnap and the cursor did not advance,
+		// so the snapshot is already current — one re-arm serves every
+		// fault landing on this cursor cycle.
+		batched = true
 	}
 	cowBase := m.Mem.RAM.CowPrivatized()
-	res, delta := r.injectAndObserve(m, f, w.mode, w.ert, &w.cmp)
+	res, delta, wm := r.injectAndObserve(m, f, w.mode, w.ert, &w.cmp)
 	cow := m.Mem.RAM.CowPrivatized() - cowBase
 	deltaBytes += m.SyncRestore(w.csnap)
 	return res, delta, forkMeta{
-		restored:   true,
-		cowPages:   cow,
-		cursor:     true,
-		advCycles:  adv,
-		deltaBytes: deltaBytes,
-		fullSync:   fullSync,
+		restored:    true,
+		cowPages:    cow,
+		cursor:      true,
+		advCycles:   adv,
+		deltaBytes:  deltaBytes,
+		fullSync:    fullSync,
+		batched:     batched,
+		earlyExit:   wm.earlyExit,
+		cyclesSaved: wm.cyclesSaved,
 	}
 }
 
@@ -830,11 +880,13 @@ func (w *worker) runSnapshot(f fault.Fault) (Result, cpu.Stats, forkMeta) {
 	if dist > 0 && m.Status() == cpu.StatusRunning {
 		m.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
 	}
-	res, delta := r.injectAndObserve(m, f, w.mode, w.ert, &w.cmp)
+	res, delta, wm := r.injectAndObserve(m, f, w.mode, w.ert, &w.cmp)
 	return res, delta, forkMeta{
-		restored:   true,
-		seekCycles: dist,
-		cowPages:   m.Mem.RAM.CowPrivatized() - cowBase,
+		restored:    true,
+		seekCycles:  dist,
+		cowPages:    m.Mem.RAM.CowPrivatized() - cowBase,
+		earlyExit:   wm.earlyExit,
+		cyclesSaved: wm.cyclesSaved,
 	}
 }
 
@@ -850,8 +902,8 @@ func (w *worker) runLegacy(f fault.Fault) (Result, cpu.Stats, forkMeta) {
 		mother.Run(cpu.RunOptions{StopAtCycle: f.Cycle, MaxCycles: r.Golden.Cycles + 1})
 	}
 	m := mother.Clone()
-	res, delta := r.injectAndObserve(m, f, w.mode, w.ert, &w.cmp)
-	return res, delta, forkMeta{}
+	res, delta, wm := r.injectAndObserve(m, f, w.mode, w.ert, &w.cmp)
+	return res, delta, forkMeta{earlyExit: wm.earlyExit, cyclesSaved: wm.cyclesSaved}
 }
 
 // runCluster is the multi-core flow, shaped like runLegacy: a per-worker
@@ -872,6 +924,15 @@ func (w *worker) runCluster(f fault.Fault) (Result, cpu.Stats, forkMeta) {
 	return res, delta, forkMeta{}
 }
 
+// winMeta is the per-fault window-oracle telemetry: whether the early-exit
+// oracle ended the faulty window, and an estimate of the cycles it saved
+// against the full ERT horizon (capped at the golden halt — a converged
+// machine replays the golden run, so it could never have run further).
+type winMeta struct {
+	earlyExit   bool
+	cyclesSaved uint64
+}
+
 // injectAndObserve flips the fault's bits on a machine positioned at the
 // injection cycle and observes the outcome under mode — the half of the
 // per-fault flow shared by all fork policies. cmp is the caller's
@@ -879,7 +940,7 @@ func (w *worker) runCluster(f fault.Fault) (Result, cpu.Stats, forkMeta) {
 // for its whole chunk instead of one per fault. The second return value is
 // the faulty run's own contribution to the machine statistics (post-fork
 // delta), consumed by the telemetry layer.
-func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert uint64, cmp *trace.Comparator) (Result, cpu.Stats) {
+func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert uint64, cmp *trace.Comparator) (Result, cpu.Stats, winMeta) {
 	statsAtFork := m.Stats
 	tg := m.Target(f.Structure)
 	if tg == nil {
@@ -900,10 +961,17 @@ func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert 
 	}
 	// The fate probe is armed after the flip and cleared before this
 	// function returns, so the fork machinery around it (worker-local
-	// sync snapshots before, restores after) never observes one.
+	// sync snapshots before, restores after) never observes one. Under
+	// the early-exit oracle every ModeAVGI fault is probed (one probe
+	// serves both the oracle and, when sampled, forensics attribution).
+	forens := r.forensicsOn(f)
+	oracle := r.EarlyExit && mode == ModeAVGI
 	var probe *cpu.FaultProbe
-	if r.forensicsOn(f) {
+	if forens || oracle {
 		probe = m.ArmProbe(f.Structure, f.Bit, int(width))
+	}
+	if oracle && probe != nil {
+		probe.EnableConvergenceStop()
 	}
 
 	cmp.Reset()
@@ -917,6 +985,19 @@ func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert 
 	}
 	m.SetSink(cmp)
 	res := m.Run(cpu.RunOptions{MaxCycles: r.RunawayLimit()})
+
+	var wm winMeta
+	if oracle && res.Status == cpu.StatusStopped && !cmp.Stopped() {
+		// The machine stopped but the comparator never asked it to: the
+		// convergence oracle ended the window. Estimate the savings
+		// against where the full window would have run to — the ERT
+		// horizon, capped at the golden halt cycle (a converged machine
+		// replays the golden run from here on).
+		wm.earlyExit = true
+		if full := min(f.Cycle+ert, r.Golden.Cycles); full > res.Cycles {
+			wm.cyclesSaved = full - res.Cycles
+		}
+	}
 
 	crashed := res.Status == cpu.StatusCrashed || res.Status == cpu.StatusCycleLimit
 	produced := res.Status == cpu.StatusHalted
@@ -940,7 +1021,9 @@ func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert 
 		}
 		out.IMM = imm.Classify(imm.Inputs{Dev: cmp.Dev, Variant: r.Cfg.Variant})
 	case res.Status == cpu.StatusStopped:
-		// The ERT window expired with a clean commit trace.
+		// The ERT window expired with a clean commit trace — either at
+		// the full horizon or because the convergence oracle proved the
+		// machine state golden again (same verdict, shorter window).
 		out.IMM = imm.Benign
 	default:
 		out.IMM = imm.Classify(imm.Inputs{
@@ -963,23 +1046,30 @@ func (r *Runner) injectAndObserve(m *cpu.Machine, f fault.Fault, mode Mode, ert 
 	}
 	if probe != nil {
 		m.ClearProbe()
-		oc := forensics.Outcome{
-			Visible:         out.Manifested,
-			ManifestLatency: out.ManifestLatency,
-			Dev:             cmp.Dev,
+		if forens {
+			oc := forensics.Outcome{
+				Visible:         out.Manifested,
+				ManifestLatency: out.ManifestLatency,
+				Dev:             cmp.Dev,
+			}
+			if out.IMM == imm.ESC {
+				// An escape through a dirty line is architecturally visible
+				// in the program output even though the commit trace never
+				// deviates; the whole post-injection run is its latency.
+				oc.Visible = true
+				oc.Escaped = true
+				oc.ManifestLatency = out.SimCycles
+			}
+			// An oracle-probed but unsampled fault carries no record, so
+			// Results are identical whether or not the oracle was on.
+			// Attribution itself is truncation-proof: a converged probe has
+			// every site dead, so no further event could have amended the
+			// facts in the cycles the exit skipped.
+			rec := forensics.Attribute(probe.Facts(), oc)
+			out.Forensics = &rec
 		}
-		if out.IMM == imm.ESC {
-			// An escape through a dirty line is architecturally visible
-			// in the program output even though the commit trace never
-			// deviates; the whole post-injection run is its latency.
-			oc.Visible = true
-			oc.Escaped = true
-			oc.ManifestLatency = out.SimCycles
-		}
-		rec := forensics.Attribute(probe.Facts(), oc)
-		out.Forensics = &rec
 	}
-	return out, statsDelta(m.Stats, statsAtFork)
+	return out, statsDelta(m.Stats, statsAtFork), wm
 }
 
 // injectAndObserveCluster is injectAndObserve for a cluster fault: the

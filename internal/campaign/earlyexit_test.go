@@ -1,0 +1,259 @@
+package campaign
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"avgi/internal/cpu"
+	"avgi/internal/fault"
+	"avgi/internal/forensics"
+	"avgi/internal/imm"
+	"avgi/internal/obs"
+)
+
+// stripSimCycles zeroes the one field a convergence early exit legitimately
+// changes: the simulated-cycle cost of the (now shorter) faulty window.
+// Every classification field must survive the strip untouched.
+func stripSimCycles(r Result) Result {
+	r.SimCycles = 0
+	return r
+}
+
+// TestEarlyExitDifferential proves the convergence oracle is
+// classification-identical to full-ERT windows: for every fault, the
+// early-exit run must agree with the full-window run on every Result field
+// except SimCycles, and the campaign summaries (IMM distribution, AVF
+// fractions) must match exactly. Runs four structures across two workloads
+// so the register-file, queue, cache-data and cache-tag probe flavors are
+// all exercised.
+func TestEarlyExitDifferential(t *testing.T) {
+	structures := []string{"RF", "ROB", "L1D (Data)", "L1D (Tag)"}
+	exits := 0
+	for _, workload := range []string{"sha", "crc32"} {
+		r := newTestRunner(t, cpu.ConfigA72(), workload)
+		for _, st := range structures {
+			faults := r.FaultList(st, 72, 11)
+			r.EarlyExit = false
+			full := r.Run(faults, ModeAVGI, 2000, 4)
+			r.EarlyExit = true
+			fast := r.Run(faults, ModeAVGI, 2000, 4)
+			for i := range full {
+				if stripSimCycles(fast[i]) != stripSimCycles(full[i]) {
+					t.Fatalf("%s/%s fault %d (%s): early exit changed the classification:\n  full %+v\n  fast %+v",
+						workload, st, i, faults[i], full[i], fast[i])
+				}
+				if fast[i].SimCycles > full[i].SimCycles {
+					t.Errorf("%s/%s fault %d: early exit lengthened the window (%d > %d cycles)",
+						workload, st, i, fast[i].SimCycles, full[i].SimCycles)
+				}
+				if fast[i].SimCycles < full[i].SimCycles {
+					exits++
+				}
+			}
+			fs, ff := Summarize(fast), Summarize(full)
+			if !reflect.DeepEqual(fs.ByIMM, ff.ByIMM) || fs.Corruptions != ff.Corruptions {
+				t.Errorf("%s/%s: summaries diverged: %v vs %v", workload, st, fs.ByIMM, ff.ByIMM)
+			}
+			if !reflect.DeepEqual(fs.IMMFractions(), ff.IMMFractions()) {
+				t.Errorf("%s/%s: IMM fractions diverged", workload, st)
+			}
+		}
+	}
+	// The oracle must actually fire somewhere, or this test proves nothing.
+	if exits == 0 {
+		t.Error("no fault ended its window early across 8 campaigns; oracle never fired")
+	}
+}
+
+// TestEarlyExitForensicsIdentical pins that the probe facts an early exit
+// freezes are the facts the full window would have recorded: once every
+// site is dead and unread, no further probe event can fire, so the
+// attribution must be bit-identical.
+func TestEarlyExitForensicsIdentical(t *testing.T) {
+	r := shaRunner(t)
+	r.Forensics = forensics.NewExplorer()
+	r.ForensicsSample = 1
+	faults := r.FaultList("RF", 48, 7)
+	r.EarlyExit = false
+	full := r.Run(faults, ModeAVGI, 2000, 4)
+	r.EarlyExit = true
+	fast := r.Run(faults, ModeAVGI, 2000, 4)
+	for i := range full {
+		if !reflect.DeepEqual(full[i].Forensics, fast[i].Forensics) {
+			t.Fatalf("fault %d: forensics diverged under early exit:\n  full %+v\n  fast %+v",
+				i, full[i].Forensics, fast[i].Forensics)
+		}
+	}
+}
+
+// TestEarlyExitJournalResume re-runs an early-exit campaign through the
+// resume path with a partial prior-result map: resumed results must be
+// byte-identical (SimCycles included) to the uninterrupted run, so a study
+// journal written with -early-exit resumes without reclassification drift.
+func TestEarlyExitJournalResume(t *testing.T) {
+	r := shaRunner(t)
+	r.EarlyExit = true
+	faults := r.FaultList("RF", 64, 11)
+	base := r.Run(faults, ModeAVGI, 2000, 4)
+
+	// 64 faults / 4 workers = 16-fault chunks: indices 0-15 cover chunk 0
+	// entirely (the allPrior fast path); i%5 scatters holes elsewhere.
+	prior := make(map[int]Result)
+	for i := range faults {
+		if i < 16 || i%5 == 0 {
+			prior[i] = base[i]
+		}
+	}
+	resumed := r.RunBudgetResume(faults, ModeAVGI, 2000, NewBudget(4), prior, nil)
+	for i := range resumed {
+		if resumed[i] != base[i] {
+			t.Fatalf("fault %d diverged after resume: %+v vs %+v", i, resumed[i], base[i])
+		}
+	}
+}
+
+// TestAVGIWindowBoundary pins the faulty-window boundary on both machine
+// variants: the window is [inject, inject+ert] inclusive, so a deviation
+// landing exactly on the expiry cycle classifies as a deviation, while one
+// cycle less of window makes the same fault Benign.
+func TestAVGIWindowBoundary(t *testing.T) {
+	for _, cfg := range []cpu.Config{cpu.ConfigA72(), cpu.ConfigA15()} {
+		t.Run(cfg.Name, func(t *testing.T) {
+			r := newTestRunner(t, cfg, "sha")
+			faults := r.FaultList("RF", 200, 3)
+			hvf := r.Run(faults, ModeHVF, 0, 4)
+			pick := -1
+			for i, res := range hvf {
+				if res.Manifested && res.ManifestLatency >= 2 {
+					pick = i
+					break
+				}
+			}
+			if pick < 0 {
+				t.Fatal("no RF fault manifested with latency >= 2 under HVF")
+			}
+			one := []fault.Fault{faults[pick]}
+			lat := hvf[pick].ManifestLatency
+			for _, ee := range []bool{false, true} {
+				r.EarlyExit = ee
+				// ert = latency: the deviating commit lands exactly on the
+				// window-expiry cycle and must still count.
+				at := r.Run(one, ModeAVGI, lat, 1)[0]
+				if !at.Manifested || at.ManifestLatency != lat {
+					t.Errorf("early-exit=%v ert=%d: deviation on the expiry cycle dropped: %+v", ee, lat, at)
+				}
+				// One cycle short: the deviation is outside the window.
+				before := r.Run(one, ModeAVGI, lat-1, 1)[0]
+				if before.Manifested || before.IMM != imm.Benign {
+					t.Errorf("early-exit=%v ert=%d: out-of-window deviation classified %v (manifested=%v)",
+						ee, lat-1, before.IMM, before.Manifested)
+				}
+				// One cycle long: unambiguously inside.
+				after := r.Run(one, ModeAVGI, lat+1, 1)[0]
+				if !after.Manifested || after.ManifestLatency != lat {
+					t.Errorf("early-exit=%v ert=%d: in-window deviation dropped: %+v", ee, lat+1, after)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterSharedL2CountedOnce pins the shared-L2 aliasing semantics: the
+// c<k>/L2 names are injection aliases for one physical array, so their
+// populations are identical, the data array matches the single-core machine
+// exactly, and UniqueBitCounts collapses the aliases so AVF denominators
+// and bit-space sums count the shared array once.
+func TestClusterSharedL2CountedOnce(t *testing.T) {
+	single := shaRunner(t)
+	cl := shaClusterRunner(t, 2)
+
+	for _, st := range []string{"L2 (Tag)", "L2 (Data)"} {
+		c0, c1 := cl.BitCounts["c0/"+st], cl.BitCounts["c1/"+st]
+		if c0 == 0 || c0 != c1 {
+			t.Errorf("%s alias populations differ: c0=%d c1=%d", st, c0, c1)
+		}
+	}
+	// The shared data array is bit-for-bit the single-core one. The tag
+	// array keeps the same line count but each entry widens by the
+	// core-select address bits the shared L2 absorbs (mem/shared.go), so
+	// it only grows — it never doubles per core.
+	if d, s := cl.BitCounts["c0/L2 (Data)"], single.BitCounts["L2 (Data)"]; d != s {
+		t.Errorf("shared L2 data population %d, want single-core %d", d, s)
+	}
+	if ct, st := cl.BitCounts["c0/L2 (Tag)"], single.BitCounts["L2 (Tag)"]; ct < st || ct >= 2*st {
+		t.Errorf("shared L2 tag population %d vs single-core %d: want wider entries, not a per-core copy", ct, st)
+	}
+
+	u := cl.UniqueBitCounts()
+	if len(u) != 22 {
+		t.Errorf("UniqueBitCounts has %d entries for 2 cores, want 22 (24 targets minus 2 L2 aliases)", len(u))
+	}
+	for _, alias := range []string{"c1/L2 (Tag)", "c1/L2 (Data)"} {
+		if _, ok := u[alias]; ok {
+			t.Errorf("UniqueBitCounts still lists shared alias %q", alias)
+		}
+	}
+	if u["c0/L2 (Data)"] != cl.BitCounts["c0/L2 (Data)"] {
+		t.Error("UniqueBitCounts changed the canonical L2 population")
+	}
+	// Single-core names are their own canonical form.
+	if su := single.UniqueBitCounts(); !reflect.DeepEqual(su, single.BitCounts) {
+		t.Errorf("single-core UniqueBitCounts deviates from BitCounts: %v vs %v", su, single.BitCounts)
+	}
+
+	// Fault-list generation over an alias draws from the same bit space.
+	for _, f := range cl.FaultList("c1/L2 (Data)", 40, 9) {
+		if f.Bit >= cl.BitCounts["c0/L2 (Data)"] {
+			t.Fatalf("alias fault bit %d beyond the shared array (%d bits)", f.Bit, cl.BitCounts["c0/L2 (Data)"])
+		}
+	}
+}
+
+// TestEarlyExitMetricsPublished asserts the window-oracle counters reach
+// the metrics registry with the campaign's structure/workload/mode labels.
+func TestEarlyExitMetricsPublished(t *testing.T) {
+	r := shaRunner(t)
+	r.Obs = obs.New(io.Discard)
+	r.EarlyExit = true
+	faults := r.FaultList("RF", 64, 5)
+	r.Run(faults, ModeAVGI, 2000, 4)
+
+	lb := map[string]string{"structure": "RF", "workload": "sha", "mode": "avgi"}
+	exits := r.Obs.Metrics.Counter("avgi_window_early_exit_total", "", lb).Value()
+	saved := r.Obs.Metrics.Counter("avgi_window_cycles_saved_total", "", lb).Value()
+	if exits == 0 {
+		t.Fatal("avgi_window_early_exit_total = 0; oracle never fired on an RF campaign")
+	}
+	if saved == 0 {
+		t.Error("avgi_window_cycles_saved_total = 0 despite early exits")
+	}
+}
+
+// TestCursorBatchingSameCycle pins the same-cycle fault batch: when
+// consecutive cursor faults share an injection cycle, one cycle-aligned
+// snapshot serves the whole batch and every fault after the first counts
+// as batched (no SyncSnapshot re-arm).
+func TestCursorBatchingSameCycle(t *testing.T) {
+	r := shaRunner(t)
+	r.Obs = obs.New(io.Discard)
+	r.ForkPolicy = ForkCursor
+
+	cyc := r.FaultList("RF", 1, 5)[0].Cycle
+	faults := make([]fault.Fault, 6)
+	for i := range faults {
+		faults[i] = fault.Fault{ID: i, Structure: "RF", Bit: uint64(7*i + 1), Cycle: cyc}
+	}
+	// One worker, one chunk: fault 0 arms the snapshot, 1-5 batch on it.
+	res := r.Run(faults, ModeAVGI, 500, 1)
+	for i, rr := range res {
+		if rr.Quarantined {
+			t.Fatalf("fault %d quarantined: %s", i, rr.Err)
+		}
+	}
+	lb := map[string]string{"structure": "RF", "workload": "sha", "mode": "avgi"}
+	batched := r.Obs.Metrics.Counter("avgi_cursor_batched_faults_total", "", lb).Value()
+	if batched != uint64(len(faults)-1) {
+		t.Errorf("avgi_cursor_batched_faults_total = %d, want %d", batched, len(faults)-1)
+	}
+}

@@ -48,6 +48,11 @@ type structAgg struct {
 	advCycles    uint64
 	deltaBytes   uint64
 	fullSyncs    uint64
+	batched      uint64
+
+	// Window-oracle telemetry (EarlyExit ModeAVGI runs).
+	earlyExits  uint64
+	cyclesSaved uint64
 
 	// Forensics attribution tallies (faults the sampler probed).
 	causes [forensics.NumCauses]uint64
@@ -174,6 +179,13 @@ func (ro *runObs) fault(local map[string]*structAgg, f fault.Fault, res *Result,
 		if fm.fullSync {
 			a.fullSyncs++
 		}
+		if fm.batched {
+			a.batched++
+		}
+	}
+	if fm.earlyExit {
+		a.earlyExits++
+		a.cyclesSaved += fm.cyclesSaved
 	}
 
 	if fr := res.Forensics; fr != nil {
@@ -245,6 +257,9 @@ func (ro *runObs) merge(local map[string]*structAgg) {
 		dst.advCycles += a.advCycles
 		dst.deltaBytes += a.deltaBytes
 		dst.fullSyncs += a.fullSyncs
+		dst.batched += a.batched
+		dst.earlyExits += a.earlyExits
+		dst.cyclesSaved += a.cyclesSaved
 		for c, n := range a.causes {
 			dst.causes[c] += n
 		}
@@ -302,6 +317,16 @@ func (ro *runObs) finish() {
 					"bytes moved by dirty-delta snapshot/restore pairs", lb).Add(a.deltaBytes)
 				reg.Counter("avgi_cursor_full_syncs_total",
 					"cursor faults that paid a full local snapshot capture", lb).Add(a.fullSyncs)
+				if a.batched > 0 {
+					reg.Counter("avgi_cursor_batched_faults_total",
+						"cursor faults that reused the previous same-cycle snapshot outright", lb).Add(a.batched)
+				}
+			}
+			if a.earlyExits > 0 {
+				reg.Counter("avgi_window_early_exit_total",
+					"faulty windows ended early by the convergence oracle", lb).Add(a.earlyExits)
+				reg.Counter("avgi_window_cycles_saved_total",
+					"faulty-window cycles skipped by convergence early exits", lb).Add(a.cyclesSaved)
 			}
 			for _, c := range forensics.Causes {
 				if n := a.causes[c]; n > 0 {

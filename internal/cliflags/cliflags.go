@@ -35,6 +35,8 @@ type Common struct {
 
 	Forensics bool
 	Log       string
+
+	EarlyExit bool
 }
 
 // Register installs the shared flags on fs (normally flag.CommandLine) and
@@ -67,6 +69,8 @@ func Register(fs *flag.FlagSet, workersDefault int) *Common {
 
 	fs.BoolVar(&c.Forensics, "forensics", false,
 		"attribute sampled faults' fates (masking source, first divergence); see docs/OBSERVABILITY.md")
+	fs.BoolVar(&c.EarlyExit, "early-exit", true,
+		"end AVGI faulty windows as soon as the fault is provably dead (classification-identical; -early-exit=false forces full ERT windows, see docs/PERFORMANCE.md)")
 	fs.StringVar(&c.Log, "log", "text",
 		"stderr log format: text (classic prefixed lines) or json")
 	return c

@@ -446,6 +446,14 @@ func (m *Machine) Tick(uint64) {
 	if m.cycle-m.lastCommitCycle > m.Cfg.WatchdogCommitGap {
 		m.crashNow(CrashWatchdog)
 	}
+	// Early-exit oracle: with a convergence-armed probe, stop the faulty
+	// run the moment its facts prove the machine state is golden again
+	// (campaign classifies StatusStopped with a clean trace as Benign,
+	// exactly as a full-window expiry would). One nil check when no probe
+	// is armed, matching the cost promise of the other probe hooks.
+	if p := m.probe; p != nil && p.stopOnConverge && m.status == StatusRunning && p.Converged() {
+		m.status = StatusStopped
+	}
 }
 
 // crashNow terminates the run with the given crash kind.

@@ -76,10 +76,45 @@ type FaultProbe struct {
 	// the ProbeEvent method; the pointers let ClearProbe detach them.
 	cache *mem.Cache
 	tlb   *mem.TLB
+
+	// stopOnConverge arms the early-exit termination oracle: the machine
+	// stops (StatusStopped) at the end of the first cycle whose facts
+	// prove convergence (see Converged). Only set for eligible structures.
+	stopOnConverge bool
+	// eligible marks structures whose probe coverage is complete enough
+	// for the oracle to be sound. TLBs are excluded: a corrupted entry
+	// perturbs translation by *missing* (golden hit turns into a walk
+	// plus refill) without any probe event firing, so erased-and-unread
+	// facts cannot prove the timing stayed golden.
+	eligible bool
 }
 
 // Facts returns the accumulated observations.
 func (p *FaultProbe) Facts() ProbeFacts { return p.facts }
+
+// EnableConvergenceStop arms the early-exit termination oracle on this
+// probe: the machine stops with StatusStopped at the end of the first
+// cycle whose accumulated facts prove the faulty machine's state is
+// bit-identical to the golden run's — every site that latched the flip has
+// been erased by golden-valued writes (register writebacks, queue
+// reallocations, line refills all carry the values the golden run wrote)
+// and nothing consumed the corrupted state first. From that point no
+// deviation is possible, so the run's classification equals the
+// full-window one. No-op for structures whose probe coverage cannot prove
+// convergence (TLBs).
+func (p *FaultProbe) EnableConvergenceStop() {
+	if p.eligible {
+		p.stopOnConverge = true
+	}
+}
+
+// Converged reports whether the probe facts prove the fault can no longer
+// affect the run: no live corrupted site was ever consumed and every site
+// that latched the flip has been erased. LiveSites == 0 (the flip landed
+// entirely on free/invalid entries) converges trivially at arm time.
+func (p *FaultProbe) Converged() bool {
+	return p.facts.Reads == 0 && p.facts.Killed >= p.facts.LiveSites
+}
 
 // ArmProbe installs a fate probe for a fault of the given width injected
 // at bit of structure (the same index spaces as Target.FlipBit — arm after
@@ -152,6 +187,12 @@ func (m *Machine) ArmProbe(structure string, bit uint64, width int) *FaultProbe 
 		p.facts.Sites = lp.Sites()
 		p.facts.LiveSites = lp.LiveSites()
 	}
+	// Register and queue probes hook every consumption and erasure, and
+	// cache probes fire a tag-compare read for any access resolving in a
+	// watched live site's set — so a live site can never be refilled (the
+	// only kill path) without a prior read blocking convergence. TLB probes
+	// cannot make that promise (see the eligible field).
+	p.eligible = p.tlb == nil
 	m.probe = p
 	return p
 }

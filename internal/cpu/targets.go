@@ -228,3 +228,26 @@ func ValidateStructure(name string) error {
 	return fmt.Errorf("unknown structure %q (known: %s, each optionally behind a c<k>/ core prefix)",
 		name, strings.Join(StructureNames, ", "))
 }
+
+// SharedAcrossCores reports whether structure (without its core prefix)
+// names an array that is physically shared in a cluster — the L2 arrays,
+// which Cluster.Targets aliases under every core's prefix.
+func SharedAcrossCores(structure string) bool {
+	return structure == "L2 (Tag)" || structure == "L2 (Data)"
+}
+
+// CanonicalTarget maps a cluster fault-target name onto its canonical
+// physical-array name: the shared-L2 aliases collapse onto the c0/ prefix,
+// so enumerating a cluster's targets through this function visits each
+// physical array exactly once. Every other name (non-shared structures,
+// and unprefixed single-core names) maps to itself. "c1/L2 (Tag)" remains
+// a perfectly valid *injection* name — the aliases flip the same bits —
+// but population sums (AVF denominators, bit×cycle spaces) must count the
+// one physical array once, not once per core.
+func CanonicalTarget(name string) string {
+	core, base, ok := SplitCoreTarget(name)
+	if !ok || core == 0 || !SharedAcrossCores(base) {
+		return name
+	}
+	return "c0/" + base
+}

@@ -21,8 +21,7 @@ type Cause uint8
 const (
 	// CauseOverwritten: every corrupted site was erased by fresh data
 	// (register writeback, queue-slot allocation, line refill, TLB
-	// refill) before anything consumed it — including flips that landed
-	// on free/invalid entries and never latched.
+	// refill) before anything consumed it.
 	CauseOverwritten Cause = iota
 	// CauseSquashed: the corrupted in-flight state was discarded by a
 	// misprediction squash before it could reach commit.
@@ -40,9 +39,14 @@ const (
 	// CauseVisible: the fault became architecturally visible — a commit
 	// deviation or a pre-software crash.
 	CauseVisible
+	// CauseNeverLatched: the flip landed entirely on free/invalid entries
+	// and nothing ever latched it — masked at the injection site itself,
+	// before any reachable state was corrupted. (New causes append here so
+	// older shard labels keep their decoding.)
+	CauseNeverLatched
 
 	// NumCauses is the number of attribution causes.
-	NumCauses = int(CauseVisible) + 1
+	NumCauses = int(CauseNeverLatched) + 1
 )
 
 var causeNames = [NumCauses]string{
@@ -52,12 +56,13 @@ var causeNames = [NumCauses]string{
 	"read-but-logically-masked",
 	"never-read-in-window",
 	"architecturally-visible",
+	"never-latched",
 }
 
 // Causes lists all attribution causes in declaration order.
 var Causes = [NumCauses]Cause{
 	CauseOverwritten, CauseSquashed, CauseEvictedClean,
-	CauseLogicallyMasked, CauseNeverRead, CauseVisible,
+	CauseLogicallyMasked, CauseNeverRead, CauseVisible, CauseNeverLatched,
 }
 
 // String returns the cause's stable label (used as the JSON encoding and
@@ -158,9 +163,8 @@ var devKindNames = map[trace.DeviationKind]string{
 // a fully erased footprint is attributed to the most specific erasure
 // mechanism (squash — the state was discarded in flight — over clean
 // eviction — it was dropped by replacement — over plain overwrite); a flip
-// that landed entirely on free/invalid entries was overwritten at the
-// injection site itself; and what remains is corruption still resident
-// when the window closed.
+// that landed entirely on free/invalid entries never latched at all; and
+// what remains is corruption still resident when the window closed.
 func Attribute(f cpu.ProbeFacts, out Outcome) Record {
 	rec := Record{Sites: f.Sites, LiveSites: f.LiveSites, Reads: f.Reads}
 	switch {
@@ -199,12 +203,27 @@ func Attribute(f cpu.ProbeFacts, out Outcome) Record {
 		}
 	case f.LiveSites == 0:
 		// The flip landed entirely on free/invalid entries: nothing ever
-		// latched, masked at the injection site itself.
-		rec.Cause = CauseOverwritten
+		// latched, masked at the injection site itself. Distinct from
+		// CauseOverwritten — no erasure event ever fired, and the
+		// early-exit oracle firing here means "never corrupted", not
+		// "corruption erased".
+		rec.Cause = CauseNeverLatched
 	default:
 		rec.Cause = CauseNeverRead
 	}
 	return rec
+}
+
+// Converged is the early-exit termination predicate: the probe facts prove
+// the fault can no longer affect the run. Nothing ever consumed a live
+// corrupted site (so no deviation has been seeded into the pipeline), and
+// every site that latched the flip has since been erased by golden-valued
+// writes — the machine state is bit-identical to the fault-free run, so
+// the remaining window cannot produce anything the full window would not.
+// LiveSites == 0 (a never-latched flip) converges trivially. This mirrors
+// the in-core check the probe runs each cycle (cpu.FaultProbe.Converged).
+func Converged(f cpu.ProbeFacts) bool {
+	return f.Reads == 0 && f.Killed >= f.LiveSites
 }
 
 func sinceInjection(cycle, inject uint64) uint64 {

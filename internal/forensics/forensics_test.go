@@ -64,9 +64,11 @@ func TestAttribute(t *testing.T) {
 			want: CauseEvictedClean,
 		},
 		{
+			// Distinct from CauseOverwritten: nothing was erased because
+			// nothing ever latched — no kill event fired at all.
 			name: "flip on free entries never latched",
 			f:    cpu.ProbeFacts{Sites: 1, LiveSites: 0},
-			want: CauseOverwritten,
+			want: CauseNeverLatched,
 		},
 		{
 			name: "still resident at window end",
@@ -141,5 +143,41 @@ func TestRecordJSONRoundTrip(t *testing.T) {
 	}
 	if out.Cause != in.Cause || out.Latency != in.Latency || *out.Divergence != *in.Divergence {
 		t.Errorf("round trip: %+v vs %+v", out, in)
+	}
+}
+
+// TestConverged pins the early-exit predicate against the attribution it
+// implies: a converged fact set must attribute to an erasure cause (or
+// never-latched), never to logical masking or residency, and any read or
+// surviving site must block convergence.
+func TestConverged(t *testing.T) {
+	cases := []struct {
+		name string
+		f    cpu.ProbeFacts
+		want bool
+	}{
+		{"never latched converges at arm", cpu.ProbeFacts{Sites: 1, LiveSites: 0}, true},
+		{"fully erased unread converges", cpu.ProbeFacts{Sites: 2, LiveSites: 2, Killed: 2, Overwrites: 2}, true},
+		{"any read blocks", cpu.ProbeFacts{Sites: 1, LiveSites: 1, Killed: 1, Reads: 1}, false},
+		{"surviving site blocks", cpu.ProbeFacts{Sites: 2, LiveSites: 2, Killed: 1}, false},
+		{"untouched resident blocks", cpu.ProbeFacts{Sites: 1, LiveSites: 1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Converged(tc.f); got != tc.want {
+				t.Fatalf("Converged(%+v) = %v, want %v", tc.f, got, tc.want)
+			}
+			if !tc.want {
+				return
+			}
+			// A converged, non-visible fault must attribute to an erasure
+			// mechanism or never-latched — the causes the oracle may end a
+			// clean window on.
+			switch c := Attribute(tc.f, Outcome{}).Cause; c {
+			case CauseOverwritten, CauseSquashed, CauseEvictedClean, CauseNeverLatched:
+			default:
+				t.Fatalf("converged facts attributed to %v", c)
+			}
+		})
 	}
 }

@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"bytes"
 	"os"
 	"reflect"
 	"strings"
@@ -307,4 +308,129 @@ func TestHashProgram(t *testing.T) {
 	if HashProgram(p1) == HashProgram(p3) {
 		t.Error("different variants must hash differently")
 	}
+}
+
+// TestTornShardSeverPoints drives the torn-tail recovery across the three
+// distinct places a crash can sever the shard: inside a record's payload,
+// exactly at a record's closing brace with the newline lost, and inside the
+// header's checksum field. Each case must load exactly the intact prefix
+// (or refuse the shard outright when the header itself is torn), and a
+// resume writer must leave a shard whose records are identical to an
+// untorn study.
+func TestTornShardSeverPoints(t *testing.T) {
+	results := testResults()
+	// sever returns the truncation point for one scenario given the whole
+	// shard; wantErr/wantLoaded describe the post-sever Load, appendFrom
+	// the index resume must restart at to rebuild the full study.
+	cases := []struct {
+		name       string
+		sever      func(data []byte) int
+		wantErr    error
+		wantLoaded int
+		appendFrom int
+	}{
+		{
+			name: "mid-payload",
+			// Cut a few bytes into the final record's Result object: the
+			// remnant {"i":3,"r" is undecodable and must be discarded.
+			sever: func(data []byte) int {
+				lastNL := lastLineStart(data)
+				return lastNL + 10
+			},
+			wantLoaded: 3, appendFrom: 3,
+		},
+		{
+			name: "json-complete-newline-lost",
+			// Cut exactly past the final record's closing brace, before
+			// its newline: the line parses, but the record must still be
+			// dropped so resume truncates to a clean line boundary.
+			sever:      func(data []byte) int { return len(data) - 1 },
+			wantLoaded: 3, appendFrom: 3,
+		},
+		{
+			name: "header-mid-checksum",
+			// Sever inside the header's trailing checksum field: the
+			// whole shard is untrustworthy and must be refused; resume
+			// falls back to a from-scratch shard.
+			sever:      func(data []byte) int { return bytes.IndexByte(data, '\n') - 3 },
+			wantErr:    ErrMismatch,
+			wantLoaded: 0, appendFrom: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key, bind := testKey(), testBinding(4)
+			w, err := j.Writer(key, bind, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range results {
+				w.Append(i, r)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			path := j.shardPath(key, bind)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cut := tc.sever(data)
+			if cut <= 0 || cut >= len(data) {
+				t.Fatalf("test setup: sever point %d outside shard (%d bytes)", cut, len(data))
+			}
+			if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			prior, err := j.Load(key, bind)
+			if err != tc.wantErr {
+				t.Fatalf("Load on torn shard: err = %v, want %v", err, tc.wantErr)
+			}
+			if len(prior) != tc.wantLoaded {
+				t.Fatalf("torn shard loaded %d records, want %d", len(prior), tc.wantLoaded)
+			}
+			for i := 0; i < tc.wantLoaded; i++ {
+				if !reflect.DeepEqual(prior[i], results[i]) {
+					t.Errorf("record %d corrupted by the torn tail", i)
+				}
+			}
+
+			// Resume across the tear and rebuild the missing suffix: the
+			// healed shard must hold the identical full study.
+			w, err = j.Writer(key, bind, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := tc.appendFrom; i < len(results); i++ {
+				w.Append(i, results[i])
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			prior, err = j.Load(key, bind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(prior) != len(results) {
+				t.Fatalf("healed shard has %d records, want %d", len(prior), len(results))
+			}
+			for i, want := range results {
+				if !reflect.DeepEqual(prior[i], want) {
+					t.Errorf("record %d differs from the untorn study after resume", i)
+				}
+			}
+		})
+	}
+}
+
+// lastLineStart returns the offset of the final \n-terminated line's first
+// byte.
+func lastLineStart(data []byte) int {
+	return bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
 }

@@ -65,8 +65,14 @@ func (p *LineProbe) LiveSites() int { return p.live }
 
 // ArmTagProbe installs a probe over the tag entries covered by flipping
 // width bits starting at bit (the CacheTagArray.FlipBit index space) and
-// returns it. liveSites counts watched entries that were valid at arm
-// time — an invalid tag entry holds no reachable corruption until refilled.
+// returns it. liveSites counts watched entries that held reachable state —
+// an entry invalid both before and after the flip holds no reachable
+// corruption until refilled. Liveness is judged against the pre-flip state
+// as well as the post-flip one: a flip that clears the valid bit of a live
+// line has destroyed reachable state (the line silently vanishes from the
+// cache), so the site must count as live even though it now reads invalid —
+// both for honest attribution and so the early-exit oracle never treats the
+// dropped line as never-latched.
 func (c *Cache) ArmTagProbe(bit uint64, width int, sink ProbeSink) *LineProbe {
 	per := uint64(c.tagBits + 2)
 	first := bit / per
@@ -74,9 +80,12 @@ func (c *Cache) ArmTagProbe(bit uint64, width int, sink ProbeSink) *LineProbe {
 	p := &LineProbe{sink: sink, tag: true}
 	for flat := first; flat <= last && flat < uint64(len(c.tags)); flat++ {
 		s := lineSite{flat: int(flat)}
-		if c.tags[flat]&c.valid == 0 {
-			// Invalid entry: the corrupted bits are unreachable until a
-			// fill overwrites them — born dead, like a free queue slot.
+		cur := c.tags[flat]
+		pre := cur ^ entryFlipMask(bit, width, flat, per)
+		if cur&c.valid == 0 && pre&c.valid == 0 {
+			// Invalid in both worlds: the corrupted bits are unreachable
+			// until a fill overwrites them — born dead, like a free queue
+			// slot.
 			s.dead = true
 		} else {
 			p.live++
@@ -85,6 +94,20 @@ func (c *Cache) ArmTagProbe(bit uint64, width int, sink ProbeSink) *LineProbe {
 	}
 	c.probe = p
 	return p
+}
+
+// entryFlipMask returns the in-entry mask of the flipped bits that landed
+// on entry flat, given per bits per entry — XORing it onto the post-flip
+// entry value reconstructs the pre-flip state.
+func entryFlipMask(bit uint64, width int, flat, per uint64) uint64 {
+	lo, hi := flat*per, (flat+1)*per
+	var m uint64
+	for b := bit; b < bit+uint64(width); b++ {
+		if b >= lo && b < hi {
+			m |= 1 << (b - lo)
+		}
+	}
+	return m
 }
 
 // ArmDataProbe installs a probe over the data bytes covered by flipping

@@ -42,6 +42,30 @@ func (r Record) SameIgnoringCycle(o Record) bool {
 	return r == o
 }
 
+// packed folds the record's sub-word fields (instruction word, destination
+// register, flags) into one 64-bit lane so the whole record compares as
+// five 8-byte words.
+func (r *Record) packed() uint64 {
+	w := uint64(r.Word) | uint64(r.Dest)<<32
+	if r.HasDest {
+		w |= 1 << 40
+	}
+	if r.IsStore {
+		w |= 1 << 41
+	}
+	return w
+}
+
+// same8 is the word-stride equality check on the comparator's hot path:
+// the five 64-bit lanes are XOR-folded into a single branch instead of a
+// field-by-field comparison with one branch per field. Callers fall back
+// to the field-granular checks only on mismatch, so the first-divergence
+// classification (DevRecord vs DevCycle) is untouched.
+func (r *Record) same8(g *Record) bool {
+	return (r.Cycle^g.Cycle)|(r.PC^g.PC)|(r.Value^g.Value)|
+		(r.Addr^g.Addr)|(r.packed()^g.packed()) == 0
+}
+
 // Sink receives commit records during simulation.
 type Sink interface {
 	// OnCommit is called for every committed instruction in order. If it
@@ -97,8 +121,11 @@ type Comparator struct {
 	Golden []Record
 	// StopAtFirst makes OnCommit return false on the first deviation.
 	StopAtFirst bool
-	// StopCycle, when non-zero, stops the run once commit reaches this
-	// cycle with no deviation found (the effective-residency-time stop).
+	// StopCycle, when non-zero, stops the run at the first commit from a
+	// cycle strictly beyond it with no deviation found (the
+	// effective-residency-time stop). The observation window is
+	// [inject, StopCycle] inclusive: every commit at or before StopCycle
+	// is examined, including later commits of the boundary cycle itself.
 	StopCycle uint64
 
 	// Dev is the first deviation found, if any.
@@ -111,17 +138,26 @@ type Comparator struct {
 // OnCommit implements Sink.
 func (c *Comparator) OnCommit(r Record) bool {
 	if c.Dev.Kind == DevNone {
+		// Window expiry is decided before the record is examined, with
+		// strict inequality: the observation window is [inject, StopCycle]
+		// inclusive, so a deviation committing exactly at StopCycle is
+		// still a deviation, and only a commit from a strictly later cycle
+		// ends the run clean. (The old post-classification `>=` check let
+		// a matching commit at StopCycle stop the run before a deviating
+		// commit of the same cycle behind it was ever inspected, and
+		// conversely counted a deviation arriving strictly after the
+		// window as in-window.)
+		if c.StopCycle > 0 && r.Cycle > c.StopCycle {
+			c.stopped = true
+			return false
+		}
 		if c.next >= len(c.Golden) {
 			c.Dev = Deviation{Kind: DevExtra, Index: c.next, Cycle: r.Cycle, Faulty: r}
-		} else {
-			g := c.Golden[c.next]
-			switch {
-			case r.Same(g):
-				// identical
-			case r.SameIgnoringCycle(g):
-				c.Dev = Deviation{Kind: DevCycle, Index: c.next, Cycle: r.Cycle, Golden: g, Faulty: r}
-			default:
-				c.Dev = Deviation{Kind: DevRecord, Index: c.next, Cycle: r.Cycle, Golden: g, Faulty: r}
+		} else if g := &c.Golden[c.next]; !r.same8(g) {
+			if r.SameIgnoringCycle(*g) {
+				c.Dev = Deviation{Kind: DevCycle, Index: c.next, Cycle: r.Cycle, Golden: *g, Faulty: r}
+			} else {
+				c.Dev = Deviation{Kind: DevRecord, Index: c.next, Cycle: r.Cycle, Golden: *g, Faulty: r}
 			}
 		}
 		if c.Dev.Kind != DevNone && c.StopAtFirst {
@@ -130,10 +166,6 @@ func (c *Comparator) OnCommit(r Record) bool {
 		}
 	}
 	c.next++
-	if c.StopCycle > 0 && r.Cycle >= c.StopCycle && c.Dev.Kind == DevNone {
-		c.stopped = true
-		return false
-	}
 	return true
 }
 

@@ -143,3 +143,110 @@ func TestComparatorStartAt(t *testing.T) {
 		t.Errorf("commits = %d", c.Commits())
 	}
 }
+
+// TestComparatorWindowBoundary pins the ERT-window boundary semantics: the
+// observation window is [inject, StopCycle] inclusive. A deviation
+// committing exactly at StopCycle is a deviation — even when a matching
+// commit of the same cycle precedes it in the stream (the superscalar
+// multi-commit cycle that the old post-classification >= stop cut short) —
+// and a deviation strictly after StopCycle is out of window: the run ends
+// clean without the record ever being examined.
+func TestComparatorWindowBoundary(t *testing.T) {
+	// Golden commits two records in cycle 20 (superscalar pair), then one
+	// in 21.
+	g := []Record{
+		r(20, 0x1000, 1, 1),
+		r(20, 0x1004, 2, 2),
+		r(21, 0x1008, 3, 3),
+	}
+
+	t.Run("deviation at expiry cycle behind a match", func(t *testing.T) {
+		c := &Comparator{Golden: g, StopAtFirst: true, StopCycle: 20}
+		if !c.OnCommit(g[0]) {
+			t.Fatal("stopped on the matching first commit of the boundary cycle")
+		}
+		bad := g[1]
+		bad.Value = 99
+		if c.OnCommit(bad) {
+			t.Fatal("deviating commit at StopCycle not stopped")
+		}
+		if c.Dev.Kind != DevRecord || c.Dev.Cycle != 20 {
+			t.Fatalf("dev %+v, want DevRecord at cycle 20", c.Dev)
+		}
+	})
+
+	t.Run("deviation one past expiry is out of window", func(t *testing.T) {
+		c := &Comparator{Golden: g, StopAtFirst: true, StopCycle: 20}
+		c.OnCommit(g[0])
+		c.OnCommit(g[1])
+		bad := g[2] // cycle 21 > StopCycle
+		bad.Value = 99
+		if c.OnCommit(bad) {
+			t.Fatal("commit past the window must stop the run")
+		}
+		if c.Dev.Kind != DevNone {
+			t.Fatalf("out-of-window commit classified: %+v", c.Dev)
+		}
+		if !c.Stopped() {
+			t.Fatal("not marked stopped")
+		}
+	})
+
+	t.Run("deviation inside window still wins", func(t *testing.T) {
+		c := &Comparator{Golden: g, StopAtFirst: true, StopCycle: 21}
+		bad := g[0]
+		bad.Value = 99
+		if c.OnCommit(bad) {
+			t.Fatal("in-window deviation not stopped")
+		}
+		if c.Dev.Kind != DevRecord {
+			t.Fatalf("dev %+v", c.Dev)
+		}
+	})
+}
+
+// TestSame8MatchesFieldEquality drives the word-stride fast path against
+// the field-granular Same across every single-field mutation, so the
+// packed lanes can never silently drop a field.
+func TestSame8MatchesFieldEquality(t *testing.T) {
+	base := Record{Cycle: 7, PC: 0x1000, Word: 0xdeadbeef, HasDest: true,
+		Dest: 13, Value: 42, IsStore: true, Addr: 0x2000}
+	muts := []func(*Record){
+		func(r *Record) { r.Cycle++ },
+		func(r *Record) { r.PC++ },
+		func(r *Record) { r.Word++ },
+		func(r *Record) { r.HasDest = false },
+		func(r *Record) { r.Dest++ },
+		func(r *Record) { r.Value++ },
+		func(r *Record) { r.IsStore = false },
+		func(r *Record) { r.Addr++ },
+	}
+	if b := base; !b.same8(&base) {
+		t.Fatal("identical records not same8")
+	}
+	for i, mut := range muts {
+		m := base
+		mut(&m)
+		if m.same8(&base) {
+			t.Errorf("mutation %d invisible to same8", i)
+		}
+		if m.Same(base) {
+			t.Errorf("mutation %d invisible to Same", i)
+		}
+	}
+}
+
+// BenchmarkComparatorMatch measures the all-matching hot path of the
+// commit comparator — the cost every committed instruction of every
+// faulty run pays.
+func BenchmarkComparatorMatch(b *testing.B) {
+	g := golden(4096)
+	c := &Comparator{Golden: g}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		for j := range g {
+			c.OnCommit(g[j])
+		}
+	}
+}

@@ -69,6 +69,14 @@ type StudyConfig struct {
 	// every fault). Skipped faults still count toward the explorer's
 	// campaign totals.
 	ForensicsSample int
+
+	// EarlyExit ends each AVGI faulty window as soon as the fault is
+	// provably dead (every latched site erased unread), instead of
+	// running to the full ERT horizon. Classifications and summaries are
+	// identical either way — only per-fault SimCycles shrink — so keep
+	// the setting consistent across resumed runs of the same journal if
+	// byte-identical shards matter. See campaign.Runner.EarlyExit.
+	EarlyExit bool
 }
 
 func (c *StudyConfig) fill() {
@@ -142,6 +150,7 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		r.CheckpointInterval = cfg.CheckpointInterval
 		r.Forensics = cfg.Forensics
 		r.ForensicsSample = cfg.ForensicsSample
+		r.EarlyExit = cfg.EarlyExit
 		r.PublishGolden()
 		st.runners[w.Name] = r
 	}
