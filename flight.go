@@ -1,0 +1,73 @@
+package avgi
+
+import "sync"
+
+// flight is one in-flight (or completed) campaign execution. done is
+// closed when res is valid; late callers block on it instead of
+// recomputing.
+type flight struct {
+	done chan struct{}
+	res  []CampaignResult
+}
+
+// flightMap is a single-flight executor: at most one execution per key at
+// a time, concurrent callers for the same key coalesce onto the leader's
+// result. It is the shared core under both the Study scheduler (which
+// retains completed flights as a study-lifetime cache) and the assessment
+// service (which evicts them on completion — the journal is the durable
+// cache there, and a long-running server must not grow its flight map
+// without bound).
+//
+// Failure semantics: a flight whose exec panics is evicted before the
+// panic propagates, so the key is never poisoned — the next caller
+// re-executes instead of being handed the dead flight's nil result
+// forever. Callers already coalesced onto the panicked flight do receive
+// nil (they cannot re-enter exec without risking a thundering herd); nil
+// from a coalesced wait therefore means "leader failed, retry".
+type flightMap[K comparable] struct {
+	mu      sync.Mutex
+	flights map[K]*flight
+	retain  bool
+}
+
+func newFlightMap[K comparable](retain bool) *flightMap[K] {
+	return &flightMap[K]{flights: make(map[K]*flight), retain: retain}
+}
+
+// do executes exec under single-flight semantics for key and returns its
+// result plus whether this caller coalesced onto another caller's
+// execution (true) or ran exec itself (false).
+func (m *flightMap[K]) do(key K, exec func() []CampaignResult) (res []CampaignResult, coalesced bool) {
+	m.mu.Lock()
+	if f, ok := m.flights[key]; ok {
+		m.mu.Unlock()
+		<-f.done
+		return f.res, true
+	}
+	f := &flight{done: make(chan struct{})}
+	m.flights[key] = f
+	m.mu.Unlock()
+
+	completed := false
+	// Runs even when exec panics: evict first (under the lock, before the
+	// done-channel close publishes the flight) so no later caller can
+	// observe a failed or stale entry, then unblock coalesced waiters.
+	defer func() {
+		m.mu.Lock()
+		if !completed || !m.retain {
+			delete(m.flights, key)
+		}
+		m.mu.Unlock()
+		close(f.done)
+	}()
+	f.res = exec()
+	completed = true
+	return f.res, false
+}
+
+// len reports the number of retained or in-flight entries (test hook).
+func (m *flightMap[K]) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.flights)
+}

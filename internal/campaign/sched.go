@@ -24,6 +24,12 @@ type Budget struct {
 	slots chan struct{}
 	inUse atomic.Int64
 
+	// parent, when non-nil, makes this budget a carved slice of a larger
+	// one: every slot held here also holds a slot of the parent, so the
+	// parent's global capacity bounds the sum of all carved children while
+	// each child's own capacity caps one tenant's share (see Carve).
+	parent *Budget
+
 	// busy, when non-nil, tracks live occupancy as a gauge (set by the
 	// owning study; see Study scheduler metrics in docs/SCHEDULING.md).
 	busy *obs.Gauge
@@ -41,6 +47,30 @@ func NewBudget(workers int) *Budget {
 // Cap returns the budget's total worker count.
 func (b *Budget) Cap() int { return cap(b.slots) }
 
+// Carve returns a child budget of at most max workers drawing from b: a
+// worker acquired from the child holds one child slot and one parent slot,
+// so the child can never occupy more than max of the parent's capacity no
+// matter how much work is queued on it. This is the per-tenant fairness
+// primitive of the assessment service (docs/SERVICE.md): give each tenant
+// a carved budget with max < b.Cap() and a tenant saturating its own slice
+// still leaves parent slots that other tenants' requests can claim — one
+// tenant's 100k-fault campaign cannot starve another's cache miss.
+//
+// max <= 0 or max > b.Cap() carves the full parent capacity (no per-child
+// cap beyond the shared one). Carving from a carved budget chains: the
+// acquire walks every ancestor.
+func (b *Budget) Carve(max int) *Budget {
+	if max <= 0 || max > b.Cap() {
+		max = b.Cap()
+	}
+	return &Budget{slots: make(chan struct{}, max), parent: b}
+}
+
+// Acquire blocks until a worker slot is free in this budget and every
+// ancestor it was carved from, and claims them all. Child slots are taken
+// before parent slots so a tenant at its own cap queues on itself without
+// holding shared capacity hostage while it waits.
+
 // InUse returns the number of currently acquired workers.
 func (b *Budget) InUse() int { return int(b.inUse.Load()) }
 
@@ -48,9 +78,11 @@ func (b *Budget) InUse() int { return int(b.inUse.Load()) }
 // Call before the budget is shared between goroutines.
 func (b *Budget) SetGauge(g *obs.Gauge) { b.busy = g }
 
-// Acquire blocks until a worker slot is free and claims it.
 func (b *Budget) Acquire() {
 	b.slots <- struct{}{}
+	if b.parent != nil {
+		b.parent.Acquire()
+	}
 	b.inUse.Add(1)
 	if b.busy != nil {
 		// Gauge.Add (atomic delta) rather than Set(inUse): computing n
@@ -61,8 +93,12 @@ func (b *Budget) Acquire() {
 	}
 }
 
-// Release returns a worker slot to the pool.
+// Release returns a worker slot to the pool (and to every ancestor of a
+// carved budget).
 func (b *Budget) Release() {
+	if b.parent != nil {
+		b.parent.Release()
+	}
 	<-b.slots
 	b.inUse.Add(-1)
 	if b.busy != nil {

@@ -13,6 +13,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"avgi/internal/campaign"
 )
@@ -74,6 +75,39 @@ func Register(fs *flag.FlagSet, workersDefault int) *Common {
 	fs.StringVar(&c.Log, "log", "text",
 		"stderr log format: text (classic prefixed lines) or json")
 	return c
+}
+
+// Server is the flag state of the avgid assessment server, populated by
+// RegisterServer and read after flag.Parse.
+type Server struct {
+	Addr          string
+	Journal       string
+	Workers       int
+	TenantWorkers int
+	DrainTimeout  time.Duration
+	Log           string
+}
+
+// RegisterServer installs the avgid flags on fs. The server shares the
+// -workers/-journal/-log spellings with the batch tools but has its own
+// defaults (journalling is the point of a cache server, so -journal
+// defaults on) and deliberately omits the one-shot flags (profiles,
+// progress tickers) that make no sense for a daemon.
+func RegisterServer(fs *flag.FlagSet) *Server {
+	s := &Server{}
+	fs.StringVar(&s.Addr, "addr", "localhost:8080",
+		"address to serve the assessment API and telemetry on (use :0 for an ephemeral port)")
+	fs.StringVar(&s.Journal, "journal", "avgid-journal",
+		"durable result cache directory: fully journalled requests are answered without simulating (empty disables caching)")
+	fs.IntVar(&s.Workers, "workers", 0,
+		"global worker budget shared by all tenants (0 = all CPUs)")
+	fs.IntVar(&s.TenantWorkers, "tenant-workers", 0,
+		"per-tenant worker cap carved from the global budget (0 = 3/4 of workers, always leaving at least one slot for other tenants)")
+	fs.DurationVar(&s.DrainTimeout, "drain-timeout", 30*time.Second,
+		"how long a SIGTERM/SIGINT shutdown waits for in-flight requests before dropping them")
+	fs.StringVar(&s.Log, "log", "text",
+		"stderr log format: text (classic prefixed lines) or json")
+	return s
 }
 
 // ForkPolicy resolves the -fork flag.

@@ -3,6 +3,7 @@ package cliflags
 import (
 	"flag"
 	"testing"
+	"time"
 
 	"avgi/internal/campaign"
 )
@@ -61,4 +62,24 @@ func TestStartProfilesNoop(t *testing.T) {
 	}
 	stop()
 	stop() // idempotent
+}
+
+func TestRegisterServerDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("avgid", flag.ContinueOnError)
+	s := RegisterServer(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr == "" || s.Journal == "" || s.Log != "text" {
+		t.Errorf("server defaults: %+v", s)
+	}
+	if s.DrainTimeout <= 0 {
+		t.Errorf("drain timeout default %v must be positive", s.DrainTimeout)
+	}
+	if err := fs.Parse([]string{"-addr", ":0", "-journal", "", "-tenant-workers", "3", "-drain-timeout", "5s"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr != ":0" || s.Journal != "" || s.TenantWorkers != 3 || s.DrainTimeout != 5*time.Second {
+		t.Errorf("server flags not parsed: %+v", s)
+	}
 }

@@ -162,6 +162,11 @@ func sanitize(s string) string {
 // yields ErrMismatch. A torn final line (crash mid-append) is discarded
 // silently; any record after the first undecodable line is ignored, as is
 // any record whose index lies outside [0, binding.Faults).
+//
+// Load is strictly read-only: it never creates, truncates or locks the
+// shard, so a long-running service can answer cache lookups against a
+// journal directory (len(prior) == binding.Faults is a full hit) without
+// opening a Writer or contending with one owned by an in-flight campaign.
 func (j *Journal) Load(k Key, b Binding) (map[int]campaign.Result, error) {
 	prior, _, err := j.load(k, b)
 	return prior, err
@@ -230,13 +235,37 @@ func (j *Journal) load(k Key, b Binding) (map[int]campaign.Result, int64, error)
 // Writer appends records to one shard. Safe for concurrent Append/Sync
 // from multiple campaign workers. I/O errors are sticky: the first one is
 // remembered, later appends become no-ops, and Close reports it — a
-// failing disk degrades the journal, never the campaign.
+// failing disk degrades the journal, never the campaign. Set OnError to
+// observe the first error the moment it happens instead of at Close: a
+// dying disk used to journal nothing for an entire campaign with no sign
+// of trouble until the final Close call.
 type Writer struct {
 	mu       sync.Mutex
 	f        *os.File
 	buf      *bufio.Writer
 	appended uint64
 	err      error
+	errFired bool
+	onError  func(error)
+}
+
+// OnError registers a callback invoked exactly once, with the writer's
+// first sticky I/O error, at the moment the writer degrades to a no-op.
+// The callback runs with the writer's lock held — it must not call back
+// into the writer. Call before sharing the writer between goroutines.
+func (w *Writer) OnError(fn func(error)) { w.onError = fn }
+
+// fail records the first sticky error and fires the OnError hook once.
+// Caller holds w.mu.
+func (w *Writer) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	if !w.errFired && w.onError != nil {
+		w.errFired = true
+		w.onError(w.err)
+	}
+	return w.err
 }
 
 // Writer opens a shard for appending. With resume false the shard is
@@ -318,7 +347,7 @@ func (w *Writer) Append(i int, res campaign.Result) {
 		return
 	}
 	if err := w.writeLine(record{Index: i, Result: res}); err != nil {
-		w.err = err
+		w.fail(err)
 		return
 	}
 	w.appended++
@@ -338,11 +367,12 @@ func (w *Writer) syncLocked() error {
 		return w.err
 	}
 	if err := w.buf.Flush(); err != nil {
-		w.err = fmt.Errorf("journal: %w", err)
-	} else if err := w.f.Sync(); err != nil {
-		w.err = fmt.Errorf("journal: %w", err)
+		return w.fail(fmt.Errorf("journal: %w", err))
 	}
-	return w.err
+	if err := w.f.Sync(); err != nil {
+		return w.fail(fmt.Errorf("journal: %w", err))
+	}
+	return nil
 }
 
 // Appended returns the number of records journalled so far.

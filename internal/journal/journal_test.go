@@ -434,3 +434,86 @@ func TestTornShardSeverPoints(t *testing.T) {
 func lastLineStart(data []byte) int {
 	return bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
 }
+
+// TestShardPathSanitizeCollision pins the checksum-suffix guarantee: two
+// keys whose human-readable components sanitize to the same filename
+// fragment ("L1D (Tag)" and "L1D_(Tag)" both become "L1D__Tag_") must still
+// land in distinct shard files, because the binding checksum — computed
+// over the raw, unsanitized strings — differs. Without the suffix the
+// second campaign would silently truncate the first one's work.
+func TestShardPathSanitizeCollision(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind := testBinding(1)
+	a := Key{Structure: "L1D (Tag)", Workload: "sha", Mode: "exhaustive"}
+	b := Key{Structure: "L1D_(Tag)", Workload: "sha", Mode: "exhaustive"}
+	if sanitize(a.Structure) != sanitize(b.Structure) {
+		t.Fatalf("test setup: %q and %q no longer sanitize identically", a.Structure, b.Structure)
+	}
+	pa, pb := j.shardPath(a, bind), j.shardPath(b, bind)
+	if pa == pb {
+		t.Fatalf("colliding sanitized keys share one shard path %s", pa)
+	}
+
+	// End to end: write both shards, load both back, no cross-talk.
+	ra := testResults()[0]
+	rb := testResults()[1]
+	rb.Fault.Structure = b.Structure
+	for _, wr := range []struct {
+		k Key
+		r campaign.Result
+	}{{a, ra}, {b, rb}} {
+		w, err := j.Writer(wr.k, bind, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Append(0, wr.r)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := j.Load(a, bind)
+	if err != nil || !reflect.DeepEqual(got[0], ra) {
+		t.Errorf("shard A corrupted by its sanitize-collision sibling (%v)", err)
+	}
+	got, err = j.Load(b, bind)
+	if err != nil || !reflect.DeepEqual(got[0], rb) {
+		t.Errorf("shard B corrupted by its sanitize-collision sibling (%v)", err)
+	}
+}
+
+// TestWriterErrorHookFiresOnce proves a dying disk is visible immediately:
+// the first sticky I/O error fires OnError exactly once, later appends are
+// silent no-ops, and Close still reports the original error.
+func TestWriterErrorHookFiresOnce(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, bind := testKey(), testBinding(4)
+	w, err := j.Writer(key, bind, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []error
+	w.OnError(func(err error) { fired = append(fired, err) })
+
+	// Simulate the disk dying under the writer: close the file out from
+	// underneath it, so the next flush-inducing operation errors.
+	w.f.Close()
+	w.Append(0, testResults()[0])
+	if err := w.Sync(); err == nil {
+		t.Fatal("Sync on a closed file must error")
+	}
+	w.Append(1, testResults()[1]) // sticky: silently dropped
+	w.Sync()
+
+	if len(fired) != 1 {
+		t.Fatalf("OnError fired %d times, want exactly once", len(fired))
+	}
+	if cerr := w.Close(); cerr == nil || !strings.Contains(cerr.Error(), "journal:") {
+		t.Errorf("Close must report the sticky error, got %v", cerr)
+	}
+}

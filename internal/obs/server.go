@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -81,27 +82,68 @@ func (o *Observer) Handler() http.Handler {
 	return mux
 }
 
-// Server is a running telemetry endpoint.
+// DefaultDrainTimeout is how long Close waits for in-flight requests to
+// finish before dropping the connections hard.
+const DefaultDrainTimeout = 5 * time.Second
+
+// Server is a running telemetry (or service) endpoint.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln    net.Listener
+	srv   *http.Server
+	drain time.Duration
 }
 
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the listener down.
-func (s *Server) Close() error { return s.srv.Close() }
+// SetDrainTimeout overrides DefaultDrainTimeout for Close. Call before
+// sharing the server between goroutines.
+func (s *Server) SetDrainTimeout(d time.Duration) {
+	if d > 0 {
+		s.drain = d
+	}
+}
 
-// Serve starts an HTTP server for the observer on addr (e.g.
-// "localhost:9090" or ":0" for an ephemeral port) and returns once the
-// listener is bound; requests are served in a background goroutine.
-func (o *Observer) Serve(addr string) (*Server, error) {
+// Close shuts the server down gracefully: the listener stops accepting
+// immediately, in-flight requests (a Prometheus scrape mid-render, a
+// progress stream mid-line) get up to the drain timeout to complete, and
+// only then are surviving connections dropped hard. http.Server.Close was
+// the old behaviour and it severed live scrapes mid-body; the avgid
+// service reuses this path as its drain-on-SIGTERM.
+func (s *Server) Close() error {
+	d := s.drain
+	if d <= 0 {
+		d = DefaultDrainTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Deadline expired with requests still running: drop them.
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// Shutdown drains the server under the caller's context (no hard close on
+// expiry — the caller decides what a blown deadline means).
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// NewServer binds addr (e.g. "localhost:9090" or ":0" for an ephemeral
+// port) and serves h in a background goroutine — the plumbing under
+// Observer.Serve, exported so servers with their own mux (cmd/avgid) share
+// the bind/drain lifecycle.
+func NewServer(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Serve starts an HTTP server for the observer on addr and returns once
+// the listener is bound; requests are served in a background goroutine.
+func (o *Observer) Serve(addr string) (*Server, error) {
+	return NewServer(addr, o.Handler())
 }

@@ -45,14 +45,6 @@ type campaignKey struct {
 	window              uint64
 }
 
-// flight is one in-flight (or completed) campaign execution. done is
-// closed when res is valid; late callers block on it instead of
-// recomputing.
-type flight struct {
-	done chan struct{}
-	res  []CampaignResult
-}
-
 // schedObs holds the scheduler's telemetry instruments; the zero value
 // (observer absent) disables everything.
 type schedObs struct {
@@ -63,12 +55,35 @@ type schedObs struct {
 	// Journal instruments (registered only when the study journals).
 	jAppends *obs.Counter // results appended to journal shards
 	jHits    *obs.Counter // campaigns served entirely from the journal
-	jResumed *obs.Counter // individual fault results reused from shards
+	jResumed *obs.Counter // journalled fault results reused from shards
+	jErrors  *obs.Counter // shard I/O failures (first per writer + failed opens)
 }
 
-// initSched wires the scheduler state into a freshly built study.
+// register wires the scheduler instruments into a registry; journal
+// counters are registered only when journaled is true.
+func (so *schedObs) register(reg *obs.Registry, machine string, journaled bool) {
+	lb := map[string]string{"machine": machine}
+	so.inflight = reg.Gauge("avgi_sched_inflight_campaigns",
+		"campaigns currently executing under the scheduler", lb)
+	so.dedup = reg.Counter("avgi_sched_dedup_hits_total",
+		"campaign requests coalesced onto an already in-flight or completed execution", lb)
+	if journaled {
+		so.jAppends = reg.Counter("avgi_journal_appends_total",
+			"per-fault results appended to journal shards", lb)
+		so.jHits = reg.Counter("avgi_journal_hits_total",
+			"campaigns loaded entirely from fully journalled shards", lb)
+		so.jResumed = reg.Counter("avgi_journal_resumed_faults_total",
+			"journalled fault results reused instead of re-simulated", lb)
+		so.jErrors = reg.Counter("avgi_journal_errors_total",
+			"journal shard I/O failures: first write/sync error per writer plus failed shard opens", lb)
+	}
+}
+
+// initSched wires the scheduler state into a freshly built study. Flights
+// are retained for the study's lifetime: experiments revisit the same
+// (structure, workload) pairs many times and the grid is bounded.
 func (s *Study) initSched() {
-	s.flights = make(map[campaignKey]*flight)
+	s.flights = newFlightMap[campaignKey](true)
 	s.budget = campaign.NewBudget(s.Cfg.Workers)
 	if o := s.Cfg.Obs; o != nil && o.Metrics != nil {
 		reg := o.Metrics
@@ -78,18 +93,7 @@ func (s *Study) initSched() {
 			Set(float64(s.budget.Cap()))
 		s.budget.SetGauge(reg.Gauge("avgi_sched_budget_busy",
 			"campaign workers currently drawing from the study budget", lb))
-		s.sched.inflight = reg.Gauge("avgi_sched_inflight_campaigns",
-			"campaigns currently executing under the scheduler", lb)
-		s.sched.dedup = reg.Counter("avgi_sched_dedup_hits_total",
-			"campaign requests coalesced onto an already in-flight or completed execution", lb)
-		if s.Cfg.JournalDir != "" {
-			s.sched.jAppends = reg.Counter("avgi_journal_appends_total",
-				"per-fault results appended to journal shards", lb)
-			s.sched.jHits = reg.Counter("avgi_journal_hits_total",
-				"campaigns loaded entirely from fully journalled shards", lb)
-			s.sched.jResumed = reg.Counter("avgi_journal_resumed_faults_total",
-				"journalled fault results reused instead of re-simulated", lb)
-		}
+		s.sched.register(reg, s.Cfg.Machine.Name, s.Cfg.JournalDir != "")
 	}
 }
 
@@ -100,97 +104,135 @@ func (s *Study) Budget() *campaign.Budget { return s.budget }
 
 // runCampaign is the single-flight campaign executor: exactly one
 // execution per key, concurrent callers coalesce onto it, results are
-// cached for the study's lifetime.
+// cached for the study's lifetime. A campaign that panics is evicted from
+// the flight map before the panic propagates, so a transient failure
+// (bad fault list, broken runner) never poisons its key: the next caller
+// re-executes instead of receiving the dead flight's nil result forever.
 func (s *Study) runCampaign(structure, workload string, mode Mode, window uint64) []CampaignResult {
 	key := campaignKey{structure, workload, mode, window}
-	s.mu.Lock()
-	if f, ok := s.flights[key]; ok {
-		s.mu.Unlock()
-		if s.sched.dedup != nil {
-			s.sched.dedup.Inc()
+	res, coalesced := s.flights.do(key, func() []CampaignResult {
+		if s.sched.inflight != nil {
+			s.sched.inflight.Set(float64(s.sched.live.Add(1)))
+			defer func() { s.sched.inflight.Set(float64(s.sched.live.Add(-1))) }()
 		}
-		<-f.done
-		return f.res
+		r := s.runners[workload]
+		var sp *obs.SpanRef
+		if mode == campaign.ModeAVGI {
+			sp = s.Cfg.Obs.Span("assess "+structure+" "+workload, "estimator",
+				map[string]string{"structure": structure, "workload": workload, "window": fmt.Sprint(window)})
+		}
+		// Deferred (not straight-line) so a panicking campaign still closes
+		// its span — otherwise one failure left the trace permanently open.
+		defer sp.End()
+		res, _ := s.exec().run(r, structure, workload, s.faultsFor(structure, workload),
+			mode, window, s.budget)
+		return res
+	})
+	if coalesced && s.sched.dedup != nil {
+		s.sched.dedup.Inc()
 	}
-	f := &flight{done: make(chan struct{})}
-	s.flights[key] = f
-	s.mu.Unlock()
-
-	// Close even if the campaign panics, so coalesced waiters unblock
-	// (with a nil result) instead of hanging while the panic propagates.
-	defer close(f.done)
-	if s.sched.inflight != nil {
-		s.sched.inflight.Set(float64(s.sched.live.Add(1)))
-		defer func() { s.sched.inflight.Set(float64(s.sched.live.Add(-1))) }()
-	}
-
-	r := s.runners[workload]
-	var sp *obs.SpanRef
-	if mode == campaign.ModeAVGI {
-		sp = s.Cfg.Obs.Span("assess "+structure+" "+workload, "estimator",
-			map[string]string{"structure": structure, "workload": workload, "window": fmt.Sprint(window)})
-	}
-	f.res = s.execCampaign(r, structure, workload, mode, window)
-	sp.End()
-	return f.res
+	return res
 }
 
-// execCampaign runs one deduplicated campaign, consulting and feeding the
-// durable journal when the study has one: a fully journalled pair loads
+// exec assembles the study's journal-consulting campaign executor.
+func (s *Study) exec() *journalExec {
+	return &journalExec{
+		journal: s.journal,
+		resume:  s.Cfg.Resume,
+		machine: s.Cfg.Machine.Name,
+		variant: s.Cfg.Machine.Variant.String(),
+		seed:    s.Cfg.SeedBase,
+		obs:     s.Cfg.Obs,
+		sched:   &s.sched,
+	}
+}
+
+// journalExec runs one campaign through the durable journal — the shared
+// service core under both the study scheduler and the avgid assessment
+// server. When the executor has a journal, a fully journalled pair loads
 // instead of re-simulating, a partial shard resumes from its missing fault
 // indices, and every freshly completed chunk is appended and fsynced. The
-// journal is strictly best-effort — an unwritable shard degrades to an
-// unjournalled run, never a failed campaign.
-func (s *Study) execCampaign(r *Runner, structure, workload string, mode Mode, window uint64) []CampaignResult {
-	faults := s.faultsFor(structure, workload)
-	if s.journal == nil {
-		return r.RunBudget(faults, mode, window, s.budget)
+// journal is strictly best-effort: an unwritable shard degrades to an
+// unjournalled run, never a failed campaign — but since Writer errors are
+// sticky and otherwise invisible until Close, the first failure per shard
+// is logged and counted (avgi_journal_errors_total) the moment it happens.
+type journalExec struct {
+	journal *journal.Journal // nil = unjournalled
+	resume  bool
+	machine string
+	variant string
+	seed    int64
+	obs     *Observer
+	sched   *schedObs
+}
+
+// run executes one campaign under budget and returns its results plus the
+// number of fault results reused from the journal; resumed == len(faults)
+// means a full cache hit with zero simulation.
+func (je *journalExec) run(r *Runner, structure, workload string, faults []Fault,
+	mode Mode, window uint64, budget *campaign.Budget) (res []CampaignResult, resumed int) {
+	if je.journal == nil {
+		return r.RunBudget(faults, mode, window, budget), 0
 	}
 	key := journal.Key{Structure: structure, Workload: workload, Mode: mode.String(), Window: window}
 	bind := journal.Binding{
-		Machine:     s.Cfg.Machine.Name,
-		Variant:     s.Cfg.Machine.Variant.String(),
+		Machine:     je.machine,
+		Variant:     je.variant,
 		ProgramHash: journal.HashProgram(r.Prog),
-		Seed:        s.Cfg.SeedBase,
+		Seed:        je.seed,
 		Faults:      len(faults),
 	}
 	var prior map[int]CampaignResult
-	if s.Cfg.Resume {
+	if je.resume {
 		var err error
-		prior, err = s.journal.Load(key, bind)
+		prior, err = je.journal.Load(key, bind)
 		if err != nil {
 			// Mismatched or corrupt header: the shard belongs to a
 			// different configuration or build. Refuse its records and
 			// re-simulate (the Writer below truncates it).
-			s.Cfg.Obs.Logf("journal: %s/%s %s: %v; re-simulating", structure, workload, mode, err)
+			je.obs.Logf("journal: %s/%s %s: %v; re-simulating", structure, workload, mode, err)
 			prior = nil
 		}
-		if len(prior) > 0 && s.sched.jResumed != nil {
-			s.sched.jResumed.Add(uint64(len(prior)))
+		if len(prior) > 0 && je.sched.jResumed != nil {
+			je.sched.jResumed.Add(uint64(len(prior)))
 		}
 		if len(prior) == len(faults) {
 			// Full hit: the pair is already durable, no simulation at all.
-			if s.sched.jHits != nil {
-				s.sched.jHits.Inc()
+			if je.sched.jHits != nil {
+				je.sched.jHits.Inc()
 			}
 			out := make([]CampaignResult, len(faults))
 			for i := range out {
 				out[i] = prior[i]
 			}
-			return out
+			return out, len(faults)
 		}
 	}
-	w, err := s.journal.Writer(key, bind, s.Cfg.Resume && len(prior) > 0)
+	w, err := je.journal.Writer(key, bind, je.resume && len(prior) > 0)
 	if err != nil {
-		s.Cfg.Obs.Logf("journal: %s/%s %s: %v; campaign will run unjournalled", structure, workload, mode, err)
-		return r.RunBudgetResume(faults, mode, window, s.budget, prior, nil)
+		je.obs.Logf("journal: %s/%s %s: %v; campaign will run unjournalled", structure, workload, mode, err)
+		if je.sched.jErrors != nil {
+			je.sched.jErrors.Inc()
+		}
+		return r.RunBudgetResume(faults, mode, window, budget, prior, nil), len(prior)
 	}
-	res := r.RunBudgetResume(faults, mode, window, s.budget, prior,
-		&journalSink{w: w, prior: prior, appends: s.sched.jAppends})
+	// Surface the first I/O failure when it strikes, not at Close: a
+	// long-running service would otherwise simulate for hours believing it
+	// was journalling. The writer disables itself after the first error, so
+	// the hook fires at most once per shard.
+	w.OnError(func(err error) {
+		je.obs.Logf("journal: %s/%s %s: write failed: %v; shard writes disabled, campaign continues unjournalled",
+			structure, workload, mode, err)
+		if je.sched.jErrors != nil {
+			je.sched.jErrors.Inc()
+		}
+	})
+	res = r.RunBudgetResume(faults, mode, window, budget, prior,
+		&journalSink{w: w, prior: prior, appends: je.sched.jAppends})
 	if err := w.Close(); err != nil {
-		s.Cfg.Obs.Logf("journal: %s/%s %s: %v; shard may be incomplete", structure, workload, mode, err)
+		je.obs.Logf("journal: %s/%s %s: %v; shard may be incomplete", structure, workload, mode, err)
 	}
-	return res
+	return res, len(prior)
 }
 
 // journalSink appends each freshly simulated chunk to the campaign's shard

@@ -1,0 +1,284 @@
+package avgi
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+const svcFaults = 16
+
+func svcRequest() AssessRequest {
+	return AssessRequest{
+		Structure: "RF",
+		Workload:  "crc32",
+		Mode:      "hvf",
+		Faults:    svcFaults,
+		Seed:      7,
+	}
+}
+
+func newTestService(t *testing.T, journalDir string) *Service {
+	t.Helper()
+	s, err := NewService(ServiceConfig{
+		Workers:    4,
+		JournalDir: journalDir,
+		Obs:        NewObserver(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func resultBytes(t *testing.T, resp *AssessResponse) string {
+	t.Helper()
+	b, err := json.Marshal(resp.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestServiceSequentialHitByteIdentical is the cache-semantics acceptance
+// test: the second identical request must be answered entirely from the
+// journal — zero faults simulated — and its result payload must be
+// byte-identical to the freshly simulated first answer.
+func TestServiceSequentialHitByteIdentical(t *testing.T) {
+	s := newTestService(t, t.TempDir())
+	first, err := s.Assess(svcRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Meta.JournalHit || first.Meta.Coalesced {
+		t.Fatalf("first request served from a cold cache reported meta %+v", first.Meta)
+	}
+	if first.Meta.SimulatedFaults != svcFaults {
+		t.Errorf("first request simulated %d faults, want %d", first.Meta.SimulatedFaults, svcFaults)
+	}
+
+	second, err := s.Assess(svcRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Meta.JournalHit {
+		t.Error("second identical request was not a journal hit")
+	}
+	if second.Meta.SimulatedFaults != 0 {
+		t.Errorf("second request simulated %d faults, want 0", second.Meta.SimulatedFaults)
+	}
+	if second.Meta.ResumedFaults != svcFaults {
+		t.Errorf("second request resumed %d faults, want %d", second.Meta.ResumedFaults, svcFaults)
+	}
+	if a, b := resultBytes(t, first), resultBytes(t, second); a != b {
+		t.Errorf("journal-hit result diverges from fresh simulation:\n first: %s\nsecond: %s", a, b)
+	}
+	if hits := counterValue(t, s.Cfg.Obs.Metrics, "avgi_server_requests_total",
+		map[string]string{"tenant": "default", "outcome": "hit"}); hits != 1 {
+		t.Errorf("hit counter = %d, want 1", hits)
+	}
+}
+
+// TestServiceConcurrentRequestsCoalesce fires identical requests
+// concurrently at an uncached service: they must coalesce onto a bounded
+// number of executions and all return byte-identical results.
+func TestServiceConcurrentRequestsCoalesce(t *testing.T) {
+	s := newTestService(t, "") // no journal: every leader simulates
+	const n = 4
+	resps := make([]*AssessResponse, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resps[i], errs[i] = s.Assess(svcRequest())
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	var misses, coalesced int
+	ref := ""
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if resps[i].Meta.Coalesced {
+			coalesced++
+		} else {
+			misses++
+		}
+		b := resultBytes(t, resps[i])
+		if ref == "" {
+			ref = b
+		} else if b != ref {
+			t.Errorf("request %d result diverges from the others", i)
+		}
+	}
+	if coalesced == 0 {
+		t.Errorf("no request coalesced (%d misses): single-flight not engaged", misses)
+	}
+	if misses+coalesced != n {
+		t.Errorf("outcomes: %d misses + %d coalesced != %d requests", misses, coalesced, n)
+	}
+	if s.flights.len() != 0 {
+		t.Errorf("service retained %d completed flights, want 0 (journal is the durable cache)", s.flights.len())
+	}
+}
+
+// TestServiceJournalNamespacing: requests differing only in seed or sample
+// size must not truncate each other's shards — a rerun of the first
+// configuration stays a full journal hit.
+func TestServiceJournalNamespacing(t *testing.T) {
+	s := newTestService(t, t.TempDir())
+	reqA := svcRequest()
+	reqB := svcRequest()
+	reqB.Seed = 8
+	if _, err := s.Assess(reqA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Assess(reqB); err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Assess(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Meta.JournalHit || again.Meta.SimulatedFaults != 0 {
+		t.Errorf("seed-8 run clobbered the seed-7 shard: meta %+v", again.Meta)
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	s := newTestService(t, "")
+	base := svcRequest()
+	for name, mutate := range map[string]func(*AssessRequest){
+		"unknown machine":   func(r *AssessRequest) { r.Machine = "m1" },
+		"unknown structure": func(r *AssessRequest) { r.Structure = "TLB9" },
+		"unknown workload":  func(r *AssessRequest) { r.Workload = "doom" },
+		"unknown mode":      func(r *AssessRequest) { r.Mode = "fast" },
+		"avgi needs window": func(r *AssessRequest) { r.Mode = "avgi"; r.Window = 0 },
+		"stray window":      func(r *AssessRequest) { r.Window = 99 },
+		"oversized sample":  func(r *AssessRequest) { r.Faults = maxFaultsPerRequest + 1 },
+		"negative sample":   func(r *AssessRequest) { r.Faults = -4 },
+	} {
+		req := base
+		mutate(&req)
+		if _, err := s.Assess(req); err == nil {
+			t.Errorf("%s: accepted %+v", name, req)
+		}
+	}
+	if n := counterValue(t, s.Cfg.Obs.Metrics, "avgi_server_requests_total",
+		map[string]string{"tenant": "default", "outcome": "error"}); n == 0 {
+		t.Error("validation failures not counted as error outcomes")
+	}
+}
+
+func TestServiceDefaultsNormalized(t *testing.T) {
+	s := newTestService(t, "")
+	resp, err := s.Assess(AssessRequest{Structure: "RF", Workload: "crc32", Mode: "HVF", Faults: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := resp.Request
+	if r.Machine != "a72" || r.Seed != 1 || r.Tenant != "default" || r.Mode != "hvf" {
+		t.Errorf("defaults not filled: %+v", r)
+	}
+	if len(resp.Result.Results) != 8 {
+		t.Errorf("got %d results, want 8", len(resp.Result.Results))
+	}
+}
+
+func TestServiceTenantCap(t *testing.T) {
+	for _, tc := range []struct {
+		workers, tenant, want int
+	}{
+		{4, 0, 3}, // derived 3/4 share
+		{4, 9, 3}, // explicit cap clamped to W-1
+		{2, 0, 1}, // smallest multi-worker budget still leaves one slot free
+		{1, 0, 1}, // single worker: no headroom to reserve
+		{4, 2, 2}, // explicit cap respected
+	} {
+		s, err := NewService(ServiceConfig{Workers: tc.workers, TenantWorkers: tc.tenant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.TenantCap(); got != tc.want {
+			t.Errorf("workers=%d tenantWorkers=%d: cap %d, want %d", tc.workers, tc.tenant, got, tc.want)
+		}
+	}
+	// Distinct tenants get distinct carves off the same global budget.
+	s, _ := NewService(ServiceConfig{Workers: 4})
+	a, b := s.tenantBudget("a"), s.tenantBudget("b")
+	if a == b {
+		t.Error("tenants share one carved budget")
+	}
+	if a != s.tenantBudget("a") {
+		t.Error("tenant budget not cached")
+	}
+	if a.Cap() != s.TenantCap() {
+		t.Errorf("tenant budget cap %d, want %d", a.Cap(), s.TenantCap())
+	}
+}
+
+// TestServiceTwoTenantsProgress: with the global budget saturated-capable
+// by one tenant, a second tenant's request still completes (end-to-end
+// face of TestBudgetCarveNoStarvation).
+func TestServiceTwoTenantsProgress(t *testing.T) {
+	s, err := NewService(ServiceConfig{Workers: 2, Obs: NewObserver(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := svcRequest()
+	big.Tenant = "big"
+	big.Faults = 32
+	small := svcRequest()
+	small.Tenant = "small"
+	small.Workload = "sha"
+	small.Faults = 8
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); _, errs[0] = s.Assess(big) }()
+	go func() { defer wg.Done(); _, errs[1] = s.Assess(small) }()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("tenant %d: %v", i, err)
+		}
+	}
+	if s.Budget().InUse() != 0 {
+		t.Errorf("global budget not drained: %d", s.Budget().InUse())
+	}
+}
+
+func TestServiceRequestRegistry(t *testing.T) {
+	s := newTestService(t, "")
+	resp, err := s.Assess(AssessRequest{Structure: "RF", Workload: "crc32", Mode: "hvf", Faults: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := s.Request(resp.ID)
+	if !ok {
+		t.Fatalf("request %d missing from registry", resp.ID)
+	}
+	if info.State != StateDone || info.EndedAt == nil {
+		t.Errorf("completed request state %+v", info)
+	}
+	// A failed request is recorded as failed, and does not block later ones.
+	if _, err := s.Assess(AssessRequest{Structure: "RF", Workload: "crc32", Mode: "bogus"}); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	all := s.Requests()
+	if len(all) != 1 {
+		// Validation failures are rejected before registration.
+		t.Errorf("registry has %d entries, want 1 (validation errors are not registered)", len(all))
+	}
+	if all[0].ID != resp.ID {
+		t.Errorf("registry order: first entry ID %d, want %d", all[0].ID, resp.ID)
+	}
+}

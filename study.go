@@ -3,7 +3,6 @@ package avgi
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"avgi/internal/campaign"
 	"avgi/internal/core"
@@ -106,9 +105,7 @@ type Study struct {
 	runners map[string]*Runner
 	budget  *campaign.Budget
 	journal *journal.Journal
-
-	mu      sync.Mutex
-	flights map[campaignKey]*flight
+	flights *flightMap[campaignKey]
 
 	sched schedObs
 }

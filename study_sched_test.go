@@ -230,3 +230,36 @@ func TestPrefetchAVGIModePanics(t *testing.T) {
 	}()
 	s.Prefetch([]string{"RF"}, []string{"sha"}, ModeAVGI)
 }
+
+// TestPanickedCampaignDoesNotPoisonStudy is the end-to-end regression test
+// for the poisoned flight cache: runCampaign used to insert the flight
+// before executing and, on panic, only close its done channel — the dead
+// flight stayed cached, so every later request for that pair was served
+// its nil result forever. Now a panicking campaign is evicted and the next
+// call re-simulates and succeeds.
+func TestPanickedCampaignDoesNotPoisonStudy(t *testing.T) {
+	s := newSchedStudy(t, NewObserver(nil))
+	// Break the pair's runner so the campaign panics inside the flight
+	// (nil-runner dereference in the fault-list step), then restore it.
+	saved := s.runners["sha"]
+	delete(s.runners, "sha")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("campaign with a broken runner must panic")
+			}
+		}()
+		s.Exhaustive("RF", "sha")
+	}()
+	s.runners["sha"] = saved
+
+	res := s.Exhaustive("RF", "sha")
+	if len(res) != schedFaults {
+		t.Fatalf("retry after panic returned %d results, want %d — flight cache poisoned", len(res), schedFaults)
+	}
+	// And the healthy result is now cached like any other.
+	again := s.Exhaustive("RF", "sha")
+	if !reflect.DeepEqual(res, again) {
+		t.Error("cached result after recovery diverges")
+	}
+}
