@@ -34,9 +34,11 @@ import (
 	"time"
 
 	"avgi"
+	"avgi/internal/campaign"
 	"avgi/internal/cliflags"
 	"avgi/internal/clilog"
 	"avgi/internal/core"
+	"avgi/internal/imm"
 	"avgi/internal/report"
 )
 
@@ -48,6 +50,9 @@ var (
 	flagCSV        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	flagBars       = flag.Bool("bars", false, "also render distribution figures as terminal bar charts")
 	flagCores      = flag.Int("cores", 192, "cluster cores for the Table II days model")
+
+	flagMode   = flag.String("mode", "hvf", "campaign mode for the campaign experiment: exhaustive, hvf or avgi")
+	flagWindow = flag.Uint64("window", 0, "ERT stop window in cycles for the campaign experiment (required for -mode avgi, forbidden otherwise)")
 
 	flagTraceOut = flag.String("trace-out", "", "write a Chrome trace_event JSON of the study phases to this file (open in chrome://tracing)")
 	flagTraceND  = flag.String("trace-ndjson", "", "write the study-phase spans as NDJSON to this file")
@@ -165,6 +170,8 @@ experiments:
   motivation  ISA-level PVF vs microarch AVF (the intro's pitfall)
   multibit    Section VII.A multi-bit-upset ablation
   ertablation ERT safety-margin sweep (cost vs accuracy)
+  campaign    raw campaigns of the selected grid in one -mode (with
+              -dist-role=worker: this process's share of a fleet)
   all     everything above, in order
   list    list workloads and structures
 
@@ -199,6 +206,16 @@ fault tolerance (see docs/ROBUSTNESS.md):
   -resume            consult the journal before simulating: fully
                      journalled campaigns load, partial ones resume from
                      the first missing fault — byte-identical results
+  -fsync MODE        shard fsync cadence: chunk (default), every, off
+
+distribution (see docs/DISTRIBUTED.md):
+  -dist-role worker  join a fleet: processes sharing -journal DIR split
+                     each campaign chunk-by-chunk via leases and merge a
+                     byte-identical canonical shard; -workers means the
+                     fleet-wide worker count
+  -coordinator URL   lease through an avgid coordinator instead of files
+  -dist-owner NAME   stable node identity (default <hostname>-<pid>)
+  -lease-ttl D       silent-node takeover delay (default 10s)
 
 flags:
 `)
@@ -252,6 +269,28 @@ func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload, obsv *avg
 	if common.Resume && common.Journal == "" {
 		return nil, fmt.Errorf("-resume requires -journal DIR")
 	}
+	fsync, err := common.SyncPolicy()
+	if err != nil {
+		return nil, err
+	}
+	if err := common.ValidateDist(); err != nil {
+		return nil, err
+	}
+	var distCfg *avgi.DistConfig
+	workers := common.Workers
+	if common.DistRole == "worker" {
+		// In a fleet, -workers is the cluster-wide count: it fixes the
+		// shared chunk geometry and the slot budget. Local parallelism is
+		// bounded by this process's CPUs (Workers 0) and by the slot
+		// leases it can win.
+		distCfg = &avgi.DistConfig{
+			Fleet:       common.Workers,
+			Owner:       common.DistOwner,
+			Coordinator: common.Coordinator,
+			LeaseTTL:    common.LeaseTTL,
+		}
+		workers = 0
+	}
 	obsv.Logf("building study: %s, %d workloads, %d structures, %d faults each...",
 		machine.Name, len(workloads), len(selectedStructures()), *flagFaults)
 	start := time.Now()
@@ -260,13 +299,15 @@ func buildStudy(machine avgi.MachineConfig, workloads []avgi.Workload, obsv *avg
 		Workloads:          workloads,
 		Structures:         selectedStructures(),
 		FaultsPerStructure: *flagFaults,
-		Workers:            common.Workers,
+		Workers:            workers,
 		SeedBase:           *flagSeed,
 		Obs:                obsv,
 		ForkPolicy:         policy,
 		CheckpointInterval: common.CkptInterval,
 		JournalDir:         common.Journal,
 		Resume:             common.Resume,
+		Fsync:              fsync,
+		Dist:               distCfg,
 		Forensics:          explorer,
 		ForensicsSample:    *flagForensicsSample,
 		EarlyExit:          common.EarlyExit,
@@ -304,6 +345,12 @@ func run(cmd string, w io.Writer, obsv *avgi.Observer) error {
 	}
 
 	switch cmd {
+	case "campaign":
+		st, err := study()
+		if err != nil {
+			return err
+		}
+		return runCampaignCmd(st, w)
 	case "fig1":
 		st, err := study()
 		if err != nil {
@@ -424,6 +471,67 @@ func run(cmd string, w io.Writer, obsv *avgi.Observer) error {
 	if explorer != nil {
 		emit(w, avgi.MaskingSources(explorer))
 	}
+	return nil
+}
+
+// runCampaignCmd is the campaign experiment: run (or resume, or join as a
+// fleet worker — see -dist-role) the raw campaigns of the selected
+// (structure, workload) grid in one mode and print per-pair summaries.
+// Every fleet process invokes the identical command line against the shared
+// journal; whichever chunks each one simulates, the merged results and the
+// printed table are byte-identical.
+func runCampaignCmd(st *avgi.Study, w io.Writer) error {
+	var mode avgi.Mode
+	switch strings.ToLower(*flagMode) {
+	case "exhaustive":
+		mode = avgi.ModeExhaustive
+	case "hvf":
+		mode = avgi.ModeHVF
+	case "avgi":
+		mode = avgi.ModeAVGI
+	default:
+		return fmt.Errorf("unknown -mode %q (want exhaustive, hvf or avgi)", *flagMode)
+	}
+	if mode == avgi.ModeAVGI && *flagWindow == 0 {
+		return fmt.Errorf("-mode avgi requires -window CYCLES")
+	}
+	if mode != avgi.ModeAVGI && *flagWindow != 0 {
+		return fmt.Errorf("-window is only meaningful with -mode avgi")
+	}
+	structures := selectedStructures()
+	workloads := st.WorkloadNames()
+	// Overlap the grid under the budget; pairs load for free afterwards.
+	if mode == avgi.ModeAVGI {
+		for _, structure := range structures {
+			for _, wl := range workloads {
+				st.Campaign(structure, wl, mode, *flagWindow)
+			}
+		}
+	} else {
+		st.Prefetch(structures, workloads, mode)
+	}
+	// HVF campaigns stop at the first architectural corruption, so they
+	// carry no end-to-end effect split; exhaustive/avgi campaigns do.
+	t := &avgi.Table{
+		Title:   fmt.Sprintf("campaign summaries (%s mode, %d faults/pair)", *flagMode, st.Cfg.FaultsPerStructure),
+		Columns: []string{"structure", "workload", "faults", "benign", "corrupted", "masked", "sdc", "crash", "vuln"},
+	}
+	for _, structure := range structures {
+		for _, wl := range workloads {
+			sum := campaign.Summarize(st.Campaign(structure, wl, mode, *flagWindow))
+			masked, sdc, crash, vuln := "-", "-", "-", float64(sum.Corruptions)/float64(max(sum.Total, 1))
+			if mode != avgi.ModeHVF {
+				masked = fmt.Sprint(sum.ByEffect[imm.Masked])
+				sdc = fmt.Sprint(sum.ByEffect[imm.SDC])
+				crash = fmt.Sprint(sum.ByEffect[imm.Crash])
+				vuln = core.AVFFromEffects(sum).Total()
+			}
+			t.AddRow(structure, wl, fmt.Sprint(sum.Total),
+				fmt.Sprint(sum.Benign), fmt.Sprint(sum.Corruptions),
+				masked, sdc, crash, fmt.Sprintf("%.4f", vuln))
+		}
+	}
+	emit(w, t)
 	return nil
 }
 

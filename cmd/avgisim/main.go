@@ -69,6 +69,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "avgisim:", err)
 		os.Exit(2)
 	}
+	if common.DistRole != "" {
+		logger.Error("-dist-role: avgisim runs one targeted fault; distribution applies to campaigns (use avgi or avgid)")
+		os.Exit(2)
+	}
+	if _, err := common.SyncPolicy(); err != nil {
+		logger.Error(err.Error())
+		os.Exit(2)
+	}
 	stopProf, err := common.StartProfiles(func(msg string) { logger.Error(msg) })
 	if err != nil {
 		logger.Error(err.Error())
@@ -298,6 +306,9 @@ func injectJournalled(r *avgi.Runner, f fault.Fault, workload string, cfg avgi.M
 	w, err := j.Writer(key, bind, false)
 	if err != nil {
 		return res, nil // journal is best-effort; the result stands
+	}
+	if sync, err := common.SyncPolicy(); err == nil {
+		w.SetSyncPolicy(sync)
 	}
 	w.Append(0, res)
 	if err := w.Close(); err == nil {

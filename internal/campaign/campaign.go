@@ -541,6 +541,66 @@ type ChunkSink interface {
 	ChunkDone(lo, hi int, results []Result)
 }
 
+// ChunkClaimer arbitrates chunk ownership across the processes of one
+// distributed campaign (see internal/dist). Claim is called serially from
+// the dispatch loop for the chunk covering fault-list indices [lo, hi); ok
+// false means another process owns — or has already completed — the chunk,
+// and the caller skips it without simulating. On success, release is
+// called exactly once, from the worker goroutine, after the chunk's fresh
+// results have passed through the ChunkSink; done=false signals the
+// results did not become durable (a failing journal disk) so the chunk
+// must stay claimable by other processes.
+type ChunkClaimer interface {
+	Claim(lo, hi int) (release func(done bool), ok bool)
+}
+
+// ChunkSize is the campaign's chunk geometry: n faults planned across w
+// workers yields contiguous chunks of this size. Every process of a
+// distributed campaign derives the geometry independently from the shared
+// (fault-list length, fleet worker count) pair — it depends on nothing
+// local, which is what lets lease names like "chunk-lo-hi" mean the same
+// fault indices on every node.
+func ChunkSize(n, w int) int {
+	if n == 0 {
+		return 0
+	}
+	if w <= 0 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	return (n + w - 1) / w
+}
+
+// RunSpec describes one campaign execution for RunCampaign — the
+// superset of the Run/RunBudget/RunBudgetResume parameter lists plus the
+// distributed-claim fields.
+type RunSpec struct {
+	Faults []fault.Fault
+	Mode   Mode
+	// Window is the effective-residency-time stop window in cycles
+	// (ModeAVGI only; ignored otherwise).
+	Window uint64
+	// Budget bounds this process's worker concurrency; nil runs with a
+	// private all-CPUs budget.
+	Budget *Budget
+	// Prior maps fault-list indices to already-known Results (loaded from
+	// a journal); they are copied into the output instead of re-simulated.
+	Prior map[int]Result
+	// Sink, when non-nil, is notified after each chunk of fresh simulation.
+	Sink ChunkSink
+	// PlanWorkers fixes the chunk geometry independently of the local
+	// budget: a distributed campaign passes the fleet-wide worker count so
+	// every process derives identical chunk boundaries while its local
+	// budget only bounds concurrency. 0 derives the geometry from the
+	// budget capacity (the single-process behaviour).
+	PlanWorkers int
+	// Claimer arbitrates chunk ownership across processes; nil claims
+	// every chunk locally.
+	Claimer ChunkClaimer
+}
+
 // RunBudgetResume executes a fault list like RunBudget, resuming a
 // partially completed campaign: prior maps fault-list indices to already
 // known Results (loaded from a journal), which are copied into the output
@@ -558,13 +618,37 @@ type ChunkSink interface {
 // QuarantineLimit of the freshly simulated faults quarantine, the campaign
 // itself panics with an aggregated error (see DefaultQuarantineLimit).
 func (r *Runner) RunBudgetResume(faults []fault.Fault, mode Mode, ert uint64, budget *Budget, prior map[int]Result, sink ChunkSink) []Result {
-	results := make([]Result, len(faults))
+	results, _ := r.RunCampaign(RunSpec{
+		Faults: faults, Mode: mode, Window: ert,
+		Budget: budget, Prior: prior, Sink: sink,
+	})
+	return results
+}
+
+// RunCampaign executes a campaign described by spec — the full-generality
+// entry point underlying Run/RunBudget/RunBudgetResume, and the one the
+// distributed layer drives directly. The second return value counts the
+// faults skipped because spec.Claimer refused their chunks (another
+// process owns them); their Result slots hold whatever spec.Prior knew, or
+// the zero Result. A distributed driver treats skipped > 0 as "not my
+// work, not finished either" and reloads the journal for the rest.
+func (r *Runner) RunCampaign(spec RunSpec) (results []Result, skippedFaults int) {
+	faults, mode, ert, prior, sink := spec.Faults, spec.Mode, spec.Window, spec.Prior, spec.Sink
+	results = make([]Result, len(faults))
 	if len(faults) == 0 {
-		return results
+		return results, 0
+	}
+	budget := spec.Budget
+	if budget == nil {
+		budget = NewBudget(0)
 	}
 	workers := budget.Cap()
 	if workers > len(faults) {
 		workers = len(faults)
+	}
+	plan := spec.PlanWorkers
+	if plan <= 0 {
+		plan = workers
 	}
 	ro := r.newRunObs(faults, mode, prior)
 	var store *ckpt.Store
@@ -575,10 +659,11 @@ func (r *Runner) RunBudgetResume(faults []fault.Fault, mode Mode, ert uint64, bu
 	// Contiguous chunks keep each worker's forks advancing monotonically
 	// through its cycle-sorted slice (and, under ForkLegacyClone, its
 	// mother machine strictly forward). Chunk geometry depends only on the
-	// list length and the budget capacity — never on timing — which is
-	// what keeps results byte-identical under any interleaving (and across
-	// resumed runs).
-	chunk := (len(faults) + workers - 1) / workers
+	// list length and the planned worker count — never on timing — which
+	// is what keeps results byte-identical under any interleaving, across
+	// resumed runs, and across the processes of a distributed campaign.
+	chunk := ChunkSize(len(faults), plan)
+	var skipped [][2]int
 	var wg sync.WaitGroup
 	for lo := 0; lo < len(faults); lo += chunk {
 		hi := lo + chunk
@@ -586,17 +671,37 @@ func (r *Runner) RunBudgetResume(faults []fault.Fault, mode Mode, ert uint64, bu
 			hi = len(faults)
 		}
 		// A chunk fully covered by prior results needs no worker, no
-		// budget slot and no sink notification (its results are already
-		// durable).
+		// budget slot, no claim and no sink notification (its results are
+		// already durable).
 		if allPrior(prior, lo, hi) {
 			for i := lo; i < hi; i++ {
 				results[i] = prior[i]
 			}
 			continue
 		}
+		// Budget before claim: holding a lease while queued for a local
+		// worker slot would starve the processes that have slots free.
 		budget.Acquire()
+		var release func(bool)
+		if spec.Claimer != nil {
+			rel, ok := spec.Claimer.Claim(lo, hi)
+			if !ok {
+				budget.Release()
+				skipped = append(skipped, [2]int{lo, hi})
+				for i := lo; i < hi; i++ {
+					if pr, ok := prior[i]; ok {
+						results[i] = pr
+					} else {
+						skippedFaults++
+					}
+				}
+				ro.skip(faults, lo, hi, prior)
+				continue
+			}
+			release = rel
+		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(lo, hi int, release func(bool)) {
 			defer wg.Done()
 			defer budget.Release()
 			w := r.newWorker(mode, ert, store, pool, ro)
@@ -626,24 +731,40 @@ func (r *Runner) RunBudgetResume(faults []fault.Fault, mode Mode, ert uint64, bu
 			if sink != nil {
 				sink.ChunkDone(lo, hi, results)
 			}
-		}(lo, hi)
+			if release != nil {
+				release(true)
+			}
+		}(lo, hi, release)
 	}
 	wg.Wait()
 	ro.finish()
-	r.checkQuarantine(results, prior)
+	r.checkQuarantine(results, prior, skipped)
 	if r.Forensics != nil {
 		// Fold the whole campaign — fresh and journal-resumed results
 		// alike — into the explorer, serially so the breakdown (and its
 		// retained samples) is deterministic under any worker layout.
+		// Skipped chunks are excluded: their slots hold no simulation.
 		ms := mode.String()
 		for i := range results {
-			if results[i].Quarantined {
+			if results[i].Quarantined || skippedAt(skipped, prior, i) {
 				continue
 			}
 			r.Forensics.Record(faults[i].Structure, r.Prog.Name, ms, faults[i], results[i].Forensics)
 		}
 	}
-	return results
+	return results, skippedFaults
+}
+
+// skippedAt reports whether index i fell in a claim-skipped chunk without
+// a prior result — i.e. its Result slot is the meaningless zero value.
+func skippedAt(skipped [][2]int, prior map[int]Result, i int) bool {
+	for _, s := range skipped {
+		if i >= s[0] && i < s[1] {
+			_, ok := prior[i]
+			return !ok
+		}
+	}
+	return false
 }
 
 // allPrior reports whether every index in [lo, hi) has a prior result.
@@ -663,7 +784,7 @@ func allPrior(prior map[int]Result, lo, hi int) bool {
 // of freshly simulated faults exceeds the runner's limit: isolated panics
 // are survivable noise, but a systemic rate means the campaign's numbers
 // would be statistically meaningless.
-func (r *Runner) checkQuarantine(results []Result, prior map[int]Result) {
+func (r *Runner) checkQuarantine(results []Result, prior map[int]Result, skipped [][2]int) {
 	limit := r.QuarantineLimit
 	if limit == 0 {
 		limit = DefaultQuarantineLimit
@@ -675,6 +796,9 @@ func (r *Runner) checkQuarantine(results []Result, prior map[int]Result) {
 	var sample []string
 	for i, res := range results {
 		if _, ok := prior[i]; ok {
+			continue
+		}
+		if skippedAt(skipped, prior, i) {
 			continue
 		}
 		fresh++

@@ -149,6 +149,30 @@ func (r *Runner) newRunObs(faults []fault.Fault, mode Mode, prior map[int]Result
 	return ro
 }
 
+// skip retracts a claim-skipped chunk from the progress totals: the
+// campaign announced its whole fresh fault list up front, but another
+// process owns [lo, hi), so this run will never complete that share.
+// Nil-safe.
+func (ro *runObs) skip(faults []fault.Fault, lo, hi int, prior map[int]Result) {
+	if ro == nil {
+		return
+	}
+	p := ro.o.Progress
+	if p == nil {
+		return
+	}
+	per := make(map[string]int, 1)
+	for i := lo; i < hi; i++ {
+		if _, ok := prior[i]; ok {
+			continue
+		}
+		per[faults[i].Structure]++
+	}
+	for s, n := range per {
+		p.SkipFaults(s, ro.r.Prog.Name, ro.mode, n)
+	}
+}
+
 // fault records one completed fault into the worker-local aggregate and
 // the live telemetry (histograms + progress). Nil-safe.
 func (ro *runObs) fault(local map[string]*structAgg, f fault.Fault, res *Result, wall time.Duration, delta cpu.Stats, fm forkMeta) {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"avgi/internal/campaign"
+	"avgi/internal/journal"
 )
 
 // Common is the flag state shared by both commands, populated by Register
@@ -30,6 +31,12 @@ type Common struct {
 
 	Journal string
 	Resume  bool
+	Fsync   string
+
+	DistRole    string
+	DistOwner   string
+	Coordinator string
+	LeaseTTL    time.Duration
 
 	Progress    bool
 	MetricsAddr string
@@ -62,6 +69,11 @@ func Register(fs *flag.FlagSet, workersDefault int) *Common {
 		"append completed per-fault results as durable NDJSON shards under this directory (see docs/ROBUSTNESS.md)")
 	fs.BoolVar(&c.Resume, "resume", false,
 		"with -journal: reuse journalled results instead of re-simulating")
+	fs.StringVar(&c.Fsync, "fsync", "chunk",
+		"journal shard fsync cadence: chunk (default, per completed chunk), every (per fault result; the distributed-worker setting) or off (flush only; see docs/ROBUSTNESS.md)")
+
+	registerDist(fs, &c.DistRole, &c.DistOwner, &c.Coordinator, &c.LeaseTTL,
+		"\"\" (single process) or worker (join a distributed fleet sharding this run's campaigns; -workers then means the fleet-wide count and -journal must point at the shared journal directory, see docs/DISTRIBUTED.md)")
 
 	fs.BoolVar(&c.Progress, "progress", false,
 		"print live campaign progress lines to stderr")
@@ -86,6 +98,27 @@ type Server struct {
 	TenantWorkers int
 	DrainTimeout  time.Duration
 	Log           string
+
+	Fsync      string
+	ShardCache int
+
+	DistRole    string
+	DistOwner   string
+	Coordinator string
+	LeaseTTL    time.Duration
+}
+
+// registerDist installs the distributed-campaign flag cluster with a
+// per-tool -dist-role help string (the legal roles differ: batch tools can
+// only be workers, the server can also coordinate).
+func registerDist(fs *flag.FlagSet, role, owner, coordinator *string, ttl *time.Duration, roleHelp string) {
+	fs.StringVar(role, "dist-role", "", "distributed campaign role: "+roleHelp)
+	fs.StringVar(owner, "dist-owner", "",
+		"stable node identity for leases and part shards (default <hostname>-<pid>; set it to survive restarts under the same identity)")
+	fs.StringVar(coordinator, "coordinator", "",
+		"lease-endpoint base URL of an avgid -dist-role=coordinator (empty coordinates through lease files under the shared journal directory)")
+	fs.DurationVar(ttl, "lease-ttl", 10*time.Second,
+		"how long a silent node keeps its claimed chunks before the fleet takes them over")
 }
 
 // RegisterServer installs the avgid flags on fs. The server shares the
@@ -107,7 +140,55 @@ func RegisterServer(fs *flag.FlagSet) *Server {
 		"how long a SIGTERM/SIGINT shutdown waits for in-flight requests before dropping them")
 	fs.StringVar(&s.Log, "log", "text",
 		"stderr log format: text (classic prefixed lines) or json")
+	fs.StringVar(&s.Fsync, "fsync", "chunk",
+		"journal shard fsync cadence: chunk (default), every (per fault result) or off (flush only; see docs/ROBUSTNESS.md)")
+	fs.IntVar(&s.ShardCache, "shard-cache", 0,
+		"in-memory decoded-shard LRU entries in front of the journal (0 = default 64, negative disables)")
+	registerDist(fs, &s.DistRole, &s.DistOwner, &s.Coordinator, &s.LeaseTTL,
+		"\"\" (standalone), coordinator (arbitrate leases and fan campaigns out on /v1/dist/*) or worker (poll a -coordinator's feed and run its campaigns against the shared journal; see docs/DISTRIBUTED.md)")
 	return s
+}
+
+// SyncPolicy resolves the -fsync flag.
+func (c *Common) SyncPolicy() (journal.SyncPolicy, error) {
+	return journal.ParseSyncPolicy(c.Fsync)
+}
+
+// SyncPolicy resolves the server's -fsync flag.
+func (s *Server) SyncPolicy() (journal.SyncPolicy, error) {
+	return journal.ParseSyncPolicy(s.Fsync)
+}
+
+// ValidateDist checks the batch tools' distributed flag cluster: the only
+// legal role is worker, and distribution needs the shared journal.
+func (c *Common) ValidateDist() error {
+	switch c.DistRole {
+	case "":
+		return nil
+	case "worker":
+		if c.Journal == "" {
+			return fmt.Errorf("-dist-role=worker requires -journal DIR (the fleet's shared coordination substrate)")
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown -dist-role %q (batch tools support only worker)", c.DistRole)
+}
+
+// ValidateDist checks the server's distributed flag cluster.
+func (s *Server) ValidateDist() error {
+	switch s.DistRole {
+	case "", "coordinator":
+		return nil
+	case "worker":
+		if s.Coordinator == "" {
+			return fmt.Errorf("-dist-role=worker requires -coordinator URL (the feed to poll)")
+		}
+		if s.Journal == "" {
+			return fmt.Errorf("-dist-role=worker requires -journal DIR shared with the fleet")
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown -dist-role %q (want coordinator or worker)", s.DistRole)
 }
 
 // ForkPolicy resolves the -fork flag.

@@ -35,6 +35,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 
@@ -114,6 +115,50 @@ func HashProgram(p *asm.Program) uint64 {
 	return h.Sum64()
 }
 
+// SyncPolicy selects when a Writer fsyncs its shard — the
+// durability/throughput trade of docs/ROBUSTNESS.md. Loss bounds on a
+// crash (a torn tail is always recovered from, whatever the policy):
+//
+//   - SyncChunk (default): Sync is called once per completed campaign
+//     chunk; loss is bounded to the chunks still in flight.
+//   - SyncEvery: every Append flushes and fsyncs — per-fault durability,
+//     the right setting for distributed workers whose chunks another node
+//     must be able to take over mid-flight.
+//   - SyncOff: never fsync (buffered writes reach the OS at Sync/Close);
+//     a crash can lose everything since the last page-cache writeback.
+type SyncPolicy uint8
+
+const (
+	SyncChunk SyncPolicy = iota
+	SyncEvery
+	SyncOff
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncChunk:
+		return "chunk"
+	case SyncEvery:
+		return "every"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParseSyncPolicy resolves the -fsync flag spelling.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "chunk":
+		return SyncChunk, nil
+	case "every":
+		return SyncEvery, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("unknown fsync policy %q (want every, chunk or off)", s)
+}
+
 // Journal is a directory of campaign shards. All methods are safe for
 // concurrent use across distinct shards (the study runs one writer per
 // in-flight campaign); a single shard must not have two concurrent
@@ -145,6 +190,26 @@ func (j *Journal) shardPath(k Key, b Binding) string {
 	return filepath.Join(j.dir, sub, name)
 }
 
+// ShardID is a shard's journal-relative identity — the machine-variant
+// subdirectory plus the checksummed shard filename. It is the stable
+// resource name distributed workers lease chunks of (see internal/dist):
+// two processes agreeing on (key, binding) agree on the ShardID, and two
+// different bindings can never collide on one (the binding checksum is
+// part of the name).
+func (j *Journal) ShardID(k Key, b Binding) string {
+	rel, _ := filepath.Rel(j.dir, j.shardPath(k, b))
+	return filepath.ToSlash(rel)
+}
+
+// partPath derives the worker-private sibling of a shard: the same
+// checksummed NDJSON format under the same directory, suffixed with the
+// owning worker's name so concurrent workers of one distributed campaign
+// never share a file descriptor. The merge step folds parts back into the
+// canonical shard (see Merge).
+func (j *Journal) partPath(k Key, b Binding, owner string) string {
+	return j.shardPath(k, b) + ".part-" + sanitize(owner)
+}
+
 // sanitize maps a key component onto a portable filename fragment.
 func sanitize(s string) string {
 	return strings.Map(func(r rune) rune {
@@ -172,11 +237,77 @@ func (j *Journal) Load(k Key, b Binding) (map[int]campaign.Result, error) {
 	return prior, err
 }
 
+// LoadAll reads the canonical shard plus every worker part shard of a
+// distributed campaign, merged by fault index — the resume view of a
+// sharded campaign, where completed work may be spread over the canonical
+// shard (a finished merge), this worker's own part, and the parts of
+// every other live or dead worker. Duplicate indices (two workers raced a
+// stale lease and both simulated a chunk) are harmless: chunk results are
+// deterministic, so either record is the record. Parts that fail header
+// validation are skipped (they cannot occur under the checksummed naming
+// scheme unless hand-damaged); a canonical-shard mismatch is surfaced as
+// ErrMismatch exactly like Load.
+func (j *Journal) LoadAll(k Key, b Binding) (map[int]campaign.Result, error) {
+	prior, err := j.Load(k, b)
+	if err != nil {
+		return nil, err
+	}
+	if prior == nil {
+		prior = make(map[int]campaign.Result)
+	}
+	parts, err := j.parts(k, b)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		rec, _, err := j.loadPath(p, k, b)
+		if err != nil {
+			continue // damaged part: its records are unverifiable, skip
+		}
+		for i, r := range rec {
+			if _, ok := prior[i]; !ok {
+				prior[i] = r
+			}
+		}
+	}
+	if len(prior) == 0 {
+		return nil, nil
+	}
+	return prior, nil
+}
+
+// HasParts reports whether any worker part shards exist for this campaign
+// — the signal that a distributed merge still has consolidation to do
+// (e.g. after a crash that landed between the canonical fsync and the part
+// removal).
+func (j *Journal) HasParts(k Key, b Binding) (bool, error) {
+	parts, err := j.parts(k, b)
+	return len(parts) > 0, err
+}
+
+// parts lists the worker part shards of one campaign, sorted by path so
+// LoadAll's merge order (and therefore a merge race's winner for
+// duplicate indices) is deterministic.
+func (j *Journal) parts(k Key, b Binding) ([]string, error) {
+	matches, err := filepath.Glob(j.shardPath(k, b) + ".part-*")
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
 // load is Load plus the byte offset just past the last valid record — the
 // truncation point a resuming Writer appends from, so a torn tail can never
 // merge with the first fresh record.
 func (j *Journal) load(k Key, b Binding) (map[int]campaign.Result, int64, error) {
-	f, err := os.Open(j.shardPath(k, b))
+	return j.loadPath(j.shardPath(k, b), k, b)
+}
+
+// loadPath is load against an explicit file (the canonical shard or one
+// worker part — both carry the same checksummed header).
+func (j *Journal) loadPath(path string, k Key, b Binding) (map[int]campaign.Result, int64, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, 0, nil
@@ -243,11 +374,16 @@ type Writer struct {
 	mu       sync.Mutex
 	f        *os.File
 	buf      *bufio.Writer
+	policy   SyncPolicy
 	appended uint64
 	err      error
 	errFired bool
 	onError  func(error)
 }
+
+// SetSyncPolicy selects the writer's fsync discipline (default SyncChunk).
+// Call before sharing the writer between goroutines.
+func (w *Writer) SetSyncPolicy(p SyncPolicy) { w.policy = p }
 
 // OnError registers a callback invoked exactly once, with the writer's
 // first sticky I/O error, at the moment the writer degrades to a no-op.
@@ -276,13 +412,27 @@ func (w *Writer) fail(err error) error {
 // merge with the first fresh append; a missing or invalid shard falls back
 // to a from-scratch truncation.
 func (j *Journal) Writer(k Key, b Binding, resume bool) (*Writer, error) {
-	path := j.shardPath(k, b)
+	return j.writerAt(j.shardPath(k, b), k, b, resume)
+}
+
+// PartWriter opens a worker-private part shard for appending — the shard a
+// distributed campaign worker journals its leased chunks into, sibling to
+// the canonical shard and in the identical checksummed format. owner must
+// be stable across a worker's restarts (the resume path truncates the
+// worker's own torn tail and appends from there) and unique across live
+// workers (two live writers on one part file would interleave). The merge
+// step (Merge) folds all parts back into the canonical shard.
+func (j *Journal) PartWriter(k Key, b Binding, owner string, resume bool) (*Writer, error) {
+	return j.writerAt(j.partPath(k, b, owner), k, b, resume)
+}
+
+func (j *Journal) writerAt(path string, k Key, b Binding, resume bool) (*Writer, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	var off int64
 	if resume {
-		if _, o, err := j.load(k, b); err != nil || o == 0 {
+		if _, o, err := j.loadPath(path, k, b); err != nil || o == 0 {
 			resume = false // missing or mismatched: start over
 		} else {
 			off = o
@@ -351,11 +501,15 @@ func (w *Writer) Append(i int, res campaign.Result) {
 		return
 	}
 	w.appended++
+	if w.policy == SyncEvery {
+		w.syncLocked()
+	}
 }
 
-// Sync flushes buffered records and fsyncs the shard — called once per
-// completed campaign chunk, which bounds crash loss to in-flight chunks
-// without paying an fsync per fault.
+// Sync flushes buffered records and, unless the policy is SyncOff, fsyncs
+// the shard — called once per completed campaign chunk, which under the
+// default SyncChunk policy bounds crash loss to in-flight chunks without
+// paying an fsync per fault.
 func (w *Writer) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -368,6 +522,9 @@ func (w *Writer) syncLocked() error {
 	}
 	if err := w.buf.Flush(); err != nil {
 		return w.fail(fmt.Errorf("journal: %w", err))
+	}
+	if w.policy == SyncOff {
+		return nil
 	}
 	if err := w.f.Sync(); err != nil {
 		return w.fail(fmt.Errorf("journal: %w", err))
@@ -382,8 +539,8 @@ func (w *Writer) Appended() uint64 {
 	return w.appended
 }
 
-// Close flushes, fsyncs and closes the shard, returning the first error
-// encountered over the writer's lifetime.
+// Close flushes, fsyncs (policy permitting) and closes the shard,
+// returning the first error encountered over the writer's lifetime.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -392,4 +549,46 @@ func (w *Writer) Close() error {
 		err = fmt.Errorf("journal: %w", cerr)
 	}
 	return err
+}
+
+// Merge consolidates a distributed campaign's results into the canonical
+// shard and removes the worker part shards. Records are written in fault-
+// index order, so the merged shard's bytes are a pure function of (key,
+// binding, results) — the byte-identity guarantee of docs/DISTRIBUTED.md:
+// however many workers ran, however chunks were leased or stolen, the
+// merged file is identical to a single-process run's merged file. results
+// should be the complete LoadAll view (the caller has verified coverage);
+// Merge itself only requires the indices to be in-range.
+//
+// Crash ordering: the canonical shard is rewritten and fsynced before any
+// part is unlinked, so a crash mid-merge leaves either the old parts (the
+// merge reruns) or the new canonical shard plus some parts (LoadAll yields
+// the same view; the rerun merge removes the stragglers). No interleaving
+// loses a record.
+func (j *Journal) Merge(k Key, b Binding, results map[int]campaign.Result) error {
+	w, err := j.Writer(k, b, false)
+	if err != nil {
+		return err
+	}
+	idx := make([]int, 0, len(results))
+	for i := range results {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		w.Append(i, results[i])
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	parts, err := j.parts(k, b)
+	if err != nil {
+		return err
+	}
+	for _, p := range parts {
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	return nil
 }

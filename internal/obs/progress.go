@@ -139,6 +139,26 @@ func (p *Progress) FaultDone(structure, workload, mode string, simCycles, exhaus
 	}
 }
 
+// SkipFaults retracts n announced-but-never-simulated faults from a
+// campaign's totals — the distributed claim loop announces the full fault
+// list up front and only then discovers that another process owns some of
+// its chunks, so the skipped share must leave the denominator or the pair
+// would never read 100%. Totals never drop below the completions already
+// recorded.
+func (p *Progress) SkipFaults(structure, workload, mode string, n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pp := p.pair(structure, workload, mode)
+	if n > pp.Total-pp.Done {
+		n = pp.Total - pp.Done
+	}
+	if n <= 0 {
+		return
+	}
+	pp.Total -= n
+	p.faultsTotal -= int64(n)
+}
+
 // Snapshot returns the current progress state.
 func (p *Progress) Snapshot() ProgressSnapshot {
 	p.mu.Lock()

@@ -56,6 +56,32 @@ func TestProgressSnapshot(t *testing.T) {
 	}
 }
 
+// TestSkipFaults covers the distributed-claim retraction: skipped faults
+// leave the totals so a striped campaign still converges to 100%, and the
+// retraction clamps at the completions already recorded.
+func TestSkipFaults(t *testing.T) {
+	p := NewProgress(io.Discard)
+	p.StartCampaign("RF", "sha", "avgi", 100)
+	for i := 0; i < 10; i++ {
+		p.FaultDone("RF", "sha", "avgi", 1000, 1000)
+	}
+	p.SkipFaults("RF", "sha", "avgi", 40)
+	s := p.Snapshot()
+	if s.FaultsDone != 10 || s.FaultsTotal != 60 {
+		t.Fatalf("after skip: done/total %d/%d, want 10/60", s.FaultsDone, s.FaultsTotal)
+	}
+	// Over-retraction clamps: total can never drop below done.
+	p.SkipFaults("RF", "sha", "avgi", 999)
+	if s := p.Snapshot(); s.FaultsTotal != 10 {
+		t.Fatalf("clamped skip left total %d, want 10", s.FaultsTotal)
+	}
+	// A skip on an unknown pair is harmless.
+	p.SkipFaults("ROB", "sha", "avgi", 5)
+	if s := p.Snapshot(); s.FaultsTotal != 10 {
+		t.Fatalf("skip on a fresh pair changed total to %d", s.FaultsTotal)
+	}
+}
+
 func TestStartCampaignIdempotentWhileInFlight(t *testing.T) {
 	p := NewProgress(io.Discard)
 	const n = 80 // the fault-list size

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"avgi/internal/campaign"
+	"avgi/internal/dist"
 	"avgi/internal/journal"
 	"avgi/internal/obs"
 )
@@ -142,6 +143,8 @@ func (s *Study) exec() *journalExec {
 		machine: s.Cfg.Machine.Name,
 		variant: s.Cfg.Machine.Variant.String(),
 		seed:    s.Cfg.SeedBase,
+		sync:    s.Cfg.Fsync,
+		dist:    s.Cfg.Dist,
 		obs:     s.Cfg.Obs,
 		sched:   &s.sched,
 	}
@@ -162,6 +165,8 @@ type journalExec struct {
 	machine string
 	variant string
 	seed    int64
+	sync    journal.SyncPolicy
+	dist    *DistConfig // non-nil with Fleet > 0 = distributed execution
 	obs     *Observer
 	sched   *schedObs
 }
@@ -181,6 +186,14 @@ func (je *journalExec) run(r *Runner, structure, workload string, faults []Fault
 		ProgramHash: journal.HashProgram(r.Prog),
 		Seed:        je.seed,
 		Faults:      len(faults),
+	}
+	if je.dist != nil && je.dist.Fleet > 0 {
+		if res, resumed, ok := je.runDist(r, structure, workload, key, bind, faults, mode, window, budget); ok {
+			return res, resumed
+		}
+		// A failed distributed run (unwritable part shard, broken lease
+		// transport) degrades to plain local execution below — the node
+		// stops contributing to the fleet but still answers its caller.
 	}
 	var prior map[int]CampaignResult
 	if je.resume {
@@ -216,6 +229,7 @@ func (je *journalExec) run(r *Runner, structure, workload string, faults []Fault
 		}
 		return r.RunBudgetResume(faults, mode, window, budget, prior, nil), len(prior)
 	}
+	w.SetSyncPolicy(je.sync)
 	// Surface the first I/O failure when it strikes, not at Close: a
 	// long-running service would otherwise simulate for hours believing it
 	// was journalling. The writer disables itself after the first error, so
@@ -233,6 +247,47 @@ func (je *journalExec) run(r *Runner, structure, workload string, faults []Fault
 		je.obs.Logf("journal: %s/%s %s: %v; shard may be incomplete", structure, workload, mode, err)
 	}
 	return res, len(prior)
+}
+
+// runDist executes one campaign as this node's share of a distributed
+// fleet (see internal/dist and docs/DISTRIBUTED.md). ok=false means the
+// distributed run failed and the caller should fall back to plain local
+// execution; resumed counts the fault results that were already durable
+// somewhere in the fleet's journal before this run.
+func (je *journalExec) runDist(r *Runner, structure, workload string,
+	key journal.Key, bind journal.Binding, faults []Fault,
+	mode Mode, window uint64, budget *campaign.Budget) (res []CampaignResult, resumed int, ok bool) {
+	prior, err := je.journal.LoadAll(key, bind)
+	if err != nil {
+		prior = nil
+	}
+	if len(prior) > 0 && je.sched.jResumed != nil {
+		je.sched.jResumed.Add(uint64(len(prior)))
+	}
+	if len(prior) == len(faults) && je.sched.jHits != nil {
+		je.sched.jHits.Inc()
+	}
+	res, err = dist.Run(dist.Config{
+		Journal:      je.journal,
+		Leaser:       je.dist.leaser(),
+		Owner:        je.dist.Owner,
+		Fleet:        je.dist.Fleet,
+		LocalWorkers: budget.Cap(),
+		TTL:          je.dist.LeaseTTL,
+		Sync:         je.sync,
+		Obs:          je.obs,
+	}, r, faults, key, bind, mode, window)
+	if err != nil {
+		je.obs.Logf("dist: %s/%s %s: %v; falling back to local execution", structure, workload, mode, err)
+		if je.sched.jErrors != nil {
+			je.sched.jErrors.Inc()
+		}
+		return nil, 0, false
+	}
+	// Per-node append counts live on avgi_dist_faults_total (this node may
+	// have simulated only part of the missing work; the rest of the fleet
+	// journalled the remainder into its own part shards).
+	return res, len(prior), true
 }
 
 // journalSink appends each freshly simulated chunk to the campaign's shard

@@ -1,0 +1,111 @@
+package avgi
+
+import (
+	"container/list"
+	"sync"
+
+	"avgi/internal/obs"
+)
+
+// shardCache is the service's in-memory decoded-shard LRU: the journal
+// answers a repeated request with zero simulation, but still pays a disk
+// read plus an NDJSON decode of the whole shard on every hit. Hot
+// assessments (dashboards re-polling, fleets of workers racing the same
+// announcement) hit the same few keys over and over, so the service keeps
+// the most recent decoded result sets in memory and serves those hits
+// without touching the journal at all.
+//
+// Entries are only ever inserted complete (every fault index present), and
+// results are deterministic per key, so a cached entry can never go stale —
+// eviction exists purely to bound memory. The cached slices are shared with
+// callers, exactly as the flight map already shares one result slice among
+// coalesced requests: they are treated as immutable throughout.
+type shardCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[assessKey]*list.Element
+
+	hits      *obs.Counter
+	evictions *obs.Counter
+}
+
+type shardCacheEntry struct {
+	key assessKey
+	res []CampaignResult
+}
+
+// defaultShardCacheEntries bounds the decoded result sets kept in memory
+// when ServiceConfig.ShardCacheEntries is zero. At the default 400-fault
+// sample a full cache holds ~25k Results — small next to one golden trace.
+const defaultShardCacheEntries = 64
+
+// newShardCache returns an LRU of the given capacity; reg may be nil
+// (metrics disabled). A nil *shardCache is a valid, always-missing cache.
+func newShardCache(capacity int, reg *obs.Registry) *shardCache {
+	c := &shardCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[assessKey]*list.Element),
+	}
+	if reg != nil {
+		c.hits = reg.Counter("avgi_server_shard_cache_hits_total",
+			"assessments served from the in-memory decoded-shard LRU (no journal read, no simulation)", nil)
+		c.evictions = reg.Counter("avgi_server_shard_cache_evictions_total",
+			"decoded shards evicted from the in-memory LRU to respect its capacity", nil)
+	}
+	return c
+}
+
+// get returns the cached complete result set for key, marking it most
+// recently used.
+func (c *shardCache) get(key assessKey) ([]CampaignResult, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	if c.hits != nil {
+		c.hits.Inc()
+	}
+	return el.Value.(*shardCacheEntry).res, true
+}
+
+// put stores a complete result set, evicting the least recently used entry
+// beyond capacity. Re-putting an existing key refreshes its recency (the
+// results are deterministic, so the value cannot differ).
+func (c *shardCache) put(key assessKey, res []CampaignResult) {
+	if c == nil || len(res) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&shardCacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*shardCacheEntry).key)
+		if c.evictions != nil {
+			c.evictions.Inc()
+		}
+	}
+}
+
+// len reports the live entry count (tests).
+func (c *shardCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

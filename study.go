@@ -57,6 +57,18 @@ type StudyConfig struct {
 	// Results are byte-identical to an uninterrupted run.
 	Resume bool
 
+	// Fsync selects the journal shard fsync cadence: SyncChunk (default),
+	// SyncEvery or SyncOff. See docs/ROBUSTNESS.md.
+	Fsync SyncPolicy
+
+	// Dist, when non-nil with Fleet > 0, runs every campaign of the study
+	// as this node's share of a distributed fleet sharding chunks across
+	// processes (requires JournalDir; the journal directory — or the
+	// configured coordinator — is the coordination substrate). Results and
+	// the merged canonical shards are byte-identical to a single-process
+	// run. See docs/DISTRIBUTED.md.
+	Dist *DistConfig
+
 	// Forensics, when non-nil, turns on per-fault outcome attribution:
 	// every sampled fault is probed during its faulty run and its fate
 	// (overwritten, squashed, evicted clean, logically masked, never
@@ -125,6 +137,9 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	if cfg.Resume && cfg.JournalDir == "" {
 		return nil, fmt.Errorf("study: Resume requires JournalDir")
 	}
+	if cfg.Dist != nil && cfg.Dist.Fleet > 0 && cfg.JournalDir == "" {
+		return nil, fmt.Errorf("study: distributed campaigns require JournalDir (the shared coordination substrate)")
+	}
 	if cfg.JournalDir != "" {
 		j, err := journal.Open(cfg.JournalDir)
 		if err != nil {
@@ -171,6 +186,15 @@ func (s *Study) WorkloadNames() []string {
 // faultsFor builds the deterministic fault list for a pair.
 func (s *Study) faultsFor(structure, workload string) []Fault {
 	return s.runners[workload].FaultList(structure, s.Cfg.FaultsPerStructure, s.Cfg.SeedBase)
+}
+
+// Campaign runs (or returns the cached results of) one campaign through
+// the study scheduler — the public entry point for driving a single
+// (structure, workload) pair, e.g. a distributed worker's share of a
+// fleet-wide campaign (cmd/avgi campaign). Window is the AVGI ERT stop
+// window in cycles and must be zero for the other modes.
+func (s *Study) Campaign(structure, workload string, mode Mode, window uint64) []CampaignResult {
+	return s.runCampaign(structure, workload, mode, window)
 }
 
 // Exhaustive returns (running on first use, cached afterwards) the
